@@ -1,0 +1,218 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe fig5a fig7d ...  # selected experiments
+     dune exec bench/main.exe -- --bechamel    # wall-clock micro-benchmarks
+                                               # of the substrate (one
+                                               # Test.make per table)
+
+   All experiment output is simulated HECTOR time; the Bechamel mode
+   measures the *simulator's* own wall-clock cost. *)
+
+open Hurricane
+
+let ppf = Format.std_formatter
+
+let run_fig4 () = Report.fig4 ppf (Experiments.fig4 ())
+let run_uncontended () = Report.uncontended ppf (Experiments.uncontended ())
+
+let run_fig5a () =
+  Report.fig5 ppf ~name:"FIG5a" ~hold_us:0.0 (Experiments.fig5a ())
+
+let run_fig5b () =
+  Report.fig5 ppf ~name:"FIG5b" ~hold_us:25.0 (Experiments.fig5b ())
+
+let run_starvation () = Report.starvation ppf (Experiments.starvation ())
+
+let run_fig7a () =
+  Report.fig7 ppf ~name:"FIG7a - independent faults, one 16-processor cluster"
+    ~xlabel:"p"
+    ~claim:
+      "little difference up to p=4; beyond that spin degrades; at p=16 spin \
+       is over 2x the distributed locks"
+    (Experiments.fig7a ())
+
+let run_fig7b () =
+  Report.fig7 ppf ~name:"FIG7b - shared faults, one 16-processor cluster"
+    ~xlabel:"p"
+    ~claim:
+      "smaller gap between distributed and spin locks: contention shifts to \
+       the reserve bits"
+    (Experiments.fig7b ())
+
+let run_fig7c () =
+  Report.fig7 ppf ~name:"FIG7c - independent faults, p=16, cluster-size sweep"
+    ~xlabel:"cluster"
+    ~claim:
+      "small clusters best; no degradation for cluster size <= 4 (hybrid \
+       matches fine-grain locking)"
+    (Experiments.fig7c ())
+
+let run_fig7d () =
+  Report.fig7 ppf ~name:"FIG7d - shared faults, p=16, cluster-size sweep"
+    ~xlabel:"cluster"
+    ~claim:
+      "moderate cluster sizes win: inter-cluster ownership traffic dominates \
+       very small clusters, lock contention the largest"
+    (Experiments.fig7d ())
+
+let run_constants () = Report.constants ppf (Experiments.constants ())
+let run_retries () = Report.retries ppf (Experiments.retries ())
+
+let run_abl1 () =
+  Report.ablation_granularity ppf (Experiments.ablation_granularity ())
+
+let run_abl2 () =
+  Report.ablation_combining ppf (Experiments.ablation_combining ())
+
+let run_abl3 () = Report.ablation_cas ppf (Experiments.ablation_cas ())
+let run_abl4 () = Report.ablation_clh ppf (Experiments.ablation_clh ())
+
+let run_abl5 () =
+  Report.ablation_cached_locks ppf (Experiments.ablation_cached_locks ())
+
+let run_abl6 () =
+  Report.ablation_spin_then_block ppf (Experiments.ablation_spin_then_block ())
+
+let run_abl7 () = Report.ablation_lockfree ppf (Experiments.ablation_lockfree ())
+let run_abl8 () = Report.ablation_layout ppf (Experiments.ablation_layout ())
+
+let run_abl9 () =
+  Report.ablation_lock_family ppf (Experiments.ablation_lock_family ())
+let run_trylock () = Report.trylock ppf (Experiments.trylock ())
+let run_classes () = Report.classes ppf (Experiments.classes ())
+let run_cow () = Report.cow ppf (Experiments.cow ())
+let run_fs () = Report.fs ppf (Experiments.fs ())
+
+let experiments =
+  [
+    ("fig4", run_fig4);
+    ("uncontended", run_uncontended);
+    ("fig5a", run_fig5a);
+    ("fig5b", run_fig5b);
+    ("starvation", run_starvation);
+    ("fig7a", run_fig7a);
+    ("fig7b", run_fig7b);
+    ("fig7c", run_fig7c);
+    ("fig7d", run_fig7d);
+    ("constants", run_constants);
+    ("retries", run_retries);
+    ("ablation-granularity", run_abl1);
+    ("ablation-combining", run_abl2);
+    ("ablation-cas", run_abl3);
+    ("ablation-clh", run_abl4);
+    ("ablation-cached-locks", run_abl5);
+    ("ablation-spin-then-block", run_abl6);
+    ("ablation-lockfree", run_abl7);
+    ("ablation-layout", run_abl8);
+    ("ablation-lock-family", run_abl9);
+    ("trylock", run_trylock);
+    ("classes", run_classes);
+    ("cow", run_cow);
+    ("fs", run_fs);
+  ]
+
+(* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let open Hector in
+  let uncontended_pair =
+    Test.make ~name:"UNC: simulate uncontended H2 pair"
+      (Staged.stage (fun () ->
+           ignore (Workloads.Uncontended.run ~iters:50 Locks.Lock.Mcs_h2)))
+  in
+  let fig5_step =
+    Test.make ~name:"FIG5: simulate 4-proc lock stress window"
+      (Staged.stage (fun () ->
+           ignore
+             (Workloads.Lock_stress.run
+                ~config:
+                  {
+                    Workloads.Lock_stress.default_config with
+                    p = 4;
+                    window_us = 1000.0;
+                  }
+                Locks.Lock.Mcs_h2)))
+  in
+  let fig7_fault =
+    Test.make ~name:"FIG7: simulate 4-proc independent faults"
+      (Staged.stage (fun () ->
+           ignore
+             (Workloads.Independent_faults.run
+                ~config:
+                  {
+                    Workloads.Independent_faults.default_config with
+                    p = 4;
+                    iters = 10;
+                  }
+                ())))
+  in
+  let engine_events =
+    Test.make ~name:"substrate: 10k engine events"
+      (Staged.stage (fun () ->
+           let eng = Eventsim.Engine.create () in
+           for i = 1 to 10_000 do
+             Eventsim.Engine.schedule eng ~at:i (fun () -> ())
+           done;
+           Eventsim.Engine.run eng))
+  in
+  let machine_accesses =
+    Test.make ~name:"substrate: 10k timed remote reads"
+      (Staged.stage (fun () ->
+           let eng = Eventsim.Engine.create () in
+           let machine = Machine.create eng Config.hector in
+           let cell = Machine.alloc machine ~home:15 0 in
+           Eventsim.Process.spawn eng (fun () ->
+               for _ = 1 to 10_000 do
+                 ignore (Machine.read machine ~proc:0 cell)
+               done);
+           Eventsim.Engine.run eng))
+  in
+  [ uncontended_pair; fig5_step; fig7_fault; engine_events; machine_accesses ]
+
+let run_bechamel () =
+  let open Bechamel in
+  List.iter
+    (fun test ->
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true
+          ~predictors:[| Measure.run |]
+      in
+      let estimates = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-50s %14.1f ns/run@." name est
+          | _ -> Format.printf "%-50s (no estimate)@." name)
+        estimates)
+    (bechamel_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--bechamel" ] -> run_bechamel ()
+  | [ "--dat"; dir ] ->
+    let written = Dat.write_all dir in
+    List.iter (Format.printf "wrote %s@.") written
+  | [] ->
+    Format.printf
+      "HURRICANE locking reproduction - all experiments (simulated HECTOR \
+       time)@.";
+    List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Format.eprintf "unknown experiment %S; available: %s, --bechamel@."
+            name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+      names

@@ -1,0 +1,282 @@
+(* hurricane_sim — command-line driver for the HURRICANE locking simulator.
+
+   Subcommands expose the building blocks individually (lock stress, fault
+   tests, calibration, destruction storms) with tunable parameters, so a
+   user can explore configurations beyond the paper's figures. The `figure`
+   subcommand regenerates a named table/figure exactly as the benchmark
+   harness does. *)
+
+open Cmdliner
+open Hurricane
+open Workloads
+
+let ppf = Format.std_formatter
+
+(* -- shared arguments ------------------------------------------------------ *)
+
+let algo_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "mcs" -> Ok Locks.Lock.Mcs_original
+    | "h1" | "h1-mcs" -> Ok Locks.Lock.Mcs_h1
+    | "h2" | "h2-mcs" -> Ok Locks.Lock.Mcs_h2
+    | "cas" | "h2-cas" -> Ok Locks.Lock.Mcs_cas
+    | s -> (
+      match Scanf.sscanf_opt s "spin:%f" (fun v -> v) with
+      | Some us -> Ok (Locks.Lock.Spin { max_backoff_us = us })
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown lock algorithm %S (mcs | h1 | h2 | cas | spin:<us>)" s)))
+  in
+  let print ppf a = Format.pp_print_string ppf (Locks.Lock.algo_name a) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Locks.Lock.Mcs_h2
+    & info [ "l"; "lock" ] ~docv:"ALGO"
+        ~doc:"Lock algorithm: mcs, h1, h2, cas or spin:<max-backoff-us>.")
+
+let procs_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of contending processors.")
+
+let cluster_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "c"; "cluster-size" ] ~docv:"N" ~doc:"Processors per cluster.")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+(* -- locks subcommand ------------------------------------------------------- *)
+
+let locks_cmd =
+  let run algo p hold_us window_us =
+    let r =
+      Lock_stress.run
+        ~config:{ Lock_stress.default_config with p; hold_us; window_us }
+        algo
+    in
+    Format.fprintf ppf "%a@." Measure.pp r.Lock_stress.summary;
+    Format.fprintf ppf
+      "acquisitions=%d lock-module-utilization=%.2f atomics=%d@."
+      r.Lock_stress.acquisitions r.Lock_stress.lock_mem_utilization
+      r.Lock_stress.atomics
+  in
+  let hold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hold" ] ~docv:"US" ~doc:"Critical-section length in us.")
+  in
+  let window =
+    Arg.(
+      value & opt float 20000.0
+      & info [ "window" ] ~docv:"US" ~doc:"Measurement window in us.")
+  in
+  Cmd.v
+    (Cmd.info "locks" ~doc:"Stress one lock with P processors (Figure 5).")
+    Term.(const run $ algo_arg $ procs_arg $ hold $ window)
+
+(* -- faults subcommand ------------------------------------------------------ *)
+
+let faults_cmd =
+  let run algo p cluster_size shared seed =
+    if shared then begin
+      let r =
+        Shared_faults.run
+          ~config:
+            {
+              Shared_faults.default_config with
+              p;
+              cluster_size;
+              lock_algo = algo;
+              seed;
+            }
+          ()
+      in
+      Format.fprintf ppf "%a@." Measure.pp r.Shared_faults.summary;
+      Format.fprintf ppf "retries=%d rpcs=%d replications=%d invalidations=%d@."
+        r.Shared_faults.retries r.Shared_faults.rpcs
+        r.Shared_faults.replications r.Shared_faults.invalidations
+    end
+    else begin
+      let r =
+        Independent_faults.run
+          ~config:
+            {
+              Independent_faults.default_config with
+              p;
+              cluster_size;
+              lock_algo = algo;
+              seed;
+            }
+          ()
+      in
+      Format.fprintf ppf "%a@." Measure.pp r.Independent_faults.summary;
+      Format.fprintf ppf "retries=%d rpcs=%d reserve-conflicts=%d@."
+        r.Independent_faults.retries r.Independent_faults.rpcs
+        r.Independent_faults.reserve_conflicts
+    end
+  in
+  let shared =
+    Arg.(
+      value & flag
+      & info [ "shared" ]
+          ~doc:"Run the shared-fault test instead of the independent one.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a page-fault stress test on the simulated kernel (Figure 7).")
+    Term.(const run $ algo_arg $ procs_arg $ cluster_arg $ shared $ seed_arg)
+
+(* -- calibrate subcommand --------------------------------------------------- *)
+
+let calibrate_cmd =
+  let run () = Report.constants ppf (Experiments.constants ()) in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Measure the absolute cost anchors (fault, RPC, replication).")
+    Term.(const run $ const ())
+
+(* -- destroy subcommand ------------------------------------------------------ *)
+
+let destroy_cmd =
+  let run cluster_size pessimistic children =
+    let strategy =
+      if pessimistic then Hkernel.Procs.Pessimistic else Hkernel.Procs.Optimistic
+    in
+    let r =
+      Destruction.run
+        ~config:{ Destruction.default_config with cluster_size; strategy; children }
+        ()
+    in
+    Format.fprintf ppf "%a@." Measure.pp r.Destruction.destroy_summary;
+    Format.fprintf ppf "destroys=%d retries=%d revalidations=%d lost-races=%d@."
+      r.Destruction.destroys r.Destruction.retries r.Destruction.revalidations
+      r.Destruction.lost_races
+  in
+  let pessimistic =
+    Arg.(
+      value & flag
+      & info [ "pessimistic" ]
+          ~doc:"Use the pessimistic deadlock-management strategy.")
+  in
+  let children =
+    Arg.(
+      value & opt int 8
+      & info [ "children" ] ~docv:"N" ~doc:"Processes per program.")
+  in
+  Cmd.v
+    (Cmd.info "destroy"
+       ~doc:"Program-destruction storm across clusters (Section 2.5).")
+    Term.(const run $ cluster_arg $ pessimistic $ children)
+
+(* -- sweep subcommand --------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run algo shared sizes =
+    Format.fprintf ppf "%-14s" "cluster";
+    List.iter (fun c -> Format.fprintf ppf "%9d" c) sizes;
+    Format.fprintf ppf "@.%-14s" (Locks.Lock.algo_name algo);
+    List.iter
+      (fun cluster_size ->
+        let mean =
+          if shared then
+            (Shared_faults.run
+               ~config:
+                 {
+                   Shared_faults.default_config with
+                   p = 16;
+                   cluster_size;
+                   lock_algo = algo;
+                 }
+               ())
+              .Shared_faults.summary
+              .Measure.mean_us
+          else
+            (Independent_faults.run
+               ~config:
+                 {
+                   Independent_faults.default_config with
+                   p = 16;
+                   cluster_size;
+                   lock_algo = algo;
+                 }
+               ())
+              .Independent_faults.summary
+              .Measure.mean_us
+        in
+        Format.fprintf ppf "%9.1f" mean)
+      sizes;
+    Format.fprintf ppf "@."
+  in
+  let shared =
+    Arg.(
+      value & flag
+      & info [ "shared" ] ~doc:"Sweep the shared-fault test instead.")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Cluster sizes to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep the cluster size at p=16 (Figures 7c/7d).")
+    Term.(const run $ algo_arg $ shared $ sizes)
+
+(* -- figure subcommand -------------------------------------------------------- *)
+
+let figure_cmd =
+  let run name =
+    match name with
+    | "fig4" -> Report.fig4 ppf (Experiments.fig4 ())
+    | "uncontended" -> Report.uncontended ppf (Experiments.uncontended ())
+    | "fig5a" -> Report.fig5 ppf ~name:"FIG5a" ~hold_us:0.0 (Experiments.fig5a ())
+    | "fig5b" ->
+      Report.fig5 ppf ~name:"FIG5b" ~hold_us:25.0 (Experiments.fig5b ())
+    | "starvation" -> Report.starvation ppf (Experiments.starvation ())
+    | "fig7a" ->
+      Report.fig7 ppf ~name:"FIG7a" ~xlabel:"p" ~claim:"(see bench)"
+        (Experiments.fig7a ())
+    | "fig7b" ->
+      Report.fig7 ppf ~name:"FIG7b" ~xlabel:"p" ~claim:"(see bench)"
+        (Experiments.fig7b ())
+    | "fig7c" ->
+      Report.fig7 ppf ~name:"FIG7c" ~xlabel:"cluster" ~claim:"(see bench)"
+        (Experiments.fig7c ())
+    | "fig7d" ->
+      Report.fig7 ppf ~name:"FIG7d" ~xlabel:"cluster" ~claim:"(see bench)"
+        (Experiments.fig7d ())
+    | "constants" -> Report.constants ppf (Experiments.constants ())
+    | "retries" -> Report.retries ppf (Experiments.retries ())
+    | "trylock" -> Report.trylock ppf (Experiments.trylock ())
+    | "classes" -> Report.classes ppf (Experiments.classes ())
+    | "cow" -> Report.cow ppf (Experiments.cow ())
+    | other ->
+      Format.eprintf "unknown figure %S@." other;
+      exit 2
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"fig4, uncontended, fig5a, fig5b, ...")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables/figures.")
+    Term.(const run $ name_arg)
+
+let main_cmd =
+  let doc = "Simulator for the HURRICANE locking architecture on HECTOR." in
+  Cmd.group
+    (Cmd.info "hurricane_sim" ~version:"1.0.0" ~doc)
+    [ locks_cmd; faults_cmd; calibrate_cmd; destroy_cmd; sweep_cmd; figure_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

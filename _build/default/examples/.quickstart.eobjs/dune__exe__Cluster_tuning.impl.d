@@ -1,0 +1,1 @@
+examples/cluster_tuning.ml: Format Independent_faults List Measure Shared_faults Workloads

@@ -1,0 +1,1 @@
+examples/interrupt_safe_locking.ml: Array Config Ctx Engine Eventsim Format Hector Locks Machine Mcs Process Rng

@@ -1,0 +1,1 @@
+examples/interrupt_safe_locking.mli:

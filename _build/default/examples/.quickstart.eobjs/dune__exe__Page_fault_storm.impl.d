@@ -1,0 +1,1 @@
+examples/page_fault_storm.ml: Format List Lock Locks Measure Shared_faults Workloads

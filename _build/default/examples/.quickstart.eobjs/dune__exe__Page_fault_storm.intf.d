@@ -1,0 +1,1 @@
+examples/page_fault_storm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Ctx Engine Eventsim Format Hector List Lock Locks Machine Process Rng Workloads

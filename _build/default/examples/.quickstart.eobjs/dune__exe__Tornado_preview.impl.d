@@ -1,0 +1,1 @@
+examples/tornado_preview.ml: Config Counter_stress Format Hector Hurricane List Lock Lock_stress Locks Measure Shared_faults Uncontended Workloads

@@ -1,0 +1,1 @@
+examples/tornado_preview.mli:

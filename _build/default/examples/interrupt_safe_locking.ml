@@ -1,0 +1,96 @@
+(* Interrupt-safe locking: why Hurricane soft-masks instead of TryLock.
+
+   An exception-based kernel serves cross-cluster RPCs in interrupt
+   handlers. A handler that waits for a lock can deadlock with the very
+   processor it interrupted; a handler that merely *tries* the lock starves
+   when the lock is saturated, because a distributed lock hands off directly
+   from holder to queued waiter and is never observed free (Section 3.2).
+
+   This example demonstrates all three designs on one saturated H2-MCS
+   lock:
+   - TryLock variant 1 (in-use flag): only refuses when it interrupted the
+     holder on its own processor; otherwise queues and waits;
+   - TryLock variant 2 (true TryLock, abandoned queue nodes): starves;
+   - the adopted design: a per-processor soft interrupt mask plus a
+     deferred-work queue — interrupts always complete, in bounded time.
+
+   Run with: dune exec examples/interrupt_safe_locking.exe *)
+
+open Eventsim
+open Hector
+open Locks
+
+let () =
+  let cfg = Config.hector in
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let mcs = Mcs.create ~variant:Mcs.H2 ~home:0 ~track_in_use:true machine in
+  let rng = Rng.create 5 in
+  let t_end = Config.cycles_of_us cfg 8000.0 in
+  (* Processors 0-3 keep the lock saturated. *)
+  let holders =
+    Array.init 4 (fun p -> Ctx.create machine ~proc:p (Rng.split rng))
+  in
+  Array.iter
+    (fun ctx ->
+      Process.spawn eng (fun () ->
+          let rec loop () =
+            if Machine.now machine < t_end then begin
+              Ctx.set_soft_mask ctx;
+              Mcs.acquire mcs ctx;
+              Ctx.work ctx 160 (* 10 us critical section *);
+              Mcs.release mcs ctx;
+              Ctx.clear_soft_mask ctx;
+              loop ()
+            end
+          in
+          loop ()))
+    holders;
+  (* Processor 5 plays the interrupt handler arriving every 50 us. *)
+  let handler_ctx = Ctx.create machine ~proc:5 (Rng.split rng) in
+  let v1_ok = ref 0 and v2_ok = ref 0 and deferred_done = ref 0 in
+  let attempts = ref 0 in
+  Process.spawn eng (fun () ->
+      let rec loop i =
+        if Machine.now machine < t_end then begin
+          incr attempts;
+          (* Variant 1: uses the handler processor's own node; it did not
+             interrupt a holder here, so it will queue — and wait. *)
+          if Mcs.try_acquire_v1 mcs handler_ctx then begin
+            incr v1_ok;
+            Mcs.release mcs handler_ctx
+          end;
+          (* Variant 2: a true TryLock; under saturation it never sees the
+             lock free. *)
+          if Mcs.try_acquire_v2 mcs handler_ctx then begin
+            incr v2_ok;
+            Mcs.release mcs handler_ctx
+          end;
+          (* The adopted scheme: deliver the work as an IPI to a holder;
+             its soft mask defers it to just after a release. *)
+          Ctx.post_ipi holders.(i mod 4) (fun hctx ->
+              Mcs.acquire mcs hctx;
+              Ctx.work hctx 160;
+              Mcs.release mcs hctx;
+              incr deferred_done);
+          Ctx.work handler_ctx (Config.cycles_of_us cfg 50.0);
+          loop (i + 1)
+        end
+      in
+      loop 0);
+  Engine.run eng;
+  Format.printf "saturated H2-MCS lock, %d interrupt arrivals:@." !attempts;
+  Format.printf
+    "  trylock v1 (in-use flag) : %3d acquired — but each success paid a \
+     full queue wait@."
+    !v1_ok;
+  Format.printf
+    "  trylock v2 (true try)    : %3d acquired — starved, as Section 3.2 \
+     observed@."
+    !v2_ok;
+  Format.printf
+    "  soft-mask deferred work  : %3d completed — every request ran, \
+     fairly, after a release@."
+    !deferred_done;
+  Format.printf "  (lock acquisitions overall: %d; abandoned nodes collected: %d)@."
+    (Mcs.acquisitions mcs) (Mcs.gc_count mcs)

@@ -1,0 +1,51 @@
+(* Page-fault storm: an SPMD application phase on the simulated kernel.
+
+   Sixteen worker processes all write the same few shared pages in rounds —
+   the worst-case access pattern of the paper's introduction (concurrent,
+   write-shared kernel resources). The example shows how the response time
+   decomposes into lock waiting, reserve-bit conflicts and cross-cluster
+   ownership traffic, and how the coarse-lock algorithm changes the
+   picture.
+
+   Run with: dune exec examples/page_fault_storm.exe *)
+
+open Locks
+open Workloads
+
+let describe lock_algo =
+  let config =
+    {
+      Shared_faults.default_config with
+      p = 16;
+      cluster_size = 4;
+      rounds = 15;
+      lock_algo;
+    }
+  in
+  let r = Shared_faults.run ~config () in
+  let s = r.Shared_faults.summary in
+  Format.printf "@.coarse locks = %s@." (Lock.algo_name lock_algo);
+  Format.printf "  write-fault response: mean %.0f us, p99 %.0f us (n=%d)@."
+    s.Measure.mean_us s.Measure.p99_us s.Measure.n;
+  Format.printf
+    "  cross-cluster traffic: %d RPCs, %d descriptor replications, %d \
+     invalidations@."
+    r.Shared_faults.rpcs r.Shared_faults.replications
+    r.Shared_faults.invalidations;
+  Format.printf
+    "  conflicts: %d optimistic-protocol retries, %d reserve-bit waits@."
+    r.Shared_faults.retries r.Shared_faults.reserve_conflicts
+
+let () =
+  Format.printf
+    "SPMD storm: 16 processes write %d shared pages per round, barrier, \
+     unmap, repeat (4 clusters of 4).@."
+    Shared_faults.default_config.Shared_faults.n_pages;
+  List.iter describe
+    [ Lock.Mcs_h2; Lock.Mcs_h1; Lock.Spin { max_backoff_us = 35.0 } ];
+  Format.printf
+    "@.Reading the numbers: ownership of each page ping-pongs between the 4 \
+     clusters@.(master directory updates + invalidation RPCs), while inside \
+     a cluster the@.processes serialise briefly on the page descriptor's \
+     reserve bit. Distributed@.locks keep the coarse-lock cost flat; spin \
+     locks add interconnect traffic on top.@."

@@ -1,0 +1,1 @@
+lib/core/dat.ml: Experiments Filename List Lock Lock_stress Locks Measure Printf String Sys Workloads

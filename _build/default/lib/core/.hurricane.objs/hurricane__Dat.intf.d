@@ -1,0 +1,1 @@
+lib/core/dat.mli: Experiments

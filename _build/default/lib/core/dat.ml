@@ -1,0 +1,117 @@
+(* TSV emitters for the figure series, for plotting.
+
+   `bench/main.exe --dat DIR` writes one file per figure plus a gnuplot
+   script that renders them; columns are tab-separated with a commented
+   header, so any plotting tool can read them. *)
+
+open Locks
+open Workloads
+
+let write_file dir name lines =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  path
+
+(* Figure 5 series: p vs mean latency per algorithm. *)
+let fig5 dir ~name (series : Experiments.fig5_series list) =
+  let header =
+    "# p\t"
+    ^ String.concat "\t"
+        (List.map
+           (fun (s : Experiments.fig5_series) ->
+             Lock.algo_name s.Experiments.algo)
+           series)
+  in
+  let xs =
+    match series with
+    | s :: _ -> List.map fst s.Experiments.points
+    | [] -> []
+  in
+  let row p =
+    string_of_int p
+    ^ "\t"
+    ^ String.concat "\t"
+        (List.map
+           (fun (s : Experiments.fig5_series) ->
+             let r = List.assoc p s.Experiments.points in
+             Printf.sprintf "%.2f" r.Lock_stress.summary.Measure.mean_us)
+           series)
+  in
+  write_file dir (name ^ ".dat") (header :: List.map row xs)
+
+(* Figure 7 series: x vs mean latency per lock algorithm. *)
+let fig7 dir ~name (series : Experiments.fig7_series list) =
+  let header =
+    "# x\t"
+    ^ String.concat "\t"
+        (List.map (fun s -> Lock.algo_name s.Experiments.lock_algo) series)
+  in
+  let xs =
+    match series with
+    | s :: _ -> List.map (fun p -> p.Experiments.x) s.Experiments.series
+    | [] -> []
+  in
+  let row x =
+    string_of_int x
+    ^ "\t"
+    ^ String.concat "\t"
+        (List.map
+           (fun s ->
+             let p =
+               List.find (fun p -> p.Experiments.x = x) s.Experiments.series
+             in
+             Printf.sprintf "%.2f" p.Experiments.mean_us)
+           series)
+  in
+  write_file dir (name ^ ".dat") (header :: List.map row xs)
+
+let gnuplot_script dir =
+  let lines =
+    [
+      "# gnuplot script regenerating the paper's figures from the .dat files";
+      "# usage: gnuplot plots.gp   (produces .svg next to the data)";
+      "set datafile commentschars '#'";
+      "set key top left";
+      "set grid";
+      "set style data linespoints";
+      "set terminal svg size 720,480";
+      "set ylabel 'response time (us)'";
+      "";
+      "set xlabel 'contending processors'";
+      "do for [f in 'fig5a fig5b fig7a fig7b'] {";
+      "  set output f.'.svg'";
+      "  set title f";
+      "  plot for [i=2:6] f.'.dat' using 1:i title columnheader(i)";
+      "}";
+      "";
+      "set xlabel 'cluster size'";
+      "do for [f in 'fig7c fig7d'] {";
+      "  set output f.'.svg'";
+      "  set title f";
+      "  plot for [i=2:4] f.'.dat' using 1:i title columnheader(i)";
+      "}";
+    ]
+  in
+  write_file dir "plots.gp" lines
+
+(* Run every figure and drop its data into [dir]. *)
+let write_all dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written =
+    [
+      fig5 dir ~name:"fig5a" (Experiments.fig5a ());
+      fig5 dir ~name:"fig5b" (Experiments.fig5b ());
+      fig7 dir ~name:"fig7a" (Experiments.fig7a ());
+      fig7 dir ~name:"fig7b" (Experiments.fig7b ());
+      fig7 dir ~name:"fig7c" (Experiments.fig7c ());
+      fig7 dir ~name:"fig7d" (Experiments.fig7d ());
+      gnuplot_script dir;
+    ]
+  in
+  written

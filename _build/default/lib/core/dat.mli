@@ -1,0 +1,10 @@
+(** TSV emitters for the figure series plus a gnuplot script —
+    [bench/main.exe --dat DIR]. Each function returns the written path. *)
+
+val fig5 : string -> name:string -> Experiments.fig5_series list -> string
+val fig7 : string -> name:string -> Experiments.fig7_series list -> string
+val gnuplot_script : string -> string
+
+(** Run every figure and write its data (and the gnuplot script) into the
+    directory, creating it if needed. Returns the written paths. *)
+val write_all : string -> string list

@@ -1,0 +1,420 @@
+(* One runner per table/figure of the paper's evaluation (plus the
+   ablations called out in DESIGN.md). Each returns structured rows so the
+   benchmark harness, the CLI and the test suite all share the same code.
+
+   Experiment ids (DESIGN.md): FIG4, UNC, FIG5a, FIG5b, FIG7a, FIG7b,
+   FIG7c, FIG7d, CONST, RETRY, ABL1, ABL2, ABL3, TRY. *)
+
+open Hector
+open Locks
+open Workloads
+
+let paper_procs = [ 1; 2; 4; 8; 12; 16 ]
+let paper_cluster_sizes = [ 1; 2; 4; 8; 16 ]
+
+(* The lock algorithms of Figure 5. *)
+let fig5_algos = Lock.all_paper_algos
+
+(* The kernel-lock algorithms compared in Figure 7: the paper plots
+   "Distributed Locks" vs exponential-backoff spin locks; we show both
+   modified-MCS variants. *)
+let fig7_algos =
+  [ Lock.Mcs_h1; Lock.Mcs_h2; Lock.Spin { max_backoff_us = 35.0 } ]
+
+(* -- FIG4: instruction counts -------------------------------------------- *)
+
+type fig4_row = {
+  algo : Instr_model.algo;
+  ours : Instr_model.counts;
+  paper : Instr_model.counts;
+  predicted_us : float;
+}
+
+let fig4 ?(cfg = Config.hector) () =
+  List.map
+    (fun a ->
+      {
+        algo = a;
+        ours = Instr_model.counts a;
+        paper = Instr_model.paper_counts a;
+        predicted_us = Instr_model.predicted_us cfg a;
+      })
+    Instr_model.all
+
+(* -- UNC: uncontended latency --------------------------------------------- *)
+
+let uncontended ?cfg () = Uncontended.run_all ?cfg ()
+
+(* -- FIG5: lock latency under contention ---------------------------------- *)
+
+type fig5_series = {
+  algo : Lock.algo;
+  points : (int * Lock_stress.result) list; (* p, result *)
+}
+
+let fig5 ?(cfg = Config.hector) ?(hold_us = 0.0) ?(procs = paper_procs)
+    ?(window_us = 20_000.0) () =
+  List.map
+    (fun algo ->
+      {
+        algo;
+        points =
+          List.map
+            (fun p ->
+              ( p,
+                Lock_stress.run ~cfg
+                  ~config:
+                    { Lock_stress.default_config with p; hold_us; window_us }
+                  algo ))
+            procs;
+      })
+    fig5_algos
+
+let fig5a ?cfg ?procs () = fig5 ?cfg ~hold_us:0.0 ?procs ()
+let fig5b ?cfg ?procs () = fig5 ?cfg ~hold_us:25.0 ?procs ()
+
+(* The Section 4.1.2 starvation observation: fraction of acquisitions of
+   the 2 ms-backoff spin lock taking more than 2 ms, at p = 16 and a 25 us
+   hold. *)
+let starvation ?(cfg = Config.hector) () =
+  let r =
+    Lock_stress.run ~cfg
+      ~config:
+        {
+          Lock_stress.default_config with
+          p = 16;
+          hold_us = 25.0;
+          window_us = 60_000.0;
+        }
+      (Lock.Spin { max_backoff_us = 2000.0 })
+  in
+  r.Lock_stress.summary
+
+(* -- FIG7a/b: fault latency vs processors --------------------------------- *)
+
+type fig7_point = {
+  x : int; (* p for 7a/7b, cluster size for 7c/7d *)
+  mean_us : float;
+  p99_us : float;
+  retries : int;
+  rpcs : int;
+}
+
+type fig7_series = { lock_algo : Lock.algo; series : fig7_point list }
+
+let fig7a ?(cfg = Config.hector) ?(procs = paper_procs) ?(iters = 100) () =
+  List.map
+    (fun lock_algo ->
+      {
+        lock_algo;
+        series =
+          List.map
+            (fun p ->
+              let r =
+                Independent_faults.run ~cfg
+                  ~config:
+                    {
+                      Independent_faults.default_config with
+                      p;
+                      iters;
+                      lock_algo;
+                    }
+                  ()
+              in
+              {
+                x = p;
+                mean_us = r.Independent_faults.summary.Measure.mean_us;
+                p99_us = r.Independent_faults.summary.Measure.p99_us;
+                retries = r.Independent_faults.retries;
+                rpcs = r.Independent_faults.rpcs;
+              })
+            procs;
+      })
+    fig7_algos
+
+let fig7b ?(cfg = Config.hector) ?(procs = paper_procs) ?(rounds = 20) () =
+  List.map
+    (fun lock_algo ->
+      {
+        lock_algo;
+        series =
+          List.map
+            (fun p ->
+              let r =
+                Shared_faults.run ~cfg
+                  ~config:
+                    { Shared_faults.default_config with p; rounds; lock_algo }
+                  ()
+              in
+              {
+                x = p;
+                mean_us = r.Shared_faults.summary.Measure.mean_us;
+                p99_us = r.Shared_faults.summary.Measure.p99_us;
+                retries = r.Shared_faults.retries;
+                rpcs = r.Shared_faults.rpcs;
+              })
+            procs;
+      })
+    fig7_algos
+
+(* -- FIG7c/d: fault latency vs cluster size at p = 16 ---------------------- *)
+
+let fig7c ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(iters = 100)
+    () =
+  List.map
+    (fun lock_algo ->
+      {
+        lock_algo;
+        series =
+          List.map
+            (fun cluster_size ->
+              let r =
+                Independent_faults.run ~cfg
+                  ~config:
+                    {
+                      Independent_faults.default_config with
+                      p = 16;
+                      iters;
+                      cluster_size;
+                      lock_algo;
+                    }
+                  ()
+              in
+              {
+                x = cluster_size;
+                mean_us = r.Independent_faults.summary.Measure.mean_us;
+                p99_us = r.Independent_faults.summary.Measure.p99_us;
+                retries = r.Independent_faults.retries;
+                rpcs = r.Independent_faults.rpcs;
+              })
+            sizes;
+      })
+    fig7_algos
+
+let fig7d ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(rounds = 15)
+    () =
+  List.map
+    (fun lock_algo ->
+      {
+        lock_algo;
+        series =
+          List.map
+            (fun cluster_size ->
+              let r =
+                Shared_faults.run ~cfg
+                  ~config:
+                    {
+                      Shared_faults.default_config with
+                      p = 16;
+                      rounds;
+                      cluster_size;
+                      lock_algo;
+                    }
+                  ()
+              in
+              {
+                x = cluster_size;
+                mean_us = r.Shared_faults.summary.Measure.mean_us;
+                p99_us = r.Shared_faults.summary.Measure.p99_us;
+                retries = r.Shared_faults.retries;
+                rpcs = r.Shared_faults.rpcs;
+              })
+            sizes;
+      })
+    fig7_algos
+
+(* -- CONST: absolute anchors ----------------------------------------------- *)
+
+let constants ?cfg () = Calibration.run ?cfg ()
+
+(* -- RETRY: optimistic vs pessimistic deadlock management ------------------ *)
+
+let retries ?cfg () =
+  let run strategy =
+    Destruction.run ?cfg
+      ~config:{ Destruction.default_config with strategy }
+      ()
+  in
+  (run Hkernel.Procs.Optimistic, run Hkernel.Procs.Pessimistic)
+
+(* -- ABL1: locking granularity --------------------------------------------- *)
+
+let ablation_granularity ?cfg () = Hash_stress.run_all ?cfg ()
+
+(* -- ABL2: combining tree --------------------------------------------------- *)
+
+let ablation_combining ?cfg () = Replication_storm.run_both ?cfg ()
+
+(* -- ABL3: compare&swap release (Section 5.2) ------------------------------- *)
+
+type abl3_row = {
+  machine : string;
+  algo : Lock.algo;
+  uncontended_us : float;
+  contended_p16_us : float;
+}
+
+let ablation_cas () =
+  let measure cfg algo =
+    let unc = (Uncontended.run ~cfg algo).Uncontended.pair_us in
+    let con =
+      (Lock_stress.run ~cfg
+         ~config:
+           { Lock_stress.default_config with p = 16; hold_us = 0.0 }
+         algo)
+        .Lock_stress.summary
+        .Measure.mean_us
+    in
+    (unc, con)
+  in
+  let hector_cfg = Config.hector in
+  let cas_cfg = Config.with_cas Config.hector in
+  let mk machine cfg algo =
+    let uncontended_us, contended_p16_us = measure cfg algo in
+    { machine; algo; uncontended_us; contended_p16_us }
+  in
+  [
+    mk "hector(swap)" hector_cfg Lock.Mcs_h2;
+    mk "hector(+cas)" cas_cfg Lock.Mcs_h2;
+    mk "hector(+cas)" cas_cfg Lock.Mcs_cas;
+  ]
+
+(* -- TRY: TryLock fairness --------------------------------------------------- *)
+
+let trylock ?cfg () = Trylock_starvation.run ?cfg ()
+
+(* -- ABL4: CLH vs MCS on non-coherent vs coherent NUMA ---------------------- *)
+
+type abl4_row = {
+  machine4 : string;
+  algo4 : Lock.algo;
+  contended_us : float;
+}
+
+let ablation_clh () =
+  let measure cfg algo =
+    (Lock_stress.run ~cfg
+       ~config:
+         { Lock_stress.default_config with p = 12; hold_us = 5.0;
+           window_us = 10_000.0 }
+       algo)
+      .Lock_stress.summary
+      .Measure.mean_us
+  in
+  List.concat_map
+    (fun (name, cfg) ->
+      List.map
+        (fun algo ->
+          { machine4 = name; algo4 = algo; contended_us = measure cfg algo })
+        [ Lock.Mcs_h1; Lock.Clh ])
+    [ ("hector", Config.hector); ("numachine", Config.numachine) ]
+
+(* -- ABL5: cache-based lock primitives (Section 5.2/5.3) --------------------- *)
+
+type abl5_row = {
+  machine5 : string;
+  algo5 : Lock.algo;
+  pair_us : float;
+  pair_cycles : float;
+}
+
+let ablation_cached_locks () =
+  List.concat_map
+    (fun (name, cfg) ->
+      List.map
+        (fun algo ->
+          let r = Uncontended.run ~cfg algo in
+          {
+            machine5 = name;
+            algo5 = algo;
+            pair_us = r.Uncontended.pair_us;
+            pair_cycles =
+              r.Uncontended.pair_us *. float_of_int cfg.Config.mhz;
+          })
+        [ Lock.Spin { max_backoff_us = 35.0 }; Lock.Mcs_h2 ])
+    [ ("hector", Config.hector); ("numachine", Config.numachine) ]
+
+(* -- ABL6: spin-then-block (Section 5.3) -------------------------------------- *)
+
+let ablation_spin_then_block ?(hold_us = 50.0) () =
+  List.map
+    (fun algo ->
+      ( algo,
+        Lock_stress.run ~cfg:Config.hector
+          ~config:
+            {
+              Lock_stress.default_config with
+              p = 12;
+              hold_us;
+              window_us = 20_000.0;
+            }
+          algo ))
+    [
+      Lock.Mcs_h1;
+      Lock.Spin { max_backoff_us = 35.0 };
+      Lock.Spin_then_block { spin_us = 10.0 };
+    ]
+
+(* -- ABL7: lock-free single-word updates (Section 5.3) ------------------------- *)
+
+let ablation_lockfree () = Counter_stress.run_all ()
+
+(* -- ABL8: data-structure design (Section 2.5) -------------------------------- *)
+
+let ablation_layout ?cfg () = Messaging_mix.run_both ?cfg ()
+
+(* -- ABL9: the queue-lock family on the modern machine ------------------------ *)
+
+type abl9_row = {
+  algo9 : Lock.algo;
+  unc_us : float;
+  contended12_us : float;
+  space : int; (* words per lock at 16 processors *)
+}
+
+let abl9_algos =
+  [
+    Lock.Spin { max_backoff_us = 35.0 };
+    Lock.Ticket;
+    Lock.Anderson;
+    Lock.Clh;
+    Lock.Mcs_cas;
+    Lock.Spin_then_block { spin_us = 10.0 };
+  ]
+
+let ablation_lock_family ?(cfg = Config.numachine) () =
+  List.map
+    (fun algo ->
+      let unc = (Uncontended.run ~cfg algo).Uncontended.pair_us in
+      let con =
+        (Lock_stress.run ~cfg
+           ~config:
+             {
+               Lock_stress.default_config with
+               p = 12;
+               hold_us = 5.0;
+               window_us = 10_000.0;
+             }
+           algo)
+          .Lock_stress.summary
+          .Measure.mean_us
+      in
+      {
+        algo9 = algo;
+        unc_us = unc;
+        contended12_us = con;
+        space = Lock.space_words ~n_procs:16 algo;
+      })
+    abl9_algos
+
+(* -- CLASSES: the four access-behaviour classes at once ------------------------ *)
+
+let classes ?cfg () = Four_classes.run ?cfg ()
+
+(* -- COW: simultaneous copy-on-write breaks (Sections 2.3 / 2.5) --------------- *)
+
+let cow ?cfg () = Cow_storm.run_both ?cfg ()
+
+(* -- FS: the file server (Section 5.1) ----------------------------------------- *)
+
+let fs ?cfg () = File_read.run_grid ?cfg ()

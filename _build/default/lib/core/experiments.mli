@@ -1,0 +1,162 @@
+(** One runner per table/figure of the paper's evaluation, plus the
+    ablations in DESIGN.md. Shared by the benchmark harness
+    ([bench/main.exe]), the CLI ([bin/hurricane_sim]) and the claim-level
+    regression tests. *)
+
+open Hector
+open Locks
+open Workloads
+
+val paper_procs : int list
+val paper_cluster_sizes : int list
+
+(** Figure 5's five algorithms. *)
+val fig5_algos : Lock.algo list
+
+(** Figure 7's kernel-lock algorithms (both modified-MCS variants and the
+    35 µs spin lock). *)
+val fig7_algos : Lock.algo list
+
+(** FIG4 — the instruction-count table. *)
+
+type fig4_row = {
+  algo : Instr_model.algo;
+  ours : Instr_model.counts;
+  paper : Instr_model.counts;
+  predicted_us : float;
+}
+
+val fig4 : ?cfg:Config.t -> unit -> fig4_row list
+
+(** UNC — Section 4.1.1 uncontended latencies. *)
+val uncontended : ?cfg:Config.t -> unit -> Uncontended.result list
+
+(** FIG5a/FIG5b — lock response time under contention. *)
+
+type fig5_series = {
+  algo : Lock.algo;
+  points : (int * Lock_stress.result) list;
+}
+
+val fig5 :
+  ?cfg:Config.t ->
+  ?hold_us:float ->
+  ?procs:int list ->
+  ?window_us:float ->
+  unit ->
+  fig5_series list
+
+val fig5a : ?cfg:Config.t -> ?procs:int list -> unit -> fig5_series list
+val fig5b : ?cfg:Config.t -> ?procs:int list -> unit -> fig5_series list
+
+(** The Section 4.1.2 starvation measurement (2 ms spin lock, p=16,
+    25 µs hold). *)
+val starvation : ?cfg:Config.t -> unit -> Measure.summary
+
+(** FIG7 — page-fault latency series. *)
+
+type fig7_point = {
+  x : int;  (** p for 7a/7b; cluster size for 7c/7d *)
+  mean_us : float;
+  p99_us : float;
+  retries : int;
+  rpcs : int;
+}
+
+type fig7_series = { lock_algo : Lock.algo; series : fig7_point list }
+
+val fig7a :
+  ?cfg:Config.t -> ?procs:int list -> ?iters:int -> unit -> fig7_series list
+
+val fig7b :
+  ?cfg:Config.t -> ?procs:int list -> ?rounds:int -> unit -> fig7_series list
+
+val fig7c :
+  ?cfg:Config.t -> ?sizes:int list -> ?iters:int -> unit -> fig7_series list
+
+val fig7d :
+  ?cfg:Config.t -> ?sizes:int list -> ?rounds:int -> unit -> fig7_series list
+
+(** CONST — the absolute anchors. *)
+val constants : ?cfg:Config.t -> unit -> Calibration.result
+
+(** RETRY — optimistic vs pessimistic destruction storms. *)
+val retries :
+  ?cfg:Config.t -> unit -> Destruction.result * Destruction.result
+
+(** ABL1 — hybrid vs coarse vs fine hash locking. *)
+val ablation_granularity :
+  ?cfg:Config.t -> unit -> Hash_stress.result list
+
+(** ABL2 — combining tree on/off. *)
+val ablation_combining :
+  ?cfg:Config.t -> unit -> Replication_storm.result * Replication_storm.result
+
+(** ABL3 — compare&swap release (Section 5.2). *)
+
+type abl3_row = {
+  machine : string;
+  algo : Lock.algo;
+  uncontended_us : float;
+  contended_p16_us : float;
+}
+
+val ablation_cas : unit -> abl3_row list
+
+(** ABL4 — CLH vs MCS across machines (Section 5.2). *)
+
+type abl4_row = { machine4 : string; algo4 : Lock.algo; contended_us : float }
+
+val ablation_clh : unit -> abl4_row list
+
+(** ABL5 — cache-based lock primitives (Sections 5.2/5.3). *)
+
+type abl5_row = {
+  machine5 : string;
+  algo5 : Lock.algo;
+  pair_us : float;
+  pair_cycles : float;
+}
+
+val ablation_cached_locks : unit -> abl5_row list
+
+(** ABL6 — spin-then-block under long holds (Section 5.3). *)
+val ablation_spin_then_block :
+  ?hold_us:float -> unit -> (Lock.algo * Lock_stress.result) list
+
+(** ABL7 — lock-free single-word updates (Section 5.3). *)
+val ablation_lockfree : unit -> Counter_stress.result list
+
+(** ABL8 — data-structure design: combined vs separate family tree
+    (Section 2.5). *)
+val ablation_layout :
+  ?cfg:Config.t -> unit -> Messaging_mix.result * Messaging_mix.result
+
+(** ABL9 — the queue-lock family (spin, ticket, Anderson, CLH, MCS-CAS,
+    spin-then-block) on the modern machine: latency and space
+    (Section 5.2's trade-off discussion). *)
+
+type abl9_row = {
+  algo9 : Lock.algo;
+  unc_us : float;
+  contended12_us : float;
+  space : int;
+}
+
+val abl9_algos : Lock.algo list
+val ablation_lock_family : ?cfg:Config.t -> unit -> abl9_row list
+
+(** TRY — TryLock fairness under saturation (Section 3.2). *)
+val trylock : ?cfg:Config.t -> unit -> Trylock_starvation.result
+
+(** CLASSES — the paper's four access-behaviour classes (Section 1) running
+    simultaneously, one cluster each. *)
+val classes : ?cfg:Config.t -> unit -> Four_classes.result
+
+(** COW — simultaneous copy-on-write breaks under both deadlock strategies
+    (Sections 2.3 / 2.5). *)
+val cow : ?cfg:Config.t -> unit -> Cow_storm.result * Cow_storm.result
+
+(** FS — the file server built from the same techniques (Section 5.1):
+    private vs shared files, read-ahead off/on. *)
+val fs : ?cfg:Config.t -> unit -> File_read.result list

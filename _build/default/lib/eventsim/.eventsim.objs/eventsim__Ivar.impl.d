@@ -1,0 +1,1 @@
+lib/eventsim/ivar.ml: Engine List Process

@@ -1,0 +1,1 @@
+lib/eventsim/ivar.mli: Engine

@@ -1,0 +1,1 @@
+lib/eventsim/pqueue.ml: Array List

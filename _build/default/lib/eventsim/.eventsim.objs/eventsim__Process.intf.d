@@ -1,0 +1,1 @@
+lib/eventsim/process.mli: Engine

@@ -1,0 +1,1 @@
+lib/eventsim/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/eventsim/stat.ml: Array Format

@@ -1,0 +1,1 @@
+lib/eventsim/stat.mli: Format

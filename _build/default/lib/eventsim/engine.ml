@@ -1,0 +1,70 @@
+(* Discrete-event engine.
+
+   The engine owns the virtual clock and an event heap of thunks. Simulated
+   code never blocks the OCaml runtime: anything that must wait re-schedules
+   itself (see {!Process}). Time is measured in integer machine cycles. *)
+
+exception Deadlock of string
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  events : (unit -> unit) Pqueue.t;
+  mutable executed : int;
+  mutable max_events : int; (* safety valve against runaway simulations *)
+}
+
+let create ?(max_events = 200_000_000) () =
+  { now = 0; seq = 0; events = Pqueue.create (); executed = 0; max_events }
+
+let now t = t.now
+
+let events_executed t = t.executed
+
+let schedule t ~at f =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.push t.events ~time:at ~seq f
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.now + delay) f
+
+let pending t = Pqueue.length t.events
+
+let step t =
+  match Pqueue.pop t.events with
+  | None -> false
+  | Some { time; payload = f; _ } ->
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  let continue_past_time () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Pqueue.peek_time t.events with
+      | None -> false
+      | Some next -> next <= limit)
+  in
+  let rec loop () =
+    if t.executed > t.max_events then
+      raise
+        (Deadlock
+           (Printf.sprintf "event budget exhausted (%d events executed)"
+              t.max_events));
+    if (not (Pqueue.is_empty t.events)) && continue_past_time () then begin
+      ignore (step t);
+      loop ()
+    end
+  in
+  loop ();
+  match until with
+  | Some limit when t.now < limit && Pqueue.is_empty t.events -> t.now <- limit
+  | _ -> ()

@@ -1,0 +1,49 @@
+(* One-shot synchronisation variable.
+
+   Used for RPC replies: the caller reads (suspending if empty), the handler
+   fills. Filling wakes all readers at the current virtual time. *)
+
+type 'a state =
+  | Empty of (unit -> unit) list (* waiting resume thunks, newest first *)
+  | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+exception Already_filled
+
+let create () = { state = Empty [] }
+
+let is_full t =
+  match t.state with
+  | Full _ -> true
+  | Empty _ -> false
+
+let peek t =
+  match t.state with
+  | Full v -> Some v
+  | Empty _ -> None
+
+let fill eng t v =
+  match t.state with
+  | Full _ -> raise Already_filled
+  | Empty waiters ->
+    t.state <- Full v;
+    (* Wake in arrival order: the list is newest-first. *)
+    List.iter
+      (fun resume -> Engine.schedule eng ~at:(Engine.now eng) resume)
+      (List.rev waiters)
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+    Process.suspend (fun resume ->
+        match t.state with
+        | Full _ ->
+          (* Filled between the check and the suspension (cannot happen in a
+             single-threaded engine, but be safe). *)
+          resume ()
+        | Empty waiters -> t.state <- Empty (resume :: waiters));
+    (match t.state with
+    | Full v -> v
+    | Empty _ -> assert false)

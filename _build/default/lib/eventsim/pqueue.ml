@@ -1,0 +1,87 @@
+(* Binary min-heap of timestamped events.
+
+   Events are ordered by (time, seq): the sequence number breaks ties so that
+   events scheduled for the same instant run in FIFO order, which keeps every
+   simulation deterministic. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let data = Array.make ncap entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow t entry;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  (* Sift the new entry up to its place. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t.data.(i) t.data.(parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      (* Sift the displaced entry down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = t.data.(i) in
+          t.data.(i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some top
+  end
+
+let clear t = t.len <- 0
+
+(* Pop all entries in order; used by tests. *)
+let drain t =
+  let rec go acc =
+    match pop t with
+    | None -> List.rev acc
+    | Some e -> go (e :: acc)
+  in
+  go []

@@ -1,0 +1,33 @@
+(** Binary min-heap of timestamped events, ordered by [(time, seq)].
+
+    The sequence number breaks ties between events scheduled for the same
+    instant, so the queue pops same-time events in insertion (FIFO) order and
+    every simulation run is deterministic. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq payload] inserts an event. [seq] must be unique per
+    queue for deterministic ordering; the engine supplies a counter. *)
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+(** Earliest entry without removing it. *)
+val peek : 'a t -> 'a entry option
+
+(** Timestamp of the earliest entry. *)
+val peek_time : 'a t -> int option
+
+(** Remove and return the earliest entry. *)
+val pop : 'a t -> 'a entry option
+
+val clear : 'a t -> unit
+
+(** Pop everything, in order. Mainly for tests. *)
+val drain : 'a t -> 'a entry list

@@ -1,0 +1,46 @@
+(* Simulated processes as effect-based coroutines.
+
+   A process is a plain OCaml function run under a deep effect handler. When
+   it needs to let virtual time pass, it performs [Suspend reg]: the handler
+   captures the continuation, wraps it in a resume thunk and hands it to
+   [reg], which decides when (or whether) to schedule it. [pause] and
+   [wait_until] are the common cases; ivars and resources build on the same
+   primitive. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let suspend reg = perform (Suspend reg)
+
+let wait_until eng time =
+  if time < Engine.now eng then
+    invalid_arg "Process.wait_until: time is in the past";
+  suspend (fun resume -> Engine.schedule eng ~at:time resume)
+
+let pause eng cycles =
+  if cycles < 0 then invalid_arg "Process.pause: negative duration";
+  if cycles = 0 then ()
+  else suspend (fun resume -> Engine.schedule_after eng ~delay:cycles resume)
+
+let yield eng = suspend (fun resume -> Engine.schedule_after eng ~delay:0 resume)
+
+let run_fiber f =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Suspend reg ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                reg (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let spawn_at eng ~at f = Engine.schedule eng ~at (fun () -> run_fiber f)
+
+let spawn eng f = spawn_at eng ~at:(Engine.now eng) f

@@ -1,0 +1,1 @@
+lib/hector/cell.mli: Format

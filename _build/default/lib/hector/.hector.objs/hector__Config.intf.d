@@ -1,0 +1,1 @@
+lib/hector/config.mli: Format

@@ -1,0 +1,1 @@
+lib/hector/ctx.ml: Config Eventsim Fun Ivar Machine Printf Process Queue Rng

@@ -1,0 +1,1 @@
+lib/hector/ctx.mli: Cell Config Engine Eventsim Ivar Machine Rng

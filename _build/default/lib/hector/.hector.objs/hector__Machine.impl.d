@@ -1,0 +1,1 @@
+lib/hector/machine.ml: Array Cell Config Engine Eventsim Printf Process Resource

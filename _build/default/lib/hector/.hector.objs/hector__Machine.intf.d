@@ -1,0 +1,1 @@
+lib/hector/machine.mli: Cell Config Engine Eventsim Resource

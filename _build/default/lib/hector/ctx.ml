@@ -1,0 +1,222 @@
+(* Per-processor execution context.
+
+   All simulated kernel code runs under a [Ctx.t]: it charges instruction
+   cycles, routes memory operations through the machine, and implements the
+   interrupt model:
+
+   - other processors post inter-processor interrupts (IPIs) into the inbox;
+   - interrupts are taken at simulated operation boundaries (memory
+     operations, [poll], [await], [idle]), one at a time, never nested;
+   - Stodolsky-style soft masking: when the soft mask is set, a taken
+     interrupt only enqueues its work on the per-processor deferred queue
+     (cheap, local, cacheable accesses); the work runs when the mask is
+     cleared. The paper uses this to let lock holders exclude RPC handlers
+     without disabling hardware interrupts. *)
+
+open Eventsim
+
+type t = {
+  machine : Machine.t;
+  proc : int;
+  rng : Rng.t;
+  inbox : handler Queue.t;
+  deferred : handler Queue.t;
+  mutable soft_masked : bool;
+  mutable in_interrupt : bool;
+  mutable overlap_credit : int;
+  mutable idle_wake : (unit -> unit) option;
+  mutable irqs_taken : int;
+  mutable irqs_deferred : int;
+  mutable instr_cycles : int;
+}
+
+and handler = t -> unit
+
+let create machine ~proc rng =
+  if proc < 0 || proc >= Machine.n_procs machine then
+    invalid_arg (Printf.sprintf "Ctx.create: bad processor id %d" proc);
+  {
+    machine;
+    proc;
+    rng;
+    inbox = Queue.create ();
+    deferred = Queue.create ();
+    soft_masked = false;
+    in_interrupt = false;
+    overlap_credit = 0;
+    idle_wake = None;
+    irqs_taken = 0;
+    irqs_deferred = 0;
+    instr_cycles = 0;
+  }
+
+let machine t = t.machine
+let proc t = t.proc
+let rng t = t.rng
+let engine t = Machine.engine t.machine
+let config t = Machine.config t.machine
+let now t = Machine.now t.machine
+
+let irqs_taken t = t.irqs_taken
+let irqs_deferred t = t.irqs_deferred
+let soft_masked t = t.soft_masked
+let pending_interrupts t = Queue.length t.inbox
+
+(* Pure compute. Instruction costs never touch the interconnect. *)
+let work t cycles =
+  t.overlap_credit <- 0;
+  t.instr_cycles <- t.instr_cycles + cycles;
+  Machine.cpu_work t.machine cycles
+
+(* Charge [reg] register-to-register and [br] branch instructions. Cycles
+   immediately following a fetch&store overlap with its store phase, so up
+   to [atomic_overlap] of them are free (Section 4.1.1 of the paper). *)
+let instr t ?(reg = 0) ?(br = 0) () =
+  let cfg = config t in
+  let cost = (reg * cfg.Config.reg_cost) + (br * cfg.Config.branch_cost) in
+  let hidden = min t.overlap_credit cost in
+  t.overlap_credit <- t.overlap_credit - hidden;
+  let cost = cost - hidden in
+  t.instr_cycles <- t.instr_cycles + cost;
+  if cost > 0 then Machine.cpu_work t.machine cost
+
+(* Take pending interrupts, one at a time. A taken interrupt always pays
+   handler entry; when the soft mask is set it only records its work on the
+   deferred queue (a handful of local, cacheable cycles) and returns. *)
+let rec poll t =
+  if (not t.in_interrupt) && not (Queue.is_empty t.inbox) then begin
+    let h = Queue.pop t.inbox in
+    let cfg = config t in
+    t.in_interrupt <- true;
+    t.irqs_taken <- t.irqs_taken + 1;
+    Machine.cpu_work t.machine cfg.Config.irq_entry;
+    (* Check the per-processor soft-mask flag: local and cacheable, two
+       cycles. *)
+    Machine.cpu_work t.machine 2;
+    if t.soft_masked then begin
+      t.irqs_deferred <- t.irqs_deferred + 1;
+      Queue.push h t.deferred;
+      Machine.cpu_work t.machine 4 (* enqueue work record, local *)
+    end
+    else h t;
+    Machine.cpu_work t.machine cfg.Config.irq_exit;
+    t.in_interrupt <- false;
+    poll t
+  end
+
+(* Memory operations: interrupts are taken at the boundary, then the access
+   is charged. Any memory operation ends the swap-overlap window. *)
+
+let read t cell =
+  poll t;
+  t.overlap_credit <- 0;
+  Machine.read t.machine ~proc:t.proc cell
+
+let write t cell v =
+  poll t;
+  t.overlap_credit <- 0;
+  Machine.write t.machine ~proc:t.proc cell v
+
+let fetch_and_store t cell v =
+  poll t;
+  let old = Machine.fetch_and_store t.machine ~proc:t.proc cell v in
+  t.overlap_credit <- (config t).Config.atomic_overlap;
+  old
+
+let test_and_set t cell = fetch_and_store t cell 1
+
+let compare_and_swap t cell ~expect ~set =
+  poll t;
+  let ok = Machine.compare_and_swap t.machine ~proc:t.proc cell ~expect ~set in
+  t.overlap_credit <- (config t).Config.atomic_overlap;
+  ok
+
+(* Soft masking (Stodolsky et al.): the flag sits at the top of the lock
+   hierarchy. Setting and clearing are local cached accesses. Clearing
+   drains the deferred work queue, running each record as ordinary kernel
+   code. *)
+
+let set_soft_mask t =
+  Machine.cpu_work t.machine 2;
+  t.soft_masked <- true
+
+let clear_soft_mask t =
+  Machine.cpu_work t.machine 2;
+  t.soft_masked <- false;
+  (* Drain the deferred work. Each record runs in interrupt context so a
+     fresh IPI cannot nest inside it and re-enter non-reentrant kernel state
+     (e.g. the processor's lock queue node). *)
+  while not (Queue.is_empty t.deferred) do
+    let h = Queue.pop t.deferred in
+    Machine.cpu_work t.machine 4 (* dequeue work record *);
+    t.in_interrupt <- true;
+    h t;
+    t.in_interrupt <- false
+  done;
+  poll t
+
+let with_soft_mask t f =
+  set_soft_mask t;
+  Fun.protect ~finally:(fun () -> clear_soft_mask t) f
+
+(* IPI delivery: enqueue the handler and wake the target if it is idle.
+   The transfer cost of the request message is charged by the sender (see
+   Hkernel.Rpc); the dispatch cost is charged by the receiver in [poll]. *)
+let post_ipi target h =
+  Queue.push h target.inbox;
+  match target.idle_wake with
+  | None -> ()
+  | Some wake ->
+    target.idle_wake <- None;
+    wake ()
+
+(* An interruptible pause: the processor is merely waiting (backoff,
+   polling delay), so interrupts keep being taken at a fine grain. Plain
+   [work] models committed computation, which interrupts only at its
+   boundary; a waiting processor must use this instead, or a peer's RPC
+   sits in the inbox for the whole pause — long enough to re-synchronise
+   retry loops into livelock. *)
+let interruptible_pause ?(granule = 32) t cycles =
+  let eng = engine t in
+  let deadline = Machine.now t.machine + cycles in
+  let rec loop () =
+    poll t;
+    let remaining = deadline - Machine.now t.machine in
+    if remaining > 0 then begin
+      Process.pause eng (min granule remaining);
+      loop ()
+    end
+  in
+  loop ()
+
+(* Spin on a reply while continuing to take interrupts: this is how a
+   processor waits for an RPC to complete in an exception-based kernel — the
+   processor is busy, but interrupts (and hence incoming RPCs) still get
+   through, which matters for the cross-cluster deadlock scenarios. *)
+let await ?(poll_interval = 16) t ivar =
+  (* Waiting for a remote reply while soft-masked could deadlock: the reply
+     may depend on a service this processor has deferred. The kernel never
+     holds a coarse lock across an RPC, so this must not happen. *)
+  assert (not t.soft_masked);
+  let eng = engine t in
+  let rec loop () =
+    poll t;
+    match Ivar.peek ivar with
+    | Some v -> v
+    | None ->
+      Process.pause eng poll_interval;
+      loop ()
+  in
+  loop ()
+
+(* Idle loop for processors with no workload of their own: sleep until an
+   IPI arrives, serve it, repeat. The suspension keeps the event heap empty
+   while idle, so simulations terminate when all real work is done. *)
+let idle_loop t =
+  let rec loop () =
+    if Queue.is_empty t.inbox then
+      Process.suspend (fun resume -> t.idle_wake <- Some resume);
+    poll t;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,71 @@
+(** Per-processor execution context: instruction charging, timed memory
+    operations, and the interrupt model (IPIs, Stodolsky soft masking,
+    deferred work queue).
+
+    All functions that advance time must run inside a simulated process. *)
+
+open Eventsim
+
+type t
+
+(** An interrupt handler; runs on the target processor's context. *)
+and handler = t -> unit
+
+val create : Machine.t -> proc:int -> Rng.t -> t
+
+val machine : t -> Machine.t
+val proc : t -> int
+val rng : t -> Rng.t
+val engine : t -> Engine.t
+val config : t -> Config.t
+val now : t -> int
+
+val irqs_taken : t -> int
+val irqs_deferred : t -> int
+val soft_masked : t -> bool
+val pending_interrupts : t -> int
+
+(** Pure compute for [cycles]. *)
+val work : t -> int -> unit
+
+(** Charge [reg] register-to-register and [br] branch instructions; cycles
+    following a fetch&store overlap with its store phase and are free up to
+    the configured overlap credit. *)
+val instr : t -> ?reg:int -> ?br:int -> unit -> unit
+
+(** Take all pending interrupts (entry cost, soft-mask check, handler or
+    deferral, exit cost). Called implicitly by every memory operation. *)
+val poll : t -> unit
+
+val read : t -> Cell.t -> int
+val write : t -> Cell.t -> int -> unit
+
+(** Atomic swap; returns the previous value and opens the overlap window. *)
+val fetch_and_store : t -> Cell.t -> int -> int
+
+val test_and_set : t -> Cell.t -> int
+val compare_and_swap : t -> Cell.t -> expect:int -> set:int -> bool
+
+(** Set the per-processor soft-mask flag (top of the lock hierarchy). *)
+val set_soft_mask : t -> unit
+
+(** Clear the flag and run all deferred work records. *)
+val clear_soft_mask : t -> unit
+
+val with_soft_mask : t -> (unit -> 'a) -> 'a
+
+(** Deliver an interrupt to (another) processor, waking it if idle. *)
+val post_ipi : t -> handler -> unit
+
+(** Pause while continuing to take interrupts every [granule] cycles: for
+    backoffs and polling delays, where the processor is waiting rather than
+    computing. *)
+val interruptible_pause : ?granule:int -> t -> int -> unit
+
+(** Busy-wait for an ivar while continuing to take interrupts — how a
+    processor waits for an RPC reply in an exception-based kernel. *)
+val await : ?poll_interval:int -> t -> 'a Ivar.t -> 'a
+
+(** Idle service loop for processors without their own workload: sleeps
+    until an IPI arrives, serves it, repeats. Never returns. *)
+val idle_loop : t -> unit

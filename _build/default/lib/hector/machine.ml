@@ -1,0 +1,223 @@
+(* The simulated machine: topology, resources, timed memory operations.
+
+   Every access from processor [p] to a cell homed on PMM [m] pays a base
+   uncontended latency (10/19/23 cycles) and occupies, in order, the source
+   station bus, the ring and the destination station bus (for remote
+   accesses) and finally the destination memory module. Occupancies are FIFO
+   {!Eventsim.Resource}s, so concurrent accesses queue — this queueing is
+   the source of all second-order contention effects in the experiments.
+
+   Atomic operations (swap / test&set) make two memory accesses on HECTOR,
+   doubling both the base latency and the memory-module occupancy, exactly
+   the cost the paper attributes to its locking primitive. *)
+
+open Eventsim
+
+type t = {
+  eng : Engine.t;
+  cfg : Config.t;
+  mem : Resource.t array; (* one per PMM *)
+  bus : Resource.t array; (* one per station *)
+  ring : Resource.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable atomics : int;
+  mutable cache_hits : int;
+}
+
+let create eng cfg =
+  let cfg = Config.validate cfg in
+  let n = Config.n_procs cfg in
+  {
+    eng;
+    cfg;
+    mem = Array.init n (fun i -> Resource.create (Printf.sprintf "mem%d" i));
+    bus =
+      Array.init cfg.Config.stations (fun i ->
+          Resource.create (Printf.sprintf "bus%d" i));
+    ring = Resource.create "ring";
+    reads = 0;
+    writes = 0;
+    atomics = 0;
+    cache_hits = 0;
+  }
+
+let engine t = t.eng
+let config t = t.cfg
+let now t = Engine.now t.eng
+let n_procs t = Config.n_procs t.cfg
+
+let reads t = t.reads
+let writes t = t.writes
+let atomics t = t.atomics
+let cache_hits t = t.cache_hits
+
+let mem_resource t m = t.mem.(m)
+let bus_resource t s = t.bus.(s)
+let ring_resource t = t.ring
+
+let alloc t ?label ~home v =
+  if home < 0 || home >= n_procs t then
+    invalid_arg (Printf.sprintf "Machine.alloc: bad home PMM %d" home);
+  Cell.make ?label ~home v
+
+let us_of_cycles t c = Config.us_of_cycles t.cfg c
+let cycles_of_us t us = Config.cycles_of_us t.cfg us
+
+(* Base latency of a single memory access, before contention. *)
+let base_latency t ~proc ~home =
+  let cfg = t.cfg in
+  if proc = home then cfg.Config.local_latency
+  else if Config.station_of_proc cfg proc = Config.station_of_pmm cfg home then
+    cfg.Config.station_latency
+  else cfg.Config.ring_latency
+
+(* Walk the interconnect path and the memory module, reserving each FIFO
+   resource in turn; return the completion time of the access. [atomic]
+   read-modify-writes hold the module across both accesses plus a
+   turnaround, so lock-word traffic is costlier to the module than the
+   same number of plain accesses. *)
+let access_finish_time t ~proc ~home ~accesses ~atomic =
+  let cfg = t.cfg in
+  let start = Engine.now t.eng in
+  let sp = Config.station_of_proc cfg proc
+  and sm = Config.station_of_pmm cfg home in
+  (* A processor's accesses to its own PMM go through a dedicated local
+     port: the processor is sequential, so it cannot contend with itself,
+     and local spinning must stay harmless — that is the property of
+     distributed locks the paper builds on. Local accesses therefore pay
+     the base latency but reserve no shared resource. *)
+  if proc = home then start + (cfg.Config.local_latency * accesses)
+  else begin
+  (* An atomic makes [accesses] full memory accesses, each a separate
+     transaction on the buses and ring, so every occupancy scales with
+     [accesses]. *)
+  let path = ref start in
+  if sp <> sm then begin
+    path :=
+      Resource.reserve t.bus.(sp) ~now:!path
+        ~service:(cfg.Config.bus_service * accesses);
+    path :=
+      Resource.reserve t.ring ~now:!path
+        ~service:(cfg.Config.ring_service * accesses);
+    path :=
+      Resource.reserve t.bus.(sm) ~now:!path
+        ~service:(cfg.Config.bus_service * accesses)
+  end
+  else if proc <> home then
+    path :=
+      Resource.reserve t.bus.(sp) ~now:!path
+        ~service:(cfg.Config.bus_service * accesses);
+  let service =
+    (cfg.Config.mem_service * accesses)
+    + (if atomic then cfg.Config.atomic_module_overhead else 0)
+  in
+  path := Resource.reserve t.mem.(home) ~now:!path ~service;
+  let base = base_latency t ~proc ~home * accesses in
+  max !path (start + base)
+  end
+
+(* Perform one timed access and suspend until it completes. The value
+   operation [op] runs at completion time, which orders conflicting
+   operations by their service order at the memory module. *)
+let timed_access t ~proc cell ~accesses ?(atomic = false) op =
+  let finish =
+    access_finish_time t ~proc ~home:(Cell.home cell) ~accesses ~atomic
+  in
+  Process.wait_until t.eng finish;
+  op ()
+
+(* Hardware cache coherence (Section 5.2 discussion, NUMAchine preset):
+   a read hits in the local cache if the processor holds a valid copy; a
+   write or atomic is cheap only if the processor already holds the line
+   exclusively, and otherwise pays the full memory access and invalidates
+   every other copy. Invalidation traffic itself is abstracted (zero
+   occupancy); the first-order effect — misses and exclusivity transfers
+   costing tens of cached operations — is what the model needs. *)
+
+let cache_hit t = Process.pause t.eng t.cfg.Config.cache_hit
+
+let read t ~proc cell =
+  t.reads <- t.reads + 1;
+  if t.cfg.Config.cache_coherent && Cell.cached_by cell proc then begin
+    t.cache_hits <- t.cache_hits + 1;
+    cache_hit t;
+    Cell.peek cell
+  end
+  else
+    timed_access t ~proc cell ~accesses:1 (fun () ->
+        if t.cfg.Config.cache_coherent then begin
+          (* A read copy downgrades any exclusive holder. *)
+          Cell.cache_drop_exclusive cell;
+          Cell.cache_fill cell proc
+        end;
+        Cell.peek cell)
+
+let write t ~proc cell v =
+  t.writes <- t.writes + 1;
+  if t.cfg.Config.cache_coherent && Cell.exclusive_of cell = proc then begin
+    t.cache_hits <- t.cache_hits + 1;
+    cache_hit t;
+    Cell.poke cell v
+  end
+  else
+    timed_access t ~proc cell ~accesses:1 (fun () ->
+        if t.cfg.Config.cache_coherent then Cell.cache_take_exclusive cell proc;
+        Cell.poke cell v)
+
+let fetch_and_store t ~proc cell v =
+  t.atomics <- t.atomics + 1;
+  if t.cfg.Config.cache_coherent && Cell.exclusive_of cell = proc then begin
+    (* Cache-based atomic on an exclusively held line: close to a regular
+       access. *)
+    t.cache_hits <- t.cache_hits + 1;
+    cache_hit t;
+    let old = Cell.peek cell in
+    Cell.poke cell v;
+    old
+  end
+  else
+    timed_access t ~proc cell ~accesses:t.cfg.Config.atomic_mem_accesses
+      ~atomic:true
+      (fun () ->
+        if t.cfg.Config.cache_coherent then Cell.cache_take_exclusive cell proc;
+        let old = Cell.peek cell in
+        Cell.poke cell v;
+        old)
+
+let test_and_set t ~proc cell = fetch_and_store t ~proc cell 1
+
+let compare_and_swap t ~proc cell ~expect ~set =
+  if not t.cfg.Config.has_cas then
+    failwith "Machine.compare_and_swap: machine has no compare-and-swap";
+  t.atomics <- t.atomics + 1;
+  if t.cfg.Config.cache_coherent && Cell.exclusive_of cell = proc then begin
+    t.cache_hits <- t.cache_hits + 1;
+    cache_hit t;
+    if Cell.peek cell = expect then begin
+      Cell.poke cell set;
+      true
+    end
+    else false
+  end
+  else
+    timed_access t ~proc cell ~accesses:t.cfg.Config.atomic_mem_accesses
+      ~atomic:true
+      (fun () ->
+        if t.cfg.Config.cache_coherent then Cell.cache_take_exclusive cell proc;
+        if Cell.peek cell = expect then begin
+          Cell.poke cell set;
+          true
+        end
+        else false)
+
+let cpu_work t cycles = Process.pause t.eng cycles
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.atomics <- 0;
+  t.cache_hits <- 0;
+  Array.iter Resource.reset t.mem;
+  Array.iter Resource.reset t.bus;
+  Resource.reset t.ring

@@ -1,0 +1,69 @@
+(** The simulated NUMA machine: topology, contended resources, timed memory
+    operations.
+
+    All operations that touch memory must be called from within a simulated
+    process ({!Eventsim.Process.spawn}); they suspend the calling process for
+    the access duration, which includes FIFO queueing at the station buses,
+    the ring and the target memory module. *)
+
+open Eventsim
+
+type t
+
+val create : Engine.t -> Config.t -> t
+
+val engine : t -> Engine.t
+val config : t -> Config.t
+
+(** Current virtual time in cycles. *)
+val now : t -> int
+
+val n_procs : t -> int
+
+(** Total read / write / atomic operations performed, for experiment
+    accounting. *)
+val reads : t -> int
+
+val writes : t -> int
+val atomics : t -> int
+
+(** Cache hits, on a coherent configuration. *)
+val cache_hits : t -> int
+
+val mem_resource : t -> int -> Resource.t
+val bus_resource : t -> int -> Resource.t
+val ring_resource : t -> Resource.t
+
+(** Allocate a cell homed on the given PMM. *)
+val alloc : t -> ?label:string -> home:int -> int -> Cell.t
+
+val us_of_cycles : t -> int -> float
+val cycles_of_us : t -> float -> int
+
+(** Uncontended latency of one access from [proc] to a cell homed on
+    [home]. *)
+val base_latency : t -> proc:int -> home:int -> int
+
+(** Timed read: suspends for the access duration, returns the value as seen
+    when the memory module serviced the access. *)
+val read : t -> proc:int -> Cell.t -> int
+
+val write : t -> proc:int -> Cell.t -> int -> unit
+
+(** Atomic swap — HECTOR's only atomic primitive; costs two memory
+    accesses. Returns the previous value. *)
+val fetch_and_store : t -> proc:int -> Cell.t -> int -> int
+
+(** [fetch_and_store] of 1; returns the previous value (0 means the caller
+    got the "lock"). *)
+val test_and_set : t -> proc:int -> Cell.t -> int
+
+(** Only available when the configuration has [has_cas = true]; used by the
+    Section 5.2 ablation. @raise Failure otherwise. *)
+val compare_and_swap : t -> proc:int -> Cell.t -> expect:int -> set:int -> bool
+
+(** Pure compute: suspend for [cycles] without touching any resource. *)
+val cpu_work : t -> int -> unit
+
+(** Zero operation counters and free all resources (between experiments). *)
+val reset_counters : t -> unit

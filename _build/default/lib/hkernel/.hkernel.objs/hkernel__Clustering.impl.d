@@ -1,0 +1,1 @@
+lib/hkernel/clustering.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/hkernel/clustering.mli: Format

@@ -1,0 +1,1 @@
+lib/hkernel/costs.ml:

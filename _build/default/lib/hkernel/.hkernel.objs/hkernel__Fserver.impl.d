@@ -1,0 +1,1 @@
+lib/hkernel/fserver.ml: Array Cell Clustering Ctx Hashtbl Hector Kernel Khash List Locks Page Rpc

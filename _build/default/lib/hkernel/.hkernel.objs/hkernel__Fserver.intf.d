@@ -1,0 +1,1 @@
+lib/hkernel/fserver.mli: Cell Ctx Hector Kernel

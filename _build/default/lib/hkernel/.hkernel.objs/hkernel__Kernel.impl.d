@@ -1,0 +1,1 @@
+lib/hkernel/kernel.ml: Array Cell Clustering Costs Ctx Eventsim Hector Khash List Lock Locks Machine Page Printf Process Rng Rpc

@@ -1,0 +1,1 @@
+lib/hkernel/kernel.mli: Cell Clustering Costs Ctx Engine Eventsim Hector Khash Lock Locks Machine Page Rpc

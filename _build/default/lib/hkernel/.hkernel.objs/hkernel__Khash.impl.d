@@ -1,0 +1,1 @@
+lib/hkernel/khash.ml: Array Backoff Cell Ctx Hector List Lock Locks Machine Option Printf Reserve Spin_lock

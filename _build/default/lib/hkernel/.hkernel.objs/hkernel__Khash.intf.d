@@ -1,0 +1,1 @@
+lib/hkernel/khash.mli: Cell Ctx Hector Lock Locks Machine Spin_lock

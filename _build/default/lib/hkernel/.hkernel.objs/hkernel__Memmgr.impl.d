@@ -1,0 +1,1 @@
+lib/hkernel/memmgr.ml: Cell Clustering Costs Ctx Eventsim Hector Kernel Khash Lock Locks Option Page Procs Rpc

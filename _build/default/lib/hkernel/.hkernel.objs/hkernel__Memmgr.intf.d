@@ -1,0 +1,1 @@
+lib/hkernel/memmgr.mli: Ctx Hector Kernel Page Procs Rpc

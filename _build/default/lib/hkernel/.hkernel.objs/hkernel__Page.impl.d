@@ -1,0 +1,1 @@
+lib/hkernel/page.ml: Cell Hector Machine

@@ -1,0 +1,1 @@
+lib/hkernel/page.mli: Cell Hector Machine

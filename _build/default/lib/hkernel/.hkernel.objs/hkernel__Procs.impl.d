@@ -1,0 +1,1 @@
+lib/hkernel/procs.ml: Array Cell Clustering Costs Ctx Eventsim Hector Kernel Khash List Rpc

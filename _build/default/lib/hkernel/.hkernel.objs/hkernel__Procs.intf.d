@@ -1,0 +1,1 @@
+lib/hkernel/procs.mli: Cell Ctx Hector Kernel

@@ -1,0 +1,1 @@
+lib/hkernel/rpc.ml: Array Cell Costs Ctx Eventsim Hector Ivar Machine Printf Rng

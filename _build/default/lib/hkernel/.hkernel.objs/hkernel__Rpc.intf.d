@@ -1,0 +1,1 @@
+lib/hkernel/rpc.mli: Costs Ctx Hector Machine

@@ -1,0 +1,57 @@
+(* Hierarchical clustering: partition the machine's processors into
+   clusters. A complete set of kernel data structures is instantiated per
+   cluster; only processors inside a cluster touch its structures directly,
+   and cross-cluster work travels by RPC (i-th processor to i-th processor,
+   to balance the RPC load — Section 2.2). *)
+
+type t = {
+  cluster_size : int;
+  n_clusters : int;
+  n_procs : int;
+}
+
+let create ~n_procs ~cluster_size =
+  if cluster_size <= 0 || cluster_size > n_procs then
+    invalid_arg
+      (Printf.sprintf "Clustering.create: bad cluster size %d (procs %d)"
+         cluster_size n_procs);
+  let n_clusters = (n_procs + cluster_size - 1) / cluster_size in
+  { cluster_size; n_clusters; n_procs }
+
+let cluster_size t = t.cluster_size
+let n_clusters t = t.n_clusters
+let n_procs t = t.n_procs
+
+let cluster_of_proc t p =
+  if p < 0 || p >= t.n_procs then
+    invalid_arg (Printf.sprintf "Clustering.cluster_of_proc: bad proc %d" p);
+  p / t.cluster_size
+
+(* Index of a processor within its cluster. *)
+let index_in_cluster t p = p mod t.cluster_size
+
+let procs_of_cluster t c =
+  if c < 0 || c >= t.n_clusters then
+    invalid_arg (Printf.sprintf "Clustering.procs_of_cluster: bad cluster %d" c);
+  let first = c * t.cluster_size in
+  let last = min (first + t.cluster_size) t.n_procs - 1 in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let size_of_cluster t c = List.length (procs_of_cluster t c)
+
+(* The paper's load-balancing rule: an RPC from the i-th processor of the
+   source cluster goes to the i-th processor of the target cluster. *)
+let rpc_target t ~from ~target_cluster =
+  let i = index_in_cluster t from in
+  let procs = procs_of_cluster t target_cluster in
+  List.nth procs (i mod List.length procs)
+
+(* A PMM within cluster [c] to home a structure on, spread round-robin by
+   [salt] so cluster data is distributed over the cluster's memory. *)
+let home_in_cluster t ~cluster ~salt =
+  let procs = procs_of_cluster t cluster in
+  List.nth procs (abs salt mod List.length procs)
+
+let pp ppf t =
+  Format.fprintf ppf "%d clusters of %d (over %d procs)" t.n_clusters
+    t.cluster_size t.n_procs

@@ -1,0 +1,32 @@
+(** Hierarchical clustering: the partition of processors into clusters,
+    each holding a complete instance of the kernel data structures
+    (Section 2.2). *)
+
+type t
+
+(** [create ~n_procs ~cluster_size] partitions processors [0, n_procs) into
+    consecutive clusters of [cluster_size] (the last may be smaller).
+    @raise Invalid_argument if the size is out of range. *)
+val create : n_procs:int -> cluster_size:int -> t
+
+val cluster_size : t -> int
+val n_clusters : t -> int
+val n_procs : t -> int
+
+val cluster_of_proc : t -> int -> int
+
+(** Position of a processor within its cluster. *)
+val index_in_cluster : t -> int -> int
+
+val procs_of_cluster : t -> int -> int list
+val size_of_cluster : t -> int -> int
+
+(** The paper's load-balancing rule: RPCs from the i-th processor of the
+    source cluster go to the i-th processor of the target cluster. *)
+val rpc_target : t -> from:int -> target_cluster:int -> int
+
+(** A PMM within [cluster] to home a structure on, chosen by [salt] so a
+    cluster's structures spread over its memory. *)
+val home_in_cluster : t -> cluster:int -> salt:int -> int
+
+val pp : Format.formatter -> t -> unit

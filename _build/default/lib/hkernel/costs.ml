@@ -1,0 +1,64 @@
+(* Calibrated cost constants for the simulated kernel paths.
+
+   The anchors come from the paper:
+   - a simple soft page fault measures ~160 us, ~40 us of which is locking;
+   - a null RPC costs ~27 us;
+   - a cluster-wide page lookup plus descriptor replication costs ~88 us.
+
+   The constants below are pure-compute paddings charged along the paths in
+   {!Memmgr} and {!Rpc}; the locking, hash-probe and descriptor-touch costs
+   come out of the timed memory operations themselves. The CONST experiment
+   in the benchmark harness re-measures all three anchors. *)
+
+type t = {
+  (* page fault path *)
+  fault_entry : int; (* exception entry, trap decode, region lookup *)
+  fault_exit : int; (* return from exception, TLB insert *)
+  map_page : int; (* page-table update bookkeeping *)
+  unmap_page : int; (* page-table removal bookkeeping *)
+  hash_probe : int; (* compute per chain element examined *)
+  (* RPC path *)
+  rpc_send : int; (* marshal request, raise IPI *)
+  rpc_dispatch : int; (* demultiplex on the target side *)
+  rpc_reply : int; (* marshal reply *)
+  (* replication / coherence *)
+  replicate_copy : int; (* copy a page descriptor's payload *)
+  shootdown : int; (* invalidate a cluster's mappings for one page *)
+  directory_update : int; (* ownership / sharer bookkeeping at the master *)
+  (* deadlock protocol *)
+  retry_backoff : int; (* pause before retrying a failed remote op *)
+}
+
+let default =
+  {
+    fault_entry = 700;
+    fault_exit = 500;
+    map_page = 660;
+    unmap_page = 200;
+    hash_probe = 10;
+    rpc_send = 110;
+    rpc_dispatch = 130;
+    rpc_reply = 70;
+    replicate_copy = 700;
+    shootdown = 240;
+    directory_update = 80;
+    retry_backoff = 200;
+  }
+
+(* A variant with all paddings zeroed: used by tests that check the locking
+   logic without wading through calibration cycles. *)
+let zero =
+  {
+    fault_entry = 0;
+    fault_exit = 0;
+    map_page = 0;
+    unmap_page = 0;
+    hash_probe = 0;
+    rpc_send = 0;
+    rpc_dispatch = 0;
+    rpc_reply = 0;
+    replicate_copy = 0;
+    shootdown = 0;
+    directory_update = 0;
+    retry_backoff = 16;
+  }

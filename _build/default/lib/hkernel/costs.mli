@@ -1,0 +1,27 @@
+(** Calibrated cost constants (in cycles) for the simulated kernel paths.
+
+    Calibrated against the paper's anchors: a soft page fault ~160 µs of
+    which ~40 µs is locking; a null RPC ~27 µs; a cluster-wide lookup plus
+    descriptor replication ~88 µs. The CONST experiment re-measures them. *)
+
+type t = {
+  fault_entry : int;
+  fault_exit : int;
+  map_page : int;
+  unmap_page : int;
+  hash_probe : int;
+  rpc_send : int;
+  rpc_dispatch : int;
+  rpc_reply : int;
+  replicate_copy : int;
+  shootdown : int;
+  directory_update : int;
+  retry_backoff : int;
+}
+
+(** The calibrated HECTOR constants. *)
+val default : t
+
+(** All paddings zeroed (retry backoff kept minimal); for tests that check
+    locking logic without calibration cycles. *)
+val zero : t

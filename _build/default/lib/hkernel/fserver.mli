@@ -1,0 +1,51 @@
+(** A file server built from the paper's techniques (Section 5.1):
+    per-cluster hybrid-locked block caches and open-file tables, descriptor
+    replication from each file's home cluster, combining fetches, optional
+    read-ahead, and version-based invalidation broadcasts on rewrite. *)
+
+open Hector
+
+type block = { b_file : int; b_index : int; version : Cell.t }
+
+type ofile = { f_file : int; mutable f_blocks : int; opens : Cell.t }
+
+type t
+
+(** [create kernel] with [read_ahead] extra blocks fetched per miss. *)
+val create : ?read_ahead:int -> Kernel.t -> t
+
+val reads : t -> int
+val hits : t -> int
+
+(** Blocks transferred from home clusters. *)
+val fetches : t -> int
+
+(** Fetch RPCs issued (a combined fetch serves a whole cluster). *)
+val fetch_rpcs : t -> int
+
+val invalidated_blocks : t -> int
+val hit_rate : t -> float
+
+val home_cluster : t -> int -> int
+val block_key : file:int -> index:int -> int
+
+(** Untimed setup. *)
+val create_file_untimed : t -> file:int -> blocks:int -> unit
+
+val file_exists : t -> int -> bool
+val file_version_untimed : t -> int -> int
+val open_count_untimed : t -> cluster:int -> file:int -> int
+
+(** Open a file in the caller's cluster (replicating the descriptor on the
+    first open); returns its length in blocks, or [None] if absent. *)
+val open_file : t -> Ctx.t -> file:int -> int option
+
+val close_file : t -> Ctx.t -> file:int -> unit
+
+(** Read one block through the cluster cache; returns [false] if the block
+    does not exist. *)
+val read_block : t -> Ctx.t -> file:int -> index:int -> bool
+
+(** Bump the file's version and invalidate every caching cluster. Must run
+    at the file's home cluster. Returns [false] if the file is absent. *)
+val rewrite_file : t -> Ctx.t -> file:int -> bool

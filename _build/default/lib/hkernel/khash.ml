@@ -1,0 +1,343 @@
+(* Chained hash table under the hybrid locking strategy (Figures 1 and 2).
+
+   In the default [Hybrid] mode a single coarse-grained lock protects the
+   whole table, but it is held only long enough to search a chain and flip a
+   reserve bit in the target element; the element then stays reserved (a
+   fine-grain, one-bit lock) for the long part of the operation. Waiters for
+   a reserved element release the coarse lock and spin on the element's
+   status word with exponential backoff, then re-acquire the coarse lock and
+   search again — the element may have moved or died in between.
+
+   The two ablation modes implement the strategies the hybrid is compared
+   against in Section 2.4:
+   - [Coarse]: the coarse lock is held across the whole operation;
+   - [Fine]:   per-bin spin locks plus a per-element spin lock (Figure 1a),
+               with bin-then-element ordering.
+
+   Chain traversal charges one timed read per element examined (the header
+   word holding key and status), so long chains and remote bins cost what
+   they should. *)
+
+open Hector
+open Locks
+
+type granularity = Hybrid | Coarse | Fine
+
+let granularity_name = function
+  | Hybrid -> "hybrid"
+  | Coarse -> "coarse"
+  | Fine -> "fine"
+
+type 'a elem = {
+  key : int;
+  status : Cell.t; (* header word: reserve bits *)
+  elem_lock : Spin_lock.t option; (* Fine mode only *)
+  home : int;
+  payload : 'a;
+}
+
+type 'a t = {
+  machine : Machine.t;
+  granularity : granularity;
+  nbins : int;
+  bins : 'a elem list array;
+  bin_heads : Cell.t array; (* chain-head words, co-located with the lock *)
+  lock : Lock.t; (* coarse table lock (Hybrid / Coarse) *)
+  bin_locks : Spin_lock.t array; (* Fine mode *)
+  backoff : Backoff.t; (* for reserve-bit waiters *)
+  homes : int array; (* the cluster's PMMs (for Fine-mode bin locks) *)
+  elem_homes : int array; (* PMMs the table's storage lives on *)
+  mutable next_home : int;
+  mutable n_elems : int;
+  mutable searches : int;
+  mutable probes : int;
+  mutable reserve_conflicts : int; (* found element reserved, had to wait *)
+}
+
+let fine_backoff machine =
+  Backoff.of_us (Machine.config machine) ~max_us:35.0 ()
+
+let create ?(granularity = Hybrid) ?(nbins = 64) ~lock_algo ~homes machine =
+  if homes = [] then invalid_arg "Khash.create: empty home list";
+  if nbins <= 0 then invalid_arg "Khash.create: nbins must be positive";
+  let homes = Array.of_list homes in
+  (* The table is a unit (Figure 2): its lock word, bin heads and elements
+     live together in the cluster's memory, on the PMM mid-cluster and its
+     neighbour. Holders therefore walk the same modules that waiters'
+     lock-word traffic loads — the coupling behind the paper's second-order
+     effects. *)
+  let lock_home = homes.(Array.length homes / 2) in
+  let elem_homes =
+    let n = Array.length homes in
+    if n = 1 then [| lock_home |]
+    else [| lock_home; homes.(((n / 2) + 1) mod n) |]
+  in
+  {
+    machine;
+    granularity;
+    nbins;
+    bins = Array.make nbins [];
+    bin_heads =
+      Array.init nbins (fun i ->
+          Machine.alloc machine ~label:(Printf.sprintf "binhead%d" i)
+            ~home:lock_home 0);
+    lock = Lock.make machine ~home:lock_home lock_algo;
+    bin_locks =
+      (match granularity with
+      | Fine ->
+        Array.init nbins (fun i ->
+            Spin_lock.create machine
+              ~home:homes.(i mod Array.length homes)
+              (fine_backoff machine))
+      | Hybrid | Coarse -> [||]);
+    backoff = fine_backoff machine;
+    homes;
+    elem_homes;
+    next_home = 0;
+    n_elems = 0;
+    searches = 0;
+    probes = 0;
+    reserve_conflicts = 0;
+  }
+
+let granularity t = t.granularity
+let size t = t.n_elems
+let searches t = t.searches
+let probes t = t.probes
+let reserve_conflicts t = t.reserve_conflicts
+let coarse_lock t = t.lock
+
+let bin_of_key t key = abs (key * 2654435761) mod t.nbins
+
+let pick_home t =
+  let h = t.elem_homes.(t.next_home mod Array.length t.elem_homes) in
+  t.next_home <- t.next_home + 1;
+  h
+
+(* -- operations that require the protecting lock to be held ------------- *)
+
+(* Search a chain: one read of the bin-head word (which lives beside the
+   lock, as the table header does on real hardware), then one header read
+   per element examined. *)
+let search_locked_status ctx t key =
+  t.searches <- t.searches + 1;
+  ignore (Ctx.read ctx t.bin_heads.(bin_of_key t key));
+  let costs_probe e =
+    t.probes <- t.probes + 1;
+    let v = Ctx.read ctx e.status in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    v
+  in
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+      let v = costs_probe e in
+      if e.key = key then Some (e, v) else go rest
+  in
+  go t.bins.(bin_of_key t key)
+
+let search_locked ctx t key =
+  Option.map fst (search_locked_status ctx t key)
+
+(* Insert a fresh element; [status0] seeds the status word (e.g. already
+   reserved, for placeholder descriptors — the combining-tree trick).
+   [make] builds the payload given the element's home PMM, so payload cells
+   can be co-located with the element. *)
+let insert_locked ctx t key ~status0 ~make =
+  let home = pick_home t in
+  let payload = make home in
+  let elem =
+    {
+      key;
+      status = Machine.alloc t.machine ~label:(Printf.sprintf "h%d" key) ~home status0;
+      elem_lock =
+        (match t.granularity with
+        | Fine -> Some (Spin_lock.create t.machine ~home (fine_backoff t.machine))
+        | Hybrid | Coarse -> None);
+      home;
+      payload;
+    }
+  in
+  let b = bin_of_key t key in
+  t.bins.(b) <- elem :: t.bins.(b);
+  t.n_elems <- t.n_elems + 1;
+  (* Link the element into the chain: one header write. *)
+  Ctx.write ctx elem.status status0;
+  elem
+
+let remove_locked ctx t key =
+  let b = bin_of_key t key in
+  let found = ref false in
+  t.bins.(b) <-
+    List.filter
+      (fun e ->
+        if e.key = key && not !found then begin
+          found := true;
+          false
+        end
+        else true)
+      t.bins.(b);
+  if !found then begin
+    t.n_elems <- t.n_elems - 1;
+    (* Unlink write. *)
+    Ctx.work ctx 10
+  end;
+  !found
+
+(* -- hybrid-mode public operations --------------------------------------- *)
+
+(* Every coarse-lock hold sets the processor's soft interrupt mask first
+   (Stodolsky et al., Section 3.2): an RPC service that would otherwise be
+   taken mid-hold — and spin on the very lock its host processor holds — is
+   deferred to the per-processor work queue and runs when the mask clears.
+   The flag sits at the top of the lock hierarchy. *)
+let with_coarse t ctx f =
+  Ctx.set_soft_mask ctx;
+  t.lock.Lock.acquire ctx;
+  let r = f () in
+  t.lock.Lock.release ctx;
+  Ctx.clear_soft_mask ctx;
+  r
+
+(* Acquire the coarse lock, search, and reserve the element, retrying the
+   whole dance whenever the element is found reserved by someone else
+   (Figure 1b). Returns [None] if the key is absent. *)
+let rec reserve_existing t ctx key =
+  let outcome =
+    with_coarse t ctx (fun () ->
+        match search_locked_status ctx t key with
+        | None -> `Absent
+        | Some (e, st) ->
+          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          else `Busy e)
+  in
+  match outcome with
+  | `Absent -> None
+  | `Got e -> Some e
+  | `Busy e ->
+    t.reserve_conflicts <- t.reserve_conflicts + 1;
+    Reserve.spin_until_clear ctx t.backoff e.status;
+    reserve_existing t ctx key
+
+(* Like [reserve_existing], but when the key is absent insert a reserved
+   placeholder built by [make] under the same coarse-lock hold, so exactly
+   one processor per cluster goes remote for the data while the others wait
+   on the placeholder's reserve bit. *)
+let rec reserve_or_insert t ctx key ~make =
+  let outcome =
+    with_coarse t ctx (fun () ->
+        match search_locked_status ctx t key with
+        | None -> `New (insert_locked ctx t key ~status0:1 ~make)
+        | Some (e, st) ->
+          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          else `Busy e)
+  in
+  match outcome with
+  | `New e -> `Inserted e
+  | `Got e -> `Reserved e
+  | `Busy e ->
+    t.reserve_conflicts <- t.reserve_conflicts + 1;
+    Reserve.spin_until_clear ctx t.backoff e.status;
+    reserve_or_insert t ctx key ~make
+
+(* Non-blocking reservation attempt: used by RPC service handlers, which
+   must fail with a potential-deadlock indication rather than spin
+   (Section 2.3). *)
+let try_reserve_existing t ctx key =
+  let outcome =
+    with_coarse t ctx (fun () ->
+        match search_locked_status ctx t key with
+        | None -> `Absent
+        | Some (e, st) ->
+          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          else `Busy)
+  in
+  match outcome with
+  | `Absent -> `Absent
+  | `Got e -> `Reserved e
+  | `Busy ->
+    t.reserve_conflicts <- t.reserve_conflicts + 1;
+    `Would_deadlock
+
+let release_reserve ctx e = Reserve.clear ctx e.status
+
+(* Remove a key; the caller must hold the element's reservation, which dies
+   with the element. *)
+let remove t ctx key = with_coarse t ctx (fun () -> remove_locked ctx t key)
+
+(* Insert a fresh, unreserved element. *)
+let insert t ctx key ~make =
+  with_coarse t ctx (fun () -> insert_locked ctx t key ~status0:0 ~make)
+
+(* -- granularity-dispatching operation ----------------------------------- *)
+
+(* Run [f] on the element for [key] with the protection the configured
+   granularity prescribes. This is the API the ablation experiment drives:
+   - Hybrid: reserve bit held during [f], coarse lock only around search;
+   - Coarse: coarse lock held during [f];
+   - Fine:   bin spin lock around search, element spin lock during [f]. *)
+let with_element t ctx key f =
+  match t.granularity with
+  | Hybrid -> (
+    match reserve_existing t ctx key with
+    | None -> None
+    | Some e ->
+      let r = f e in
+      release_reserve ctx e;
+      Some r)
+  | Coarse ->
+    t.lock.Lock.acquire ctx;
+    let r =
+      match search_locked ctx t key with
+      | None -> None
+      | Some e -> Some (f e)
+    in
+    t.lock.Lock.release ctx;
+    r
+  | Fine -> (
+    let b = bin_of_key t key in
+    let bin_lock = t.bin_locks.(b) in
+    Spin_lock.acquire bin_lock ctx;
+    match search_locked ctx t key with
+    | None ->
+      Spin_lock.release bin_lock ctx;
+      None
+    | Some e ->
+      let el =
+        match e.elem_lock with
+        | Some l -> l
+        | None -> assert false
+      in
+      Spin_lock.acquire el ctx;
+      Spin_lock.release bin_lock ctx;
+      let r = f e in
+      Spin_lock.release el ctx;
+      Some r)
+
+(* Untimed insertion for experiment setup (pre-populating descriptors
+   before the simulation starts). *)
+let insert_untimed t key ~status0 ~make =
+  let home = pick_home t in
+  let payload = make home in
+  let elem =
+    {
+      key;
+      status = Cell.make ~label:(Printf.sprintf "h%d" key) ~home status0;
+      elem_lock =
+        (match t.granularity with
+        | Fine -> Some (Spin_lock.create t.machine ~home (fine_backoff t.machine))
+        | Hybrid | Coarse -> None);
+      home;
+      payload;
+    }
+  in
+  let b = bin_of_key t key in
+  t.bins.(b) <- elem :: t.bins.(b);
+  t.n_elems <- t.n_elems + 1;
+  elem
+
+(* Untimed whole-table iteration, for tests and invariant checks. *)
+let iter_untimed t f = Array.iter (fun chain -> List.iter f chain) t.bins
+
+let mem_untimed t key =
+  List.exists (fun e -> e.key = key) t.bins.(bin_of_key t key)

@@ -1,0 +1,102 @@
+(** Chained hash table under the hybrid coarse-grain/fine-grain locking
+    strategy of Figures 1 and 2.
+
+    A single coarse lock protects the whole table but is held only long
+    enough to search a chain and set a reserve bit in the found element; the
+    reserve bit then protects the element for the long operation. Waiters on
+    a reserved element release the coarse lock, spin on the status word with
+    backoff, and re-search.
+
+    The [Coarse] and [Fine] granularities implement the strategies the
+    hybrid is compared against (experiment ABL1). Every coarse-lock hold
+    sets the processor's soft interrupt mask, so RPC service handlers can
+    never deadlock against the lock their own processor holds
+    (Section 3.2). *)
+
+open Hector
+open Locks
+
+type granularity = Hybrid | Coarse | Fine
+
+val granularity_name : granularity -> string
+
+type 'a elem = {
+  key : int;
+  status : Cell.t; (* header word: reserve bits *)
+  elem_lock : Spin_lock.t option; (* Fine mode only *)
+  home : int;
+  payload : 'a;
+}
+
+type 'a t
+
+(** [create machine ~lock_algo ~homes] makes a table whose storage (lock
+    word, bin heads, elements) lives on PMMs drawn from [homes] — the lock
+    and its neighbours, as a real table occupies a contiguous region.
+    [make] callbacks receive the chosen element home. *)
+val create :
+  ?granularity:granularity ->
+  ?nbins:int ->
+  lock_algo:Lock.algo ->
+  homes:int list ->
+  Machine.t ->
+  'a t
+
+val granularity : 'a t -> granularity
+val size : 'a t -> int
+val searches : 'a t -> int
+val probes : 'a t -> int
+
+(** Times a reserver found the element already reserved and had to wait. *)
+val reserve_conflicts : 'a t -> int
+
+val coarse_lock : 'a t -> Lock.t
+
+(** Run [f] with the coarse lock held and the soft interrupt mask set. *)
+val with_coarse : 'a t -> Ctx.t -> (unit -> 'b) -> 'b
+
+(** Search a chain; requires the coarse lock (or [with_coarse]). Charges one
+    read of the bin head plus one per element examined. *)
+val search_locked : Ctx.t -> 'a t -> int -> 'a elem option
+
+(** Acquire the coarse lock, search, reserve; retry through reserve-bit
+    waits. [None] if absent. *)
+val reserve_existing : 'a t -> Ctx.t -> int -> 'a elem option
+
+(** Like {!reserve_existing} but inserts a *reserved placeholder* under the
+    same lock hold when the key is absent — the combining-tree trick of
+    Section 2.2. *)
+val reserve_or_insert :
+  'a t ->
+  Ctx.t ->
+  int ->
+  make:(int -> 'a) ->
+  [ `Inserted of 'a elem | `Reserved of 'a elem ]
+
+(** Non-blocking reservation, for RPC service handlers (Section 2.3): a
+    reserved element yields [`Would_deadlock] instead of waiting. *)
+val try_reserve_existing :
+  'a t -> Ctx.t -> int -> [ `Absent | `Reserved of 'a elem | `Would_deadlock ]
+
+(** Clear an element's reservation (plain store). *)
+val release_reserve : Ctx.t -> 'a elem -> unit
+
+(** Remove a key under the coarse lock; the caller holds the element's
+    reservation, which dies with it. *)
+val remove : 'a t -> Ctx.t -> int -> bool
+
+(** Insert a fresh, unreserved element. *)
+val insert : 'a t -> Ctx.t -> int -> make:(int -> 'a) -> 'a elem
+
+(** Run [f] on the element under the configured granularity's protection:
+    reserve bit (Hybrid), the coarse lock (Coarse), or bin+element spin
+    locks (Fine). [None] if the key is absent. *)
+val with_element : 'a t -> Ctx.t -> int -> ('a elem -> 'b) -> 'b option
+
+(** Untimed setup insertion (pre-populating before a run). *)
+val insert_untimed : 'a t -> int -> status0:int -> make:(int -> 'a) -> 'a elem
+
+(** Untimed iteration/membership, for tests and invariant checks. *)
+val iter_untimed : 'a t -> ('a elem -> unit) -> unit
+
+val mem_untimed : 'a t -> int -> bool

@@ -1,0 +1,641 @@
+(* The memory manager: soft page faults, unmapping, and page-level
+   coherence across clusters.
+
+   A soft fault (the page is in core but unmapped) follows the paper's
+   hybrid-locking pattern end to end:
+
+   1. exception entry and region lookup (a brief coarse-lock hold);
+   2. the cluster's page-descriptor hash is searched under its coarse lock
+      and the descriptor *reserved* (Figure 1b); if the page has no local
+      descriptor yet, a reserved placeholder is inserted under the same lock
+      hold, so concurrent local faulters wait on the placeholder instead of
+      issuing redundant remote requests — the combining tree of Section 2.2;
+   3. if the local replica's validity is insufficient, ownership or data is
+      obtained from the page's master cluster by RPC under the *optimistic*
+      deadlock-avoidance protocol: our reserve bit is held across the RPC; a
+      remote service that runs into a reserved descriptor fails with
+      [Would_deadlock] instead of waiting; the initiator then releases its
+      reserve bits, backs off and retries (Section 2.3);
+   4. write ownership also invalidates the other clusters' replicas. The
+      *initiator* (never an interrupt handler) sends those RPCs, so no
+      processor is ever held across a nested wait — the processor-as-locked-
+      resource deadlock of Section 2.3. While the invalidations are in
+      flight the master keeps its own descriptor reserved on the initiator's
+      behalf; a confirm RPC releases it. The master's own replica is
+      invalidated inline by the master service (it holds that reserve
+      already), never by an RPC that would trip over it;
+   5. the page-table update runs under the processor's page-table lock and
+      the replica's reference count is adjusted under the reserve bit.
+
+   The [lockless] kernel variant runs the same path with every lock and
+   reserve operation skipped: the difference calibrates the paper's "40 us
+   of a 160 us page fault is locking" anchor. *)
+
+open Hector
+open Locks
+
+let region_lookup_work = 16
+
+(* -- page-table update --------------------------------------------------- *)
+
+(* Mapping a page splits between local work (the processor's page table)
+   and descriptor-bound work (validating and updating the descriptor's
+   words, on the descriptor's home module). *)
+let map_page k ctx desc =
+  let p = Ctx.proc ctx in
+  let costs = Kernel.costs k in
+  let desc_home = Cell.home desc.Page.refcount in
+  let pte_lock = Kernel.pte_lock k p in
+  pte_lock.Lock.acquire ctx;
+  Ctx.write ctx (Kernel.pte_cell k p) (desc.Page.vpage lor 0x1);
+  Kernel.kernel_work k ctx (costs.Costs.map_page * 3 / 5);
+  pte_lock.Lock.release ctx;
+  Kernel.struct_work k ctx ~home:desc_home (costs.Costs.map_page * 2 / 5);
+  (* Count the mapping in the cluster replica, under the reserve bit. *)
+  let rc = Ctx.read ctx desc.Page.refcount in
+  Ctx.write ctx desc.Page.refcount (rc + 1)
+
+let unmap_pte k ctx desc =
+  let p = Ctx.proc ctx in
+  let costs = Kernel.costs k in
+  let pte_lock = Kernel.pte_lock k p in
+  pte_lock.Lock.acquire ctx;
+  Ctx.write ctx (Kernel.pte_cell k p) 0;
+  Kernel.kernel_work k ctx (costs.Costs.unmap_page / 2);
+  pte_lock.Lock.release ctx;
+  Kernel.struct_work k ctx ~home:(Cell.home desc.Page.refcount)
+    (costs.Costs.unmap_page / 2);
+  let rc = Ctx.read ctx desc.Page.refcount in
+  Ctx.write ctx desc.Page.refcount (max 0 (rc - 1))
+
+(* -- RPC services (run in the target's interrupt context; never wait) ---- *)
+
+(* Master-side: grant [req_cluster] a replica (read) or write ownership of
+   [vpage].
+
+   Read: the requester is added to the sharer set; if some other cluster
+   held write ownership, it must be downgraded — its cluster bit is returned
+   and the ownership cleared. The master reserve is released immediately.
+
+   Write: the sharer set collapses to the requester; the master's own
+   replica is invalidated inline; the bits of the other replicas to
+   invalidate are returned, and the master descriptor STAYS reserved for the
+   requester until its confirm call, so no competing transfer can interleave
+   with the invalidations. *)
+let master_acquire_service k ~vpage ~req_cluster ~write tctx =
+  let cd = Kernel.local_cluster k tctx in
+  let my_cluster = cd.Kernel.c_id in
+  if write then begin
+    match Khash.try_reserve_existing cd.Kernel.page_hash tctx vpage with
+    | `Absent -> Rpc.Absent
+    | `Would_deadlock -> Rpc.Would_deadlock
+    | `Reserved e ->
+      let d = e.Khash.payload in
+      Kernel.kernel_work k tctx (Kernel.costs k).Costs.directory_update;
+      let sharers = Ctx.read tctx d.Page.dir_sharers in
+      (* Invalidate our own replica inline if we held one. *)
+      if Page.has_sharer sharers my_cluster then begin
+        Ctx.write tctx d.Page.vstate Page.st_invalid;
+        Kernel.kernel_work k tctx (Kernel.costs k).Costs.shootdown
+      end;
+      let mask =
+        Page.remove_sharer (Page.remove_sharer sharers my_cluster) req_cluster
+      in
+      Ctx.write tctx d.Page.dir_owner (req_cluster + 1);
+      Ctx.write tctx d.Page.dir_sharers (Page.sharer_bit req_cluster);
+      (* Reserve deliberately kept: the requester's confirm releases it. *)
+      Rpc.Ok mask
+  end
+  else begin
+    (* Read grants need no element reservation at all: the directory update
+       is a few stores, done entirely under the coarse lock — the hybrid
+       strategy's "multiple simple atomic operations under a single lock".
+       The reserve bit is consulted read-only: a write transfer in flight
+       (element write-reserved) still fails the call. *)
+    let hash = cd.Kernel.page_hash in
+    Khash.with_coarse hash tctx (fun () ->
+        match Khash.search_locked tctx hash vpage with
+        | None -> Rpc.Absent
+        | Some e ->
+          if Locks.Reserve.is_reserved tctx e.Khash.status then
+            Rpc.Would_deadlock
+          else begin
+            let d = e.Khash.payload in
+            Kernel.kernel_work k tctx (Kernel.costs k).Costs.directory_update;
+            let sharers = Ctx.read tctx d.Page.dir_sharers in
+            let owner = Ctx.read tctx d.Page.dir_owner in
+            (* Any write exclusivity ends with a new read replica —
+               including the master's own copy, downgraded inline. *)
+            let own_state = Ctx.read tctx d.Page.vstate in
+            if own_state > Page.st_valid_read then
+              Ctx.write tctx d.Page.vstate Page.st_valid_read;
+            let downgrade =
+              if
+                owner <> 0 && owner - 1 <> req_cluster
+                && owner - 1 <> my_cluster
+              then Page.sharer_bit (owner - 1)
+              else 0
+            in
+            if owner <> 0 then Ctx.write tctx d.Page.dir_owner 0;
+            Ctx.write tctx d.Page.dir_sharers
+              (Page.add_sharer sharers req_cluster);
+            Rpc.Ok downgrade
+          end)
+  end
+
+(* Release the reservation the master held on the requester's behalf. *)
+let confirm_release_service k ~vpage tctx =
+  let cd = Kernel.local_cluster k tctx in
+  let hash = cd.Kernel.page_hash in
+  let found =
+    Khash.with_coarse hash tctx (fun () -> Khash.search_locked tctx hash vpage)
+  in
+  match found with
+  | None -> Rpc.Absent
+  | Some e ->
+    Khash.release_reserve tctx e;
+    Rpc.Ok 0
+
+(* Sharer-side: demote this cluster's replica of [vpage] to [to_state]
+   (invalid for ownership transfer, valid-read for a downgrade). *)
+let demote_service k ~vpage ~to_state tctx =
+  let cd = Kernel.local_cluster k tctx in
+  match Khash.try_reserve_existing cd.Kernel.page_hash tctx vpage with
+  | `Absent -> Rpc.Ok 0
+  | `Would_deadlock -> Rpc.Would_deadlock
+  | `Reserved e ->
+    let d = e.Khash.payload in
+    let st = Ctx.read tctx d.Page.vstate in
+    if st > to_state then Ctx.write tctx d.Page.vstate to_state;
+    Kernel.kernel_work k tctx (Kernel.costs k).Costs.shootdown;
+    Khash.release_reserve tctx e;
+    Rpc.Ok 0
+
+(* -- fault path ----------------------------------------------------------- *)
+
+(* Exponential, jittered backoff before retrying a conflicted remote
+   operation: a pure delay (the processor is waiting, not touching kernel
+   data), capped at ~500 us so congested transfers decongest. *)
+let retry_pause k ctx attempt =
+  Kernel.count_retry k;
+  let b = (Kernel.costs k).Costs.retry_backoff in
+  let base = min (b * (1 lsl min attempt 6)) 8000 in
+  Ctx.interruptible_pause ctx
+    (base + Eventsim.Rng.int (Ctx.rng ctx) (max 1 base))
+
+(* Fast path used by the lockless calibration probe: assumes a valid local
+   descriptor (private pages). *)
+let lockless_fault k ctx ~vpage =
+  let cd = Kernel.local_cluster k ctx in
+  match Khash.search_locked ctx cd.Kernel.page_hash vpage with
+  | None -> failwith "lockless_fault: page not populated"
+  | Some e ->
+    let d = e.Khash.payload in
+    ignore (Ctx.read ctx d.Page.vstate);
+    let p = Ctx.proc ctx in
+    Ctx.write ctx (Kernel.pte_cell k p) (vpage lor 0x1);
+    Kernel.kernel_work k ctx (Kernel.costs k).Costs.map_page;
+    let rc = Ctx.read ctx d.Page.refcount in
+    Ctx.write ctx d.Page.refcount (rc + 1)
+
+(* Static location resolution: the master cluster of a page, from untimed
+   model bookkeeping (the paper abstracts this as a "data specific location
+   resolution technique"; its cost is inside the fault-entry padding). *)
+let resolve_master k ~vpage ~my_cluster =
+  match Kernel.find_descriptor_untimed k ~cluster:my_cluster ~vpage with
+  | Some e -> e.Khash.payload.Page.master_cluster
+  | None ->
+    let n = Clustering.n_clusters (Kernel.clustering k) in
+    let rec find c =
+      if c >= n then failwith "fault: page not populated anywhere"
+      else
+        match Kernel.find_descriptor_untimed k ~cluster:c ~vpage with
+        | Some e -> e.Khash.payload.Page.master_cluster
+        | None -> find (c + 1)
+    in
+    find 0
+
+let fault k ctx ~vpage ~write =
+  Kernel.count_fault k;
+  let costs = Kernel.costs k in
+  Kernel.kernel_work k ctx costs.Costs.fault_entry;
+  let cd = Kernel.local_cluster k ctx in
+  (* The faulting process's descriptor is locked for the duration of the
+     trap decode. *)
+  let pd_lock = Kernel.proc_desc_lock k (Ctx.proc ctx) in
+  pd_lock.Lock.acquire ctx;
+  Ctx.work ctx 6;
+  pd_lock.Lock.release ctx;
+  (* Address-space, region and file-cache lookups: three brief
+     coarse-lock holds on the way to the page descriptor. *)
+  cd.Kernel.as_lock.Lock.acquire ctx;
+  Ctx.work ctx 8;
+  cd.Kernel.as_lock.Lock.release ctx;
+  cd.Kernel.region_lock.Lock.acquire ctx;
+  Ctx.work ctx region_lookup_work;
+  cd.Kernel.region_lock.Lock.release ctx;
+  cd.Kernel.fcm_lock.Lock.acquire ctx;
+  Ctx.work ctx 10;
+  cd.Kernel.fcm_lock.Lock.release ctx;
+  if Kernel.lockless k then lockless_fault k ctx ~vpage
+  else begin
+    let clustering = Kernel.clustering k in
+    let my_cluster = cd.Kernel.c_id in
+    let needed = if write then Page.st_valid_write else Page.st_valid_read in
+    let master = resolve_master k ~vpage ~my_cluster in
+    let make_placeholder home =
+      Page.make (Kernel.machine k) ~home ~vpage ~frame:vpage
+        ~master_cluster:master ~vstate:Page.st_invalid
+    in
+    let rpc_to cluster service =
+      Kernel.count_fault_rpc k;
+      let target =
+        Clustering.rpc_target clustering ~from:(Ctx.proc ctx)
+          ~target_cluster:cluster
+      in
+      Rpc.call (Kernel.rpc k) ctx ~target service
+    in
+    (* Demotions owed from an earlier attempt survive retries: once the
+       master directory records the transfer, the mask must not be lost when
+       the optimistic protocol forces a release-and-retry. While the mask is
+       owed, the master descriptor stays reserved on our behalf. *)
+    let owed = ref None in
+    let rec attempt n =
+      match
+        Khash.reserve_or_insert cd.Kernel.page_hash ctx vpage
+          ~make:make_placeholder
+      with
+      | `Inserted e | `Reserved e -> (
+        let d = e.Khash.payload in
+        let st = Ctx.read ctx d.Page.vstate in
+        if st >= needed && !owed = None then begin
+          map_page k ctx d;
+          Khash.release_reserve ctx e
+        end
+        else begin
+          let fetch_needed = st = Page.st_invalid in
+          let step_master () =
+            match !owed with
+            | Some _ -> `Proceed
+            | None ->
+              if master = my_cluster then begin
+                (* We are the master: the directory lives in the descriptor
+                   we already hold reserved. *)
+                Ctx.work ctx costs.Costs.directory_update;
+                let sharers = Ctx.read ctx d.Page.dir_sharers in
+                if write then begin
+                  let mask = Page.remove_sharer sharers my_cluster in
+                  Ctx.write ctx d.Page.dir_owner (my_cluster + 1);
+                  Ctx.write ctx d.Page.dir_sharers
+                    (Page.sharer_bit my_cluster);
+                  owed := Some mask
+                end
+                else begin
+                  let owner = Ctx.read ctx d.Page.dir_owner in
+                  let downgrade =
+                    if owner <> 0 && owner - 1 <> my_cluster then
+                      Page.sharer_bit (owner - 1)
+                    else 0
+                  in
+                  if downgrade <> 0 then Ctx.write ctx d.Page.dir_owner 0;
+                  Ctx.write ctx d.Page.dir_sharers
+                    (Page.add_sharer sharers my_cluster);
+                  owed := Some downgrade
+                end;
+                `Proceed
+              end
+              else begin
+                match
+                  rpc_to master
+                    (master_acquire_service k ~vpage ~req_cluster:my_cluster
+                       ~write)
+                with
+                | Rpc.Absent -> failwith "fault: master lost the page"
+                | Rpc.Would_deadlock -> `Retry
+                | Rpc.Ok mask ->
+                  if fetch_needed then begin
+                    Kernel.count_replication k;
+                    (* Copying the payload writes into the new replica. *)
+                    Kernel.struct_work k ctx
+                      ~home:(Cell.home d.Page.refcount)
+                      costs.Costs.replicate_copy
+                  end;
+                  owed := Some mask;
+                  `Proceed
+              end
+          in
+          match step_master () with
+          | `Retry ->
+            Khash.release_reserve ctx e;
+            retry_pause k ctx n;
+            attempt (n + 1)
+          | `Proceed -> (
+            (* Demote the other clusters' replicas, one RPC each; a conflict
+               forces a release-and-retry of our own replica (the master-side
+               reservation persists, so the transfer cannot be stolen). *)
+            let to_state =
+              if write then Page.st_invalid else Page.st_valid_read
+            in
+            let rec demote_all mask =
+              match Page.sharers_to_list mask with
+              | [] -> `Done
+              | c :: _ ->
+                if c = my_cluster || c = master then
+                  (* Our own copy is the one being upgraded; the master's
+                     copy was demoted inline by the master service. *)
+                  let mask' = Page.remove_sharer mask c in
+                  (owed := Some mask';
+                   demote_all mask')
+                else begin
+                  match rpc_to c (demote_service k ~vpage ~to_state) with
+                  | Rpc.Absent | Rpc.Ok _ ->
+                    Kernel.count_invalidation k;
+                    let mask' = Page.remove_sharer mask c in
+                    owed := Some mask';
+                    demote_all mask'
+                  | Rpc.Would_deadlock -> `Conflict
+                end
+            in
+            let mask = Option.value !owed ~default:0 in
+            let rec demote_with_retries mask n =
+              match demote_all mask with
+              | `Conflict when master = my_cluster ->
+                (* We are the master: our reservation IS the transfer guard
+                   that keeps competing ownership transfers out, so it must
+                   persist across demote retries (the conflicting side
+                   releases, so cycles still break). *)
+                retry_pause k ctx n;
+                demote_with_retries (Option.value !owed ~default:0) (n + 1)
+              | (`Conflict | `Done) as r -> r
+            in
+            match demote_with_retries mask n with
+            | `Conflict ->
+              Khash.release_reserve ctx e;
+              retry_pause k ctx n;
+              attempt (n + 1)
+            | `Done ->
+              owed := None;
+              (* Write transfers leave the master descriptor reserved for
+                 us; confirm to release it. *)
+              if write && master <> my_cluster then
+                ignore (rpc_to master (confirm_release_service k ~vpage));
+              Ctx.write ctx d.Page.vstate needed;
+              map_page k ctx d;
+              Khash.release_reserve ctx e)
+        end)
+    in
+    attempt 1
+  end;
+  Kernel.kernel_work k ctx costs.Costs.fault_exit
+
+let unmap k ctx ~vpage =
+  let cd = Kernel.local_cluster k ctx in
+  if Kernel.lockless k then begin
+    match Khash.search_locked ctx cd.Kernel.page_hash vpage with
+    | None -> ()
+    | Some e ->
+      let d = e.Khash.payload in
+      let p = Ctx.proc ctx in
+      Ctx.write ctx (Kernel.pte_cell k p) 0;
+      Kernel.kernel_work k ctx (Kernel.costs k).Costs.unmap_page;
+      let rc = Ctx.read ctx d.Page.refcount in
+      Ctx.write ctx d.Page.refcount (max 0 (rc - 1))
+  end
+  else
+    match Khash.reserve_existing cd.Kernel.page_hash ctx vpage with
+    | None -> ()
+    | Some e ->
+      unmap_pte k ctx e.Khash.payload;
+      Khash.release_reserve ctx e
+
+(* -- no-combining read fault (ablation ABL2) ------------------------------ *)
+
+(* Read fault that bypasses the combining tree: a processor that misses (or
+   finds an invalid replica) goes to the master itself instead of waiting on
+   the cluster placeholder's reserve bit, so simultaneous missers in one
+   cluster each pay an RPC and the master absorbs per-processor (not
+   per-cluster) demand. Used only by the combining ablation. *)
+let read_fault_no_combining k ctx ~vpage =
+  Kernel.count_fault k;
+  let costs = Kernel.costs k in
+  Kernel.kernel_work k ctx costs.Costs.fault_entry;
+  let cd = Kernel.local_cluster k ctx in
+  let pd_lock = Kernel.proc_desc_lock k (Ctx.proc ctx) in
+  pd_lock.Lock.acquire ctx;
+  Ctx.work ctx 6;
+  pd_lock.Lock.release ctx;
+  cd.Kernel.region_lock.Lock.acquire ctx;
+  Ctx.work ctx region_lookup_work;
+  cd.Kernel.region_lock.Lock.release ctx;
+  let clustering = Kernel.clustering k in
+  let my_cluster = cd.Kernel.c_id in
+  let master = resolve_master k ~vpage ~my_cluster in
+  let fresh_state () =
+    let found =
+      Khash.with_coarse cd.Kernel.page_hash ctx (fun () ->
+          Khash.search_locked ctx cd.Kernel.page_hash vpage)
+    in
+    match found with
+    | Some e when Cell.peek e.Khash.payload.Page.vstate >= Page.st_valid_read
+      ->
+      `Valid e
+    | Some e -> `Invalid e
+    | None -> `Missing
+  in
+  let rec attempt n =
+    match fresh_state () with
+    | `Valid e ->
+      (* Raced with someone who filled it; still a redundant RPC may have
+         been paid by us earlier. *)
+      map_page k ctx e.Khash.payload
+    | `Invalid _ | `Missing -> (
+      if master = my_cluster then begin
+        (* Local master: just validate under a reservation. *)
+        match Khash.reserve_existing cd.Kernel.page_hash ctx vpage with
+        | None -> failwith "read_fault_no_combining: master lost the page"
+        | Some e ->
+          map_page k ctx e.Khash.payload;
+          Khash.release_reserve ctx e
+      end
+      else begin
+        (* Go remote without coordinating with other local missers. *)
+        Kernel.count_fault_rpc k;
+        let target =
+          Clustering.rpc_target clustering ~from:(Ctx.proc ctx)
+            ~target_cluster:master
+        in
+        match
+          Rpc.call (Kernel.rpc k) ctx ~target
+            (master_acquire_service k ~vpage ~req_cluster:my_cluster
+               ~write:false)
+        with
+        | Rpc.Absent -> failwith "read_fault_no_combining: master lost page"
+        | Rpc.Would_deadlock ->
+          retry_pause k ctx n;
+          attempt (n + 1)
+        | Rpc.Ok _downgrade -> (
+          Kernel.count_replication k;
+          match
+            Khash.reserve_or_insert cd.Kernel.page_hash ctx vpage
+              ~make:(fun home ->
+                Page.make (Kernel.machine k) ~home ~vpage ~frame:vpage
+                  ~master_cluster:master ~vstate:Page.st_invalid)
+          with
+          | `Inserted e | `Reserved e ->
+            let d = e.Khash.payload in
+            Kernel.struct_work k ctx ~home:(Cell.home d.Page.refcount)
+              costs.Costs.replicate_copy;
+            let st = Ctx.read ctx d.Page.vstate in
+            if st < Page.st_valid_read then
+              Ctx.write ctx d.Page.vstate Page.st_valid_read;
+            map_page k ctx d;
+            Khash.release_reserve ctx e)
+      end)
+  in
+  attempt 1;
+  Kernel.kernel_work k ctx costs.Costs.fault_exit
+
+(* -- copy-on-write faults (Sections 2.3 / 2.5) ------------------------------ *)
+
+(* A COW page: many processes map one physical page read-only; the first
+   write by each must break the sharing — decrement the shared page's
+   share count and instantiate a private copy. Simultaneous COW faults on
+   the same page from different clusters are the paper's canonical retry
+   source: with the optimistic strategy the initiator holds its reserve
+   across the share-count RPC and retries on conflict; with the pessimistic
+   strategy it releases first and may find "its copy of the page had
+   disappeared by the time it completed its remote operation".
+
+   The shared descriptor lives at its master cluster; its [refcount] is the
+   share count here. When the count drops to zero the master removes the
+   descriptor — that removal is what pessimistic re-validation observes as
+   disappearance. *)
+
+type cow_outcome = Broke | Already_gone
+
+(* Master-side: drop one share of [vpage]; remove the descriptor when the
+   last share goes. Never waits. *)
+let cow_unshare_service k ~vpage tctx =
+  let cd = Kernel.local_cluster k tctx in
+  match Khash.try_reserve_existing cd.Kernel.page_hash tctx vpage with
+  | `Absent -> Rpc.Absent
+  | `Would_deadlock -> Rpc.Would_deadlock
+  | `Reserved e ->
+    let d = e.Khash.payload in
+    let n = Ctx.read tctx d.Page.refcount in
+    if n <= 1 then begin
+      (* Last sharer: the shared page dies. *)
+      ignore (Khash.remove cd.Kernel.page_hash tctx vpage);
+      Khash.release_reserve tctx e;
+      Rpc.Ok 0
+    end
+    else begin
+      Ctx.write tctx d.Page.refcount (n - 1);
+      Khash.release_reserve tctx e;
+      Rpc.Ok (n - 1)
+    end
+
+(* Break copy-on-write sharing of [vpage] for the calling processor:
+   allocate the private page, drop our share at the master, and map the
+   private copy. [private_vpage] names the new private page (created in the
+   local cluster, mastered locally). Returns [Broke] on success or
+   [Already_gone] if the shared page vanished first (pessimistic only —
+   optimistic callers hold their reserve, so the page cannot vanish under
+   them). *)
+let cow_fault k ctx ~strategy ~vpage ~private_vpage =
+  Kernel.count_fault k;
+  let costs = Kernel.costs k in
+  Kernel.kernel_work k ctx costs.Costs.fault_entry;
+  let cd = Kernel.local_cluster k ctx in
+  let clustering = Kernel.clustering k in
+  let my_cluster = cd.Kernel.c_id in
+  let master = resolve_master k ~vpage ~my_cluster in
+  let rpc_to cluster service =
+    Kernel.count_fault_rpc k;
+    let target =
+      Clustering.rpc_target clustering ~from:(Ctx.proc ctx)
+        ~target_cluster:cluster
+    in
+    Rpc.call (Kernel.rpc k) ctx ~target service
+  in
+  (* Instantiate the private page first (the paper's rule: create the local
+     instance before going remote so cluster-mates do not duplicate the
+     work). *)
+  let fresh_private () =
+    match
+      Khash.reserve_or_insert cd.Kernel.page_hash ctx private_vpage
+        ~make:(fun home ->
+          Page.make (Kernel.machine k) ~home ~vpage:private_vpage
+            ~frame:private_vpage ~master_cluster:my_cluster
+            ~vstate:Page.st_valid_write)
+    with
+    | `Inserted e | `Reserved e -> e
+  in
+  let unshare () =
+    if master = my_cluster then cow_unshare_service k ~vpage ctx
+    else rpc_to master (cow_unshare_service k ~vpage)
+  in
+  let finish priv =
+    let d = priv.Khash.payload in
+    Ctx.write ctx d.Page.vstate Page.st_valid_write;
+    Kernel.struct_work k ctx
+      ~home:(Cell.home d.Page.refcount)
+      costs.Costs.replicate_copy (* copy the page contents *);
+    map_page k ctx d;
+    Khash.release_reserve ctx priv
+  in
+  let rec attempt n =
+    if n > 1000 then failwith "Memmgr.cow_fault: livelock";
+    match strategy with
+    | Procs.Optimistic -> (
+      (* Hold the private placeholder's reserve across the unshare. *)
+      let priv = fresh_private () in
+      match unshare () with
+      | Rpc.Ok _ | Rpc.Absent ->
+        (* Absent: someone else took the last share first; our private copy
+           is still the right outcome. *)
+        finish priv;
+        Kernel.kernel_work k ctx costs.Costs.fault_exit;
+        Broke
+      | Rpc.Would_deadlock ->
+        Khash.release_reserve ctx priv;
+        retry_pause k ctx n;
+        attempt (n + 1))
+    | Procs.Pessimistic -> (
+      (* Release everything before going remote... *)
+      match unshare () with
+      | Rpc.Would_deadlock ->
+        retry_pause k ctx n;
+        attempt (n + 1)
+      | (Rpc.Ok _ | Rpc.Absent) as r ->
+        (* ...then re-establish state: search the shared descriptor again,
+           prepared for it to be gone (the paper's §2.3 overhead that the
+           optimistic protocol avoids in the common case). [Ok 0] means we
+           removed it ourselves — not a disappearance. *)
+        let probe () =
+          let search_service tctx =
+            let mcd = Kernel.cluster k master in
+            Khash.with_coarse mcd.Kernel.page_hash tctx (fun () ->
+                match Khash.search_locked tctx mcd.Kernel.page_hash vpage with
+                | Some _ -> Rpc.Ok 1
+                | None -> Rpc.Absent)
+          in
+          if master = my_cluster then search_service ctx
+          else rpc_to master search_service
+        in
+        let disappeared =
+          match r with
+          | Rpc.Absent -> true
+          | Rpc.Ok 0 -> false (* the last share was ours *)
+          | _ -> probe () = Rpc.Absent
+        in
+        if disappeared then
+          (* Handle the no-longer-present case: extra bookkeeping the
+             optimistic strategy never pays. *)
+          Kernel.kernel_work k ctx (costs.Costs.directory_update * 2);
+        let priv = fresh_private () in
+        finish priv;
+        Kernel.kernel_work k ctx costs.Costs.fault_exit;
+        if disappeared then Already_gone else Broke)
+  in
+  attempt 1

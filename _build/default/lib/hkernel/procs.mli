@@ -1,0 +1,76 @@
+(** Process descriptors, the family tree, and program destruction
+    (Section 2.5).
+
+    Descriptors are write-shared and therefore never replicated: each lives
+    on one cluster (pid mod n_clusters) and is reached by RPC. Destroying a
+    process updates up to three descriptors on up to three clusters; when a
+    program's processes die together, reservation conflicts force retries
+    under either deadlock-management strategy. *)
+
+open Hector
+
+type strategy =
+  | Optimistic
+      (** hold local reservations across remote calls; release and retry on
+          conflict; no revalidation in the common case *)
+  | Pessimistic
+      (** release before every remote call; re-reserve and revalidate after *)
+
+val strategy_name : strategy -> string
+
+type layout =
+  | Combined
+      (** tree links inside the process descriptors — what Hurricane
+          shipped, and regretted (Section 2.5) *)
+  | Separate  (** the family tree as its own structure, own reserve bits *)
+
+val layout_name : layout -> string
+
+type pd = {
+  pid : int;
+  parent : Cell.t;
+  alive : Cell.t;
+  nchildren : Cell.t;
+  children : int list ref;
+  mailbox : Cell.t;
+}
+
+type t
+
+val create : ?strategy:strategy -> ?layout:layout -> Kernel.t -> t
+
+val strategy : t -> strategy
+val layout : t -> layout
+val destroys : t -> int
+val retries : t -> int
+val revalidations : t -> int
+
+(** Destructions abandoned because the target died under a racing
+    destroyer. *)
+val lost_races : t -> int
+
+val sends : t -> int
+val send_retries : t -> int
+
+val cluster_of_pid : t -> int -> int
+
+(** Untimed setup: create a process (parent 0 for a root). *)
+val spawn_process_untimed : t -> pid:int -> parent:int -> unit
+
+(** Untimed views for assertions. *)
+
+val alive_untimed : t -> int -> bool
+val children_untimed : t -> int -> int list
+val mailbox_untimed : t -> int -> int
+
+(** Destroy [pid]: unlink from its parent, reparent its children to the
+    grandparent, mark dead and remove the descriptor. Returns [false] if
+    the process was already gone. Must run inside a simulated process. *)
+val destroy : t -> Ctx.t -> int -> bool
+
+(** Send a message from [src] (which must belong to the caller's cluster)
+    to an arbitrary [dst]: the source descriptor is reserved across the
+    deposit into the destination descriptor — two arbitrarily related
+    descriptors, no natural order (Section 2.5). Returns [false] if either
+    process is gone. *)
+val send : t -> Ctx.t -> src:int -> dst:int -> bool

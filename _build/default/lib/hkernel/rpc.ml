@@ -1,0 +1,110 @@
+(* Inter-cluster remote procedure calls.
+
+   An RPC is carried by an inter-processor interrupt: the sender marshals a
+   request (a remote write into the target's memory), raises the IPI, and
+   spins on the reply word with interrupts enabled — the processor is busy
+   but still serves incoming RPCs, as an exception-based kernel must. The
+   service runs in the target's interrupt context and therefore must never
+   wait on a reserve bit: it fails with [Would_deadlock] instead, and the
+   initiator retries (Section 2.3).
+
+   The target processor is chosen by the caller; Hurricane's rule is i-th
+   processor to i-th processor (see {!Clustering.rpc_target}). *)
+
+open Eventsim
+open Hector
+
+type outcome =
+  | Ok of int
+  | Would_deadlock (* a reserve bit was found set on the remote side *)
+  | Absent (* the remote structure does not exist *)
+
+let outcome_name = function
+  | Ok v -> Printf.sprintf "Ok(%d)" v
+  | Would_deadlock -> "Would_deadlock"
+  | Absent -> "Absent"
+
+type t = {
+  ctxs : Ctx.t array;
+  costs : Costs.t;
+  req_cells : Cell.t array; (* request mailbox per processor *)
+  mutable work : Ctx.t -> int -> unit;
+      (* how marshal/dispatch cycles are charged; the kernel installs its
+         memory-bound worker here *)
+  mutable calls : int;
+  mutable deadlock_failures : int;
+  mutable retries : int;
+}
+
+let create machine ctxs costs =
+  {
+    ctxs;
+    costs;
+    req_cells =
+      Array.init (Array.length ctxs) (fun p ->
+          Machine.alloc machine ~label:(Printf.sprintf "rpcreq%d" p) ~home:p 0);
+    work = (fun ctx cycles -> Ctx.work ctx cycles);
+    calls = 0;
+    deadlock_failures = 0;
+    retries = 0;
+  }
+
+let set_work t f = t.work <- f
+
+let calls t = t.calls
+let deadlock_failures t = t.deadlock_failures
+let retries t = t.retries
+
+(* One synchronous RPC. [service] runs on the target processor's context in
+   interrupt state. *)
+let call t ctx ~target service =
+  let machine = Ctx.machine ctx in
+  if target = Ctx.proc ctx then begin
+    (* Local "call": run the service directly, no interrupt machinery. *)
+    t.calls <- t.calls + 1;
+    let r = service ctx in
+    (match r with
+    | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
+    | Ok _ | Absent -> ());
+    r
+  end
+  else begin
+    t.calls <- t.calls + 1;
+    t.work ctx t.costs.Costs.rpc_send;
+    (* Deposit the request in the target's mailbox: one remote write. *)
+    Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
+    let reply = Ivar.create () in
+    let reply_cell =
+      Machine.alloc machine ~label:"rpcreply" ~home:(Ctx.proc ctx) 0
+    in
+    Ctx.post_ipi t.ctxs.(target) (fun tctx ->
+        t.work tctx t.costs.Costs.rpc_dispatch;
+        let r = service tctx in
+        t.work tctx t.costs.Costs.rpc_reply;
+        (* Deposit the reply at the caller: one remote write. *)
+        Ctx.write tctx reply_cell 1;
+        Ivar.fill (Ctx.engine tctx) reply r);
+    let r = Ctx.await ctx reply in
+    (* Consume the reply word. *)
+    ignore (Ctx.read ctx reply_cell);
+    (match r with
+    | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
+    | Ok _ | Absent -> ());
+    r
+  end
+
+(* Retry a [Would_deadlock]-prone call until it resolves, backing off with
+   jitter between attempts. [before_retry] lets the caller release local
+   reserve bits (the optimistic protocol) before each new attempt. *)
+let call_until_resolved ?(before_retry = fun () -> ()) t ctx ~target service =
+  let rec go attempt =
+    match call t ctx ~target service with
+    | Would_deadlock ->
+      t.retries <- t.retries + 1;
+      before_retry ();
+      let base = t.costs.Costs.retry_backoff * min attempt 8 in
+      Ctx.interruptible_pause ctx (base + Rng.int (Ctx.rng ctx) (max 1 base));
+      go (attempt + 1)
+    | (Ok _ | Absent) as r -> r
+  in
+  go 1

@@ -1,0 +1,44 @@
+(** Inter-cluster remote procedure calls, carried by inter-processor
+    interrupts.
+
+    The caller deposits a request (remote write), raises the IPI, and spins
+    on the reply with interrupts enabled — a busy processor still serves
+    incoming RPCs, which an exception-based kernel requires. Services run in
+    the target's interrupt context and must never wait: they fail with
+    [Would_deadlock] and the initiator retries (Section 2.3). *)
+
+open Hector
+
+type outcome =
+  | Ok of int
+  | Would_deadlock  (** a reserve bit was found set on the remote side *)
+  | Absent  (** the remote structure does not exist *)
+
+val outcome_name : outcome -> string
+
+type t
+
+val create : Machine.t -> Ctx.t array -> Costs.t -> t
+
+(** Install the function charging marshal/dispatch cycles (the kernel routes
+    them through its memory-bound worker). *)
+val set_work : t -> (Ctx.t -> int -> unit) -> unit
+
+val calls : t -> int
+val deadlock_failures : t -> int
+val retries : t -> int
+
+(** One synchronous call; [service] runs on the target processor. A call to
+    the caller's own processor runs the service directly. *)
+val call : t -> Ctx.t -> target:int -> (Ctx.t -> outcome) -> outcome
+
+(** Retry a call through [Would_deadlock] failures with jittered backoff;
+    [before_retry] releases the caller's reserve bits first (the optimistic
+    protocol). Never returns [Would_deadlock]. *)
+val call_until_resolved :
+  ?before_retry:(unit -> unit) ->
+  t ->
+  Ctx.t ->
+  target:int ->
+  (Ctx.t -> outcome) ->
+  outcome

@@ -1,0 +1,1 @@
+lib/locks/anderson_lock.ml: Array Cell Config Ctx Hector Machine Printf

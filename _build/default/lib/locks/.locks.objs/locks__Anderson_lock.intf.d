@@ -1,0 +1,1 @@
+lib/locks/anderson_lock.mli: Ctx Hector Machine

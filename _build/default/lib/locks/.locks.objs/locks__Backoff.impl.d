@@ -1,0 +1,1 @@
+lib/locks/backoff.ml: Config Ctx Eventsim Hector

@@ -1,0 +1,1 @@
+lib/locks/backoff.mli: Config Ctx Hector

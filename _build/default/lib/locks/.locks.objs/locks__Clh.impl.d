@@ -1,0 +1,1 @@
+lib/locks/clh.ml: Array Cell Ctx Hector Machine Printf

@@ -1,0 +1,1 @@
+lib/locks/clh.mli: Ctx Hector Machine

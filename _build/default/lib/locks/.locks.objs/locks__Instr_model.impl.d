@@ -1,0 +1,1 @@
+lib/locks/instr_model.ml: Config Hector List

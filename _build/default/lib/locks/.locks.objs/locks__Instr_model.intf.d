@@ -1,0 +1,1 @@
+lib/locks/instr_model.mli: Config Hector

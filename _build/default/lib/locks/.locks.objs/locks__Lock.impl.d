@@ -1,0 +1,1 @@
+lib/locks/lock.ml: Anderson_lock Backoff Clh Config Ctx Fun Hector Machine Mcs Printf Spin_lock Stb_lock Ticket_lock

@@ -1,0 +1,1 @@
+lib/locks/lock.mli: Ctx Hector Machine Mcs Spin_lock

@@ -1,0 +1,1 @@
+lib/locks/lockfree.ml: Cell Ctx Hector List Machine

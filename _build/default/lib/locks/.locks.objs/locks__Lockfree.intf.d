@@ -1,0 +1,1 @@
+lib/locks/lockfree.mli: Cell Ctx Hector Machine

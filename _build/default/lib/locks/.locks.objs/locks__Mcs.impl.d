@@ -1,0 +1,1 @@
+lib/locks/mcs.ml: Array Cell Ctx Hector Machine Printf

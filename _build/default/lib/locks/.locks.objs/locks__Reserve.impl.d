@@ -1,0 +1,1 @@
+lib/locks/reserve.ml: Backoff Cell Ctx Hector

@@ -1,0 +1,1 @@
+lib/locks/reserve.mli: Backoff Cell Ctx Hector

@@ -1,0 +1,1 @@
+lib/locks/spin_lock.ml: Backoff Cell Ctx Hector Machine

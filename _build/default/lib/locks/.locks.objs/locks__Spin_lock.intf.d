@@ -1,0 +1,1 @@
+lib/locks/spin_lock.mli: Backoff Ctx Hector Machine

@@ -1,0 +1,1 @@
+lib/locks/stb_lock.ml: Cell Config Ctx Engine Eventsim Hector Machine Process Queue

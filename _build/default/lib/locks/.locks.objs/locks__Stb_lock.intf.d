@@ -1,0 +1,1 @@
+lib/locks/stb_lock.mli: Cell Ctx Hector Machine

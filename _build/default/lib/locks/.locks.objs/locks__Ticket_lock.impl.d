@@ -1,0 +1,1 @@
+lib/locks/ticket_lock.ml: Cell Config Ctx Hector Machine

@@ -1,0 +1,1 @@
+lib/locks/ticket_lock.mli: Ctx Hector Machine

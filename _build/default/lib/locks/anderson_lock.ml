@@ -1,0 +1,83 @@
+(* Anderson's array-based queue lock.
+
+   One of the "newer cache-based queueing locks" of the paper's Section 5.2
+   discussion: a fetch&increment hands each waiter a private slot of a
+   P-entry array to spin on; release flips the next slot. Fair and, with a
+   slot per cache line, free of the ticket lock's single-word hot spot —
+   at the cost of P words *per lock*, the space overhead that made the
+   paper prefer MCS-style per-processor nodes shared across locks.
+
+   Requires a CAS machine (the slot counter is a CAS-loop increment). *)
+
+open Hector
+
+type t = {
+  slots : Cell.t array; (* has_lock flags, one per processor slot *)
+  tail : Cell.t; (* next free slot index (monotonic; slot = mod P) *)
+  machine : Machine.t;
+  mutable acquisitions : int;
+  mutable my_slot : int array; (* slot each processor spins on *)
+  mutable holder_slot : int; (* bookkeeping *)
+}
+
+let create ?(home = 0) machine =
+  if not (Machine.config machine).Config.has_cas then
+    invalid_arg "Anderson_lock.create: needs a machine with compare&swap";
+  let n = Machine.n_procs machine in
+  let slots =
+    (* Slots are spread over the machine so waiters don't all hammer one
+       module; slot 0 starts with the lock. *)
+    Array.init n (fun i ->
+        Machine.alloc machine
+          ~label:(Printf.sprintf "anderson%d" i)
+          ~home:(i mod n)
+          (if i = 0 then 1 else 0))
+  in
+  {
+    slots;
+    tail = Machine.alloc machine ~label:"anderson.tail" ~home 0;
+    machine;
+    acquisitions = 0;
+    my_slot = Array.make n (-1);
+    holder_slot = -1;
+  }
+
+let acquisitions t = t.acquisitions
+let is_free t = t.holder_slot = -1 && Cell.peek t.slots.(Cell.peek t.tail mod Array.length t.slots) = 1
+
+let take_slot t ctx =
+  let rec loop () =
+    let v = Ctx.read ctx t.tail in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if Ctx.compare_and_swap ctx t.tail ~expect:v ~set:(v + 1) then v
+    else loop ()
+  in
+  loop ()
+
+let acquire t ctx =
+  let n = Array.length t.slots in
+  let slot = take_slot t ctx mod n in
+  let rec wait () =
+    let v = Ctx.read ctx t.slots.(slot) in
+    Ctx.instr ctx ~br:1 ();
+    if v = 0 then begin
+      Ctx.interruptible_pause ctx 16;
+      wait ()
+    end
+  in
+  wait ();
+  (* Consume the flag for the next trip around the array. *)
+  Ctx.write ctx t.slots.(slot) 0;
+  t.my_slot.(Ctx.proc ctx) <- slot;
+  assert (t.holder_slot = -1);
+  t.holder_slot <- slot;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t ctx =
+  let n = Array.length t.slots in
+  let slot = t.my_slot.(Ctx.proc ctx) in
+  assert (slot = t.holder_slot);
+  t.holder_slot <- -1;
+  t.my_slot.(Ctx.proc ctx) <- -1;
+  Ctx.write ctx t.slots.((slot + 1) mod n) 1;
+  Ctx.instr ctx ~br:1 ()

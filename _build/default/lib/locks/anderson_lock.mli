@@ -1,0 +1,17 @@
+(** Anderson's array-based queue lock: a fetch&increment hands each waiter
+    a private array slot to spin on; release flips the next slot. Fair,
+    hot-spot free — and P words per lock, the space cost that made the
+    paper prefer per-processor MCS nodes (Section 5.2). Requires a CAS
+    machine. *)
+
+open Hector
+
+type t
+
+val create : ?home:int -> Machine.t -> t
+
+val acquisitions : t -> int
+val is_free : t -> bool
+
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit

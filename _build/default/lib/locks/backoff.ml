@@ -1,0 +1,39 @@
+(* Exponential backoff policy.
+
+   Used by the test&set spin lock and by reserve-bit waiters. The delay
+   doubles on each failed attempt up to a cap; a small deterministic jitter
+   (from the caller's per-processor RNG stream) de-synchronises processors
+   that fail at the same instant, as real systems do. *)
+
+open Hector
+
+type t = {
+  base : int; (* cycles *)
+  max : int; (* cycles *)
+  jitter : bool;
+}
+
+let create ?(base = 8) ?(jitter = true) ~max_cycles () =
+  if base <= 0 then invalid_arg "Backoff.create: base must be positive";
+  if max_cycles < base then invalid_arg "Backoff.create: max < base";
+  { base; max = max_cycles; jitter }
+
+let of_us cfg ?base ?jitter ~max_us () =
+  create ?base ?jitter ~max_cycles:(Config.cycles_of_us cfg max_us) ()
+
+let initial t = t.base
+
+let next t delay = min (delay * 2) t.max
+
+(* Wait out one backoff period on the given context. The processor is
+   waiting, not computing, so interrupts keep being served. *)
+let delay_on ctx t delay =
+  let d =
+    if t.jitter && delay > 1 then
+      let r = Ctx.rng ctx in
+      (delay / 2) + Eventsim.Rng.int r (max 1 (delay / 2))
+    else delay
+  in
+  Ctx.interruptible_pause ctx d
+
+let max_cycles t = t.max

@@ -1,0 +1,24 @@
+(** Exponential backoff policy for spin loops.
+
+    Delay doubles per failed attempt up to a cap. Jitter (drawn from the
+    processor's deterministic RNG stream) prevents lock-step retries. *)
+
+open Hector
+
+type t
+
+val create : ?base:int -> ?jitter:bool -> max_cycles:int -> unit -> t
+
+(** Cap expressed in microseconds of the given machine configuration. *)
+val of_us : Config.t -> ?base:int -> ?jitter:bool -> max_us:float -> unit -> t
+
+(** First delay, in cycles. *)
+val initial : t -> int
+
+(** Next delay after a failure. *)
+val next : t -> int -> int
+
+(** Spend one backoff period of [delay] cycles (jittered) on [ctx]. *)
+val delay_on : Ctx.t -> t -> int -> unit
+
+val max_cycles : t -> int

@@ -1,0 +1,87 @@
+(* CLH queue lock (Craig; Landin & Hagersten).
+
+   Like MCS, the CLH lock builds an implicit FIFO queue with one
+   fetch&store on the tail word. Unlike MCS, a waiter spins on its
+   PREDECESSOR's node, and on release a processor adopts its predecessor's
+   node for its next acquisition, so nodes migrate between processors.
+
+   On a cache-coherent machine this is elegant: the spin hits the local
+   cache until the predecessor's release invalidates it. On HECTOR —
+   no coherence — the spin goes to wherever the predecessor's node
+   happens to live, usually remote memory, re-creating exactly the
+   second-order traffic that distributed locks exist to avoid. The ABL4
+   experiment measures this contrast; it is why Hurricane's choice was MCS
+   (Section 5.2 discusses the trade-offs among queue locks).
+
+   Node state: locked = 1 while its owner holds or waits for the lock;
+   0 once released. The tail initially points at a dummy unlocked node. *)
+
+open Hector
+
+type t = {
+  tail : Cell.t; (* node id of the queue tail *)
+  nodes : Cell.t array; (* node id -> locked flag cell *)
+  mutable node_of_proc : int array; (* which node each processor owns *)
+  machine : Machine.t;
+  mutable acquisitions : int;
+  (* Bookkeeping for assertions (untimed). *)
+  mutable holder : int; (* processor or -1 *)
+  pred_of_proc : int array; (* node adopted from the predecessor *)
+}
+
+(* Node ids index [nodes]; node i for i < n starts owned by processor i,
+   node n is the dummy the tail starts at. *)
+let create ?(home = 0) machine =
+  let n = Machine.n_procs machine in
+  let nodes =
+    Array.init (n + 1) (fun i ->
+        let node_home = if i < n then i else home in
+        Machine.alloc machine
+          ~label:(Printf.sprintf "clh%d" i)
+          ~home:node_home
+          (if i = n then 0 else 1))
+  in
+  {
+    tail = Machine.alloc machine ~label:"clh.tail" ~home n;
+    nodes;
+    node_of_proc = Array.init n (fun i -> i);
+    machine;
+    acquisitions = 0;
+    holder = -1;
+    pred_of_proc = Array.make n (-1);
+  }
+
+let acquisitions t = t.acquisitions
+let holder_proc t = if t.holder < 0 then None else Some t.holder
+let is_free t = t.holder < 0
+
+let acquire t ctx =
+  let proc = Ctx.proc ctx in
+  let my = t.node_of_proc.(proc) in
+  (* Mark our node locked (it may be a recycled node homed anywhere). *)
+  Ctx.write ctx t.nodes.(my) 1;
+  let pred = Ctx.fetch_and_store ctx t.tail my in
+  Ctx.instr ctx ~reg:2 ~br:2 ();
+  (* Spin on the PREDECESSOR's node — remote, unless a coherent cache holds
+     it. *)
+  let rec wait () =
+    let v = Ctx.read ctx t.nodes.(pred) in
+    Ctx.instr ctx ~br:1 ();
+    if v <> 0 then wait ()
+  in
+  wait ();
+  t.pred_of_proc.(proc) <- pred;
+  assert (t.holder < 0);
+  t.holder <- proc;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t ctx =
+  let proc = Ctx.proc ctx in
+  assert (t.holder = proc);
+  t.holder <- -1;
+  let my = t.node_of_proc.(proc) in
+  Ctx.write ctx t.nodes.(my) 0;
+  Ctx.instr ctx ~br:1 ();
+  (* Adopt the predecessor's node for next time. *)
+  t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
+  t.pred_of_proc.(proc) <- -1

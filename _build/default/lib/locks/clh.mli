@@ -1,0 +1,23 @@
+(** CLH queue lock (Craig; Landin & Hagersten) — the queue lock the paper's
+    Section 5.2 weighs against MCS.
+
+    A waiter spins on its *predecessor's* node and adopts that node on
+    release, so nodes migrate between processors. With coherent caches the
+    spin is local until the hand-off invalidation; on HECTOR it is remote
+    memory traffic — the ABL4 experiment measures the contrast. *)
+
+open Hector
+
+type t
+
+val create : ?home:int -> Machine.t -> t
+
+val acquisitions : t -> int
+
+(** Untimed, for assertions. *)
+val holder_proc : t -> int option
+
+val is_free : t -> bool
+
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit

@@ -1,0 +1,119 @@
+(* Static instruction model of the uncontended lock/unlock path.
+
+   This regenerates Figure 4 of the paper: the instruction counts of a
+   lock/unlock pair in the absence of contention, per algorithm, obtained by
+   inspecting the code. Our sequences mirror the Figure 3 pseudo-code and
+   the charging sites in {!Spin_lock} and {!Mcs}, so the table is derived,
+   not transcribed. *)
+
+open Hector
+
+type instr =
+  | Atomic (* read-modify-write: swap on HECTOR *)
+  | Mem (* load or store to memory *)
+  | Reg (* single-cycle register-to-register *)
+  | Br (* branch, including return *)
+
+type counts = { atomic : int; mem : int; reg : int; br : int }
+
+type algo = Mcs_original | Mcs_h1 | Mcs_h2 | Spin
+
+let algo_name = function
+  | Mcs_original -> "MCS"
+  | Mcs_h1 -> "H1-MCS"
+  | Mcs_h2 -> "H2-MCS"
+  | Spin -> "Spin"
+
+let all = [ Mcs_original; Mcs_h1; Mcs_h2; Spin ]
+
+(* The uncontended acquire path, as executed. *)
+let acquire_path = function
+  | Mcs_original ->
+    [
+      Mem (* I->next := nil *);
+      Atomic (* pred := fetch_and_store(L, I) *);
+      Reg; Reg (* argument setup *);
+      Br (* pred != nil? *);
+      Br (* return *);
+    ]
+  | Mcs_h1 | Mcs_h2 ->
+    [
+      Atomic (* pred := fetch_and_store(L, I); node pre-initialised *);
+      Reg; Reg;
+      Br (* pred != nil? *);
+      Br (* return *);
+    ]
+  | Spin ->
+    [
+      Atomic (* test_and_set(L) *);
+      Reg (* load delay constant *);
+      Br (* = locked? *);
+      Br (* return *);
+    ]
+
+(* The uncontended release path. *)
+let release_path = function
+  | Mcs_original | Mcs_h1 ->
+    [
+      Mem (* I->next = nil? — load *);
+      Br (* test *);
+      Atomic (* old := fetch_and_store(L, nil) *);
+      Reg;
+      Br (* old = I? *);
+      Br (* return *);
+    ]
+  | Mcs_h2 ->
+    [
+      Atomic (* old := fetch_and_store(L, nil) — no successor check *);
+      Reg;
+      Br (* old = I? *);
+      Br (* return *);
+    ]
+  | Spin ->
+    [ Atomic (* swap(L, 0) *); Br (* return *) ]
+
+let pair_path a = acquire_path a @ release_path a
+
+let count_instrs instrs =
+  List.fold_left
+    (fun c i ->
+      match i with
+      | Atomic -> { c with atomic = c.atomic + 1 }
+      | Mem -> { c with mem = c.mem + 1 }
+      | Reg -> { c with reg = c.reg + 1 }
+      | Br -> { c with br = c.br + 1 })
+    { atomic = 0; mem = 0; reg = 0; br = 0 }
+    instrs
+
+let counts a = count_instrs (pair_path a)
+
+(* Figure 4 as published, for the cross-check in the test suite. *)
+let paper_counts = function
+  | Mcs_original -> { atomic = 2; mem = 2; reg = 3; br = 5 }
+  | Mcs_h1 -> { atomic = 2; mem = 1; reg = 3; br = 5 }
+  | Mcs_h2 -> { atomic = 2; mem = 0; reg = 3; br = 4 }
+  | Spin -> { atomic = 2; mem = 0; reg = 1; br = 3 }
+
+(* Predicted uncontended latency of a lock/unlock pair on a machine where
+   both the lock word and the queue node are local, accounting for the
+   overlap of post-swap instructions with the swap's store phase. *)
+let predicted_cycles cfg a =
+  let instr_cost = function
+    | Atomic -> cfg.Config.local_latency * cfg.Config.atomic_mem_accesses
+    | Mem -> cfg.Config.local_latency
+    | Reg -> cfg.Config.reg_cost
+    | Br -> cfg.Config.branch_cost
+  in
+  let step (total, credit) i =
+    match i with
+    | Atomic -> (total + instr_cost i, cfg.Config.atomic_overlap)
+    | Mem -> (total + instr_cost i, 0)
+    | Reg | Br ->
+      let c = instr_cost i in
+      let hidden = min credit c in
+      (total + c - hidden, credit - hidden)
+  in
+  let total, _ = List.fold_left step (0, 0) (pair_path a) in
+  total
+
+let predicted_us cfg a = Config.us_of_cycles cfg (predicted_cycles cfg a)

@@ -1,0 +1,170 @@
+(* Uniform lock interface.
+
+   Experiments sweep over lock algorithms; this record type lets a workload
+   take "a lock" without knowing which algorithm backs it. The [algo] type
+   enumerates every configuration the paper's figures compare. *)
+
+open Hector
+
+type t = {
+  name : string;
+  acquire : Ctx.t -> unit;
+  release : Ctx.t -> unit;
+  try_acquire : Ctx.t -> bool;
+  is_free : unit -> bool; (* untimed, for assertions *)
+  acquires : int ref; (* instrumentation: completed acquires *)
+  wait_cycles : int ref; (* total cycles spent inside acquire *)
+}
+
+type algo =
+  | Spin of { max_backoff_us : float }
+  | Mcs_original
+  | Mcs_h1
+  | Mcs_h2
+  | Mcs_cas (* H2 with compare&swap release: Section 5.2 ablation *)
+  | Clh (* CLH queue lock (Craig): spins on the predecessor's node *)
+  | Ticket (* fetch&increment ticket lock; CAS machines only *)
+  | Anderson (* array-based queue lock; CAS machines only *)
+  | Spin_then_block of { spin_us : float } (* Section 5.3, TORNADO *)
+  | Null (* no-op lock: calibration probes measuring lock overhead *)
+
+let algo_name = function
+  | Spin { max_backoff_us } ->
+    if max_backoff_us >= 1000.0 then
+      Printf.sprintf "Spin(%.0fms)" (max_backoff_us /. 1000.0)
+    else Printf.sprintf "Spin(%.0fus)" max_backoff_us
+  | Mcs_original -> "MCS"
+  | Mcs_h1 -> "H1-MCS"
+  | Mcs_h2 -> "H2-MCS"
+  | Mcs_cas -> "H2-MCS(cas)"
+  | Clh -> "CLH"
+  | Ticket -> "Ticket"
+  | Anderson -> "Anderson"
+  | Spin_then_block { spin_us } -> Printf.sprintf "STB(%.0fus)" spin_us
+  | Null -> "none"
+
+(* A lock that does nothing: lets calibration probes measure a kernel path
+   with its locking subtracted. *)
+let null =
+  {
+    name = "none";
+    acquire = (fun _ -> ());
+    release = (fun _ -> ());
+    try_acquire = (fun _ -> true);
+    is_free = (fun () -> true);
+    acquires = ref 0;
+    wait_cycles = ref 0;
+  }
+
+let all_paper_algos =
+  [ Mcs_original; Mcs_h1; Mcs_h2; Spin { max_backoff_us = 35.0 };
+    Spin { max_backoff_us = 2000.0 } ]
+
+(* Wrap an acquire with wall-clock accounting (virtual cycles spent from
+   call to lock entry). *)
+let instrumented ~name ~acquire ~release ~try_acquire ~is_free =
+  let acquires = ref 0 and wait_cycles = ref 0 in
+  let acquire ctx =
+    let t0 = Machine.now (Ctx.machine ctx) in
+    acquire ctx;
+    incr acquires;
+    wait_cycles := !wait_cycles + (Machine.now (Ctx.machine ctx) - t0)
+  in
+  { name; acquire; release; try_acquire; is_free; acquires; wait_cycles }
+
+let of_spin lock =
+  instrumented ~name:"spin"
+    ~acquire:(fun ctx -> Spin_lock.acquire lock ctx)
+    ~release:(fun ctx -> Spin_lock.release lock ctx)
+    ~try_acquire:(fun ctx -> Spin_lock.try_acquire lock ctx)
+    ~is_free:(fun () -> not (Spin_lock.is_held lock))
+
+let of_mcs lock =
+  instrumented ~name:(Mcs.name lock)
+    ~acquire:(fun ctx -> Mcs.acquire lock ctx)
+    ~release:(fun ctx -> Mcs.release lock ctx)
+    ~try_acquire:(fun ctx -> Mcs.try_acquire_v2 lock ctx)
+    ~is_free:(fun () -> Mcs.is_free lock)
+
+let make machine ?(home = 0) algo =
+  let cfg = Machine.config machine in
+  match algo with
+  | Null -> null
+  | Spin { max_backoff_us } ->
+    let backoff = Backoff.of_us cfg ~max_us:max_backoff_us () in
+    let lock = Spin_lock.create machine ~home backoff in
+    { (of_spin lock) with name = algo_name algo }
+  | Mcs_original -> of_mcs (Mcs.create ~variant:Mcs.Original ~home machine)
+  | Mcs_h1 -> of_mcs (Mcs.create ~variant:Mcs.H1 ~home machine)
+  | Mcs_h2 -> of_mcs (Mcs.create ~variant:Mcs.H2 ~home machine)
+  | Mcs_cas ->
+    if not cfg.Config.has_cas then
+      invalid_arg "Lock.make: Mcs_cas needs a machine with compare&swap";
+    let lock = Mcs.create ~variant:Mcs.H2 ~home ~use_cas_release:true machine in
+    { (of_mcs lock) with name = algo_name Mcs_cas }
+  | Clh ->
+    let lock = Clh.create ~home machine in
+    instrumented ~name:"CLH"
+      ~acquire:(fun ctx -> Clh.acquire lock ctx)
+      ~release:(fun ctx -> Clh.release lock ctx)
+      ~try_acquire:(fun ctx ->
+        (* CLH has no cheap TryLock; enqueue and wait. *)
+        Clh.acquire lock ctx;
+        true)
+      ~is_free:(fun () -> Clh.is_free lock)
+  | Ticket ->
+    let lock = Ticket_lock.create ~home machine in
+    instrumented ~name:"Ticket"
+      ~acquire:(fun ctx -> Ticket_lock.acquire lock ctx)
+      ~release:(fun ctx -> Ticket_lock.release lock ctx)
+      ~try_acquire:(fun ctx ->
+        Ticket_lock.acquire lock ctx;
+        true)
+      ~is_free:(fun () -> Ticket_lock.is_free lock)
+  | Anderson ->
+    let lock = Anderson_lock.create ~home machine in
+    instrumented ~name:"Anderson"
+      ~acquire:(fun ctx -> Anderson_lock.acquire lock ctx)
+      ~release:(fun ctx -> Anderson_lock.release lock ctx)
+      ~try_acquire:(fun ctx ->
+        Anderson_lock.acquire lock ctx;
+        true)
+      ~is_free:(fun () -> Anderson_lock.is_free lock)
+  | Spin_then_block { spin_us } ->
+    let lock = Stb_lock.create ~home ~spin_us machine in
+    instrumented ~name:(algo_name algo)
+      ~acquire:(fun ctx -> Stb_lock.acquire lock ctx)
+      ~release:(fun ctx -> Stb_lock.release lock ctx)
+      ~try_acquire:(fun ctx -> Ctx.test_and_set ctx (Stb_lock.flag lock) = 0)
+      ~is_free:(fun () -> not (Stb_lock.is_held lock))
+
+(* Acquire with the processor's soft mask set, so inter-processor interrupts
+   that could deadlock with this lock are deferred until release (Section
+   3.2's adopted solution). *)
+let with_lock_masked t ctx f =
+  Ctx.set_soft_mask ctx;
+  t.acquire ctx;
+  Fun.protect
+    ~finally:(fun () ->
+      t.release ctx;
+      Ctx.clear_soft_mask ctx)
+    f
+
+let with_lock t ctx f =
+  t.acquire ctx;
+  Fun.protect ~finally:(fun () -> t.release ctx) f
+
+(* Space cost of one lock instance, in words, for [n_procs] processors.
+   MCS queue nodes are per-processor but *shared across all locks* on real
+   systems; here we charge the per-lock view the paper uses when comparing
+   strategies ("an additional two words per actively spinning processor"
+   for distributed locks, one word for a spin lock, a P-entry array for
+   Anderson). *)
+let space_words ~n_procs = function
+  | Spin _ -> 1
+  | Ticket -> 2
+  | Anderson -> 1 + n_procs
+  | Clh -> 1 + n_procs + 1 (* tail + a node per processor + the dummy *)
+  | Mcs_original | Mcs_h1 | Mcs_h2 | Mcs_cas -> 1 + (2 * n_procs)
+  | Spin_then_block _ -> 1 (* plus the scheduler's wait list, not memory *)
+  | Null -> 0

@@ -1,0 +1,55 @@
+(** Uniform lock interface over every algorithm the paper compares.
+
+    Workloads take a [t] and stay agnostic of the algorithm; [make] builds
+    one from an [algo] tag. *)
+
+open Hector
+
+type t = {
+  name : string;
+  acquire : Ctx.t -> unit;
+  release : Ctx.t -> unit;
+  try_acquire : Ctx.t -> bool;
+  is_free : unit -> bool;
+  acquires : int ref;
+  wait_cycles : int ref;
+}
+
+type algo =
+  | Spin of { max_backoff_us : float }
+  | Mcs_original
+  | Mcs_h1
+  | Mcs_h2
+  | Mcs_cas
+  | Clh
+  | Ticket
+  | Anderson
+  | Spin_then_block of { spin_us : float }
+  | Null
+
+val algo_name : algo -> string
+
+(** The five algorithms of Figure 5: MCS, H1-MCS, H2-MCS, spin with 35 µs
+    cap, spin with 2 ms cap. *)
+val all_paper_algos : algo list
+
+val make : Machine.t -> ?home:int -> algo -> t
+
+(** A lock that does nothing; calibration probes use it to measure a path
+    with locking subtracted. *)
+val null : t
+
+val of_spin : Spin_lock.t -> t
+val of_mcs : Mcs.t -> t
+
+(** Run [f] holding the lock, with the processor's soft interrupt mask set
+    for the duration (the paper's Stodolsky-style deadlock avoidance for
+    RPC interrupt handlers). *)
+val with_lock_masked : t -> Ctx.t -> (unit -> 'a) -> 'a
+
+(** Run [f] holding the lock. *)
+val with_lock : t -> Ctx.t -> (unit -> 'a) -> 'a
+
+(** Space cost of one lock instance in words, for the paper's strategy
+    comparisons (Section 2.1 / 5.2). *)
+val space_words : n_procs:int -> algo -> int

@@ -1,0 +1,122 @@
+(* Lock-free single-word operations (Section 5.3).
+
+   TORNADO's plan: "lock-free data structures for simple leaf locks,
+   particularly for data required by interrupt handlers and if the data to
+   be modified is contained in a single word". These helpers implement that
+   class with compare&swap retry loops (LL/SC on the real machine), plus a
+   Treiber-style free-list whose nodes are model-level (only the head word
+   is simulated memory — the paper's single-word-update restriction).
+
+   They require a CAS-capable machine configuration. *)
+
+open Hector
+
+type counter = { cell : Cell.t; mutable cas_failures : int }
+
+let make_counter machine ~home v =
+  { cell = Machine.alloc machine ~label:"lf.counter" ~home v; cas_failures = 0 }
+
+let counter_value c = Cell.peek c.cell
+let counter_cell c = c.cell
+let counter_cas_failures c = c.cas_failures
+
+(* Atomic fetch-and-add by CAS retry. Returns the previous value. *)
+let counter_add c ctx delta =
+  let rec loop () =
+    let v = Ctx.read ctx c.cell in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if Ctx.compare_and_swap ctx c.cell ~expect:v ~set:(v + delta) then v
+    else begin
+      c.cas_failures <- c.cas_failures + 1;
+      loop ()
+    end
+  in
+  loop ()
+
+let counter_incr c ctx = counter_add c ctx 1
+
+(* A single-word flags cell updated lock-free: set/clear bits atomically.
+   This is the lock-free replacement for a "leaf" spin lock protecting a
+   status word. *)
+let set_bits cell ctx mask =
+  let rec loop () =
+    let v = Ctx.read ctx cell in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if Ctx.compare_and_swap ctx cell ~expect:v ~set:(v lor mask) then v
+    else loop ()
+  in
+  loop ()
+
+let clear_bits cell ctx mask =
+  let rec loop () =
+    let v = Ctx.read ctx cell in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if Ctx.compare_and_swap ctx cell ~expect:v ~set:(v land lnot mask) then v
+    else loop ()
+  in
+  loop ()
+
+(* Treiber stack over model-level nodes: the head word is the only
+   simulated memory (single-word atomic update); node contents are
+   OCaml-side. Push/pop are lock-free. The simulation's determinism and
+   cell-level access ordering make the ABA problem unobservable here (node
+   ids are never recycled while a pop is in flight), which we note rather
+   than solve. *)
+type 'a stack = {
+  head : Cell.t; (* node id; 0 = empty *)
+  mutable nodes : (int * (int * 'a)) list; (* id -> (next id, value) *)
+  mutable next_id : int;
+  mutable pushes : int;
+  mutable pops : int;
+}
+
+let make_stack machine ~home =
+  {
+    head = Machine.alloc machine ~label:"lf.stack" ~home 0;
+    nodes = [];
+    next_id = 1;
+    pushes = 0;
+    pops = 0;
+  }
+
+(* Model-level next pointers live alongside the payload. *)
+let push stack ctx v =
+  let id = stack.next_id in
+  stack.next_id <- id + 1;
+  let rec loop () =
+    let head = Ctx.read ctx stack.head in
+    Ctx.instr ctx ~reg:2 ~br:1 ();
+    (* Record (id -> (next, value)) at model level, then swing the head. *)
+    stack.nodes <- (id, (head, v)) :: List.remove_assoc id stack.nodes;
+    if not (Ctx.compare_and_swap ctx stack.head ~expect:head ~set:id) then
+      loop ()
+  in
+  loop ();
+  stack.pushes <- stack.pushes + 1
+
+let pop stack ctx =
+  let rec loop () =
+    let head = Ctx.read ctx stack.head in
+    Ctx.instr ctx ~reg:2 ~br:1 ();
+    if head = 0 then None
+    else
+      let next, v = List.assoc head stack.nodes in
+      if Ctx.compare_and_swap ctx stack.head ~expect:head ~set:next then begin
+        stack.pops <- stack.pops + 1;
+        Some v
+      end
+      else loop ()
+  in
+  loop ()
+
+let stack_size stack ctx =
+  (* Walk the chain, charging one read for the head only (the chain is
+     model-level). *)
+  let head = Ctx.read ctx stack.head in
+  let rec count id acc =
+    if id = 0 then acc
+    else
+      let next, _ = List.assoc id stack.nodes in
+      count next (acc + 1)
+  in
+  count head 0

@@ -1,0 +1,78 @@
+(* Reserve bits: the fine-grained half of the hybrid locking strategy.
+
+   A reserve bit lives in a status word co-located with the element it
+   protects. It is set and cleared with plain loads and stores — no atomic
+   operations — because every modification happens under the protection of
+   the structure's coarse-grained lock (clearing is a single store and may
+   happen outside the lock). Waiters release the coarse lock and spin on the
+   status word with exponential backoff, re-acquiring the coarse lock once
+   the bit clears (Figure 1b).
+
+   The word doubles as a reader-writer reserve: bit 0 is the exclusive
+   (write) reservation; the remaining bits count read reservations. Which
+   mode applies depends on the data the bit protects (Section 2.3). *)
+
+open Hector
+
+let write_bit = 1
+let reader_one = 2
+
+(* All operations below assume the caller holds the coarse lock, except
+   [clear_*] and [spin_until_clear]. *)
+
+let is_reserved ctx status =
+  let v = Ctx.read ctx status in
+  Ctx.instr ctx ~br:1 ();
+  v land write_bit <> 0
+
+(* [known] is the status value the caller just read (the status word is
+   co-located with the key it examined during the search), saving the
+   re-read. *)
+let try_reserve ?known ctx status =
+  let v =
+    match known with
+    | Some v -> v
+    | None -> Ctx.read ctx status
+  in
+  Ctx.instr ctx ~br:1 ();
+  if v land write_bit <> 0 || v >= reader_one then false
+  else begin
+    Ctx.write ctx status (v lor write_bit);
+    true
+  end
+
+let clear ctx status =
+  let v = Ctx.read ctx status in
+  Ctx.write ctx status (v land lnot write_bit)
+
+let try_reserve_read ctx status =
+  let v = Ctx.read ctx status in
+  Ctx.instr ctx ~br:1 ();
+  if v land write_bit <> 0 then false
+  else begin
+    Ctx.write ctx status (v + reader_one);
+    true
+  end
+
+let clear_read ctx status =
+  let v = Ctx.read ctx status in
+  Ctx.instr ctx ~br:1 ();
+  assert (v >= reader_one);
+  Ctx.write ctx status (v - reader_one)
+
+let readers status = Cell.peek status / reader_one
+let write_reserved status = Cell.peek status land write_bit <> 0
+
+(* Spin (with exponential backoff) until the exclusive bit clears. Called
+   without the coarse lock held; the caller re-acquires the coarse lock and
+   re-searches afterwards. *)
+let spin_until_clear ctx backoff status =
+  let rec loop delay =
+    let v = Ctx.read ctx status in
+    Ctx.instr ctx ~br:1 ();
+    if v land write_bit <> 0 then begin
+      Backoff.delay_on ctx backoff delay;
+      loop (Backoff.next backoff delay)
+    end
+  in
+  loop (Backoff.initial backoff)

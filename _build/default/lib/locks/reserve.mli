@@ -1,0 +1,40 @@
+(** Reserve bits — the fine-grained half of the hybrid locking strategy.
+
+    A reserve bit is one bit of an element's status word, set with plain
+    loads and stores *under the structure's coarse-grained lock* (no atomic
+    operations needed), and held for as long as the element is in use.
+    Waiters drop the coarse lock and spin on the word with backoff.
+
+    The same word supports reader-writer reservations: bit 0 is the
+    exclusive reservation, higher bits count readers. *)
+
+open Hector
+
+(** True if the exclusive bit is set. Timed read; call under the coarse
+    lock. *)
+val is_reserved : Ctx.t -> Cell.t -> bool
+
+(** Set the exclusive bit if the word is free of writers and readers.
+    Call under the coarse lock. [known] passes a status value the caller
+    just read, skipping the re-read (key and status share the header
+    word). *)
+val try_reserve : ?known:int -> Ctx.t -> Cell.t -> bool
+
+(** Clear the exclusive bit (plain store; no coarse lock needed). *)
+val clear : Ctx.t -> Cell.t -> unit
+
+(** Add a read reservation if no writer holds the word. Under the coarse
+    lock. *)
+val try_reserve_read : Ctx.t -> Cell.t -> bool
+
+(** Drop one read reservation. *)
+val clear_read : Ctx.t -> Cell.t -> unit
+
+(** Untimed views for tests. *)
+val readers : Cell.t -> int
+
+val write_reserved : Cell.t -> bool
+
+(** Spin with backoff until the exclusive bit clears. Called without the
+    coarse lock; re-acquire and re-search afterwards. *)
+val spin_until_clear : Ctx.t -> Backoff.t -> Cell.t -> unit

@@ -1,0 +1,71 @@
+(* Test&set spin lock with exponential backoff (Figure 3c of the paper).
+
+   acquire: while test_and_set(L) = locked { delay; delay := delay * 2 }
+   release: swap(L, 0) — HECTOR has only swap, so the release store is an
+   atomic too, which is why Figure 4 counts two atomic operations for the
+   spin lock's lock/unlock pair.
+
+   Every failed attempt spins *on the lock word itself*, so remote waiters
+   load the lock's memory module and the interconnect — the second-order
+   effect distributed locks avoid. *)
+
+open Hector
+
+type t = {
+  flag : Cell.t;
+  backoff : Backoff.t;
+  mutable acquisitions : int;
+  mutable failed_attempts : int;
+}
+
+let create machine ?(home = 0) backoff =
+  {
+    flag = Machine.alloc machine ~label:"spinlock" ~home 0;
+    backoff;
+    acquisitions = 0;
+    failed_attempts = 0;
+  }
+
+let acquisitions t = t.acquisitions
+let failed_attempts t = t.failed_attempts
+let home t = Cell.home t.flag
+
+(* Untimed: is the lock currently held? For assertions in tests. *)
+let is_held t = Cell.peek t.flag <> 0
+
+let acquire t ctx =
+  let rec attempt delay =
+    let old = Ctx.test_and_set ctx t.flag in
+    if old = 0 then begin
+      (* Uncontended path instruction budget (Figure 4): 1 reg, 2 br for the
+         acquire side. *)
+      Ctx.instr ctx ~reg:1 ~br:2 ();
+      t.acquisitions <- t.acquisitions + 1
+    end
+    else begin
+      t.failed_attempts <- t.failed_attempts + 1;
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      Backoff.delay_on ctx t.backoff delay;
+      attempt (Backoff.next t.backoff delay)
+    end
+  in
+  attempt (Backoff.initial t.backoff)
+
+let release t ctx =
+  (* swap(L, 0): the MC88100 has no plain "atomic" store-release; the paper
+     counts the release as an atomic as well. *)
+  ignore (Ctx.fetch_and_store ctx t.flag 0);
+  Ctx.instr ctx ~br:1 ()
+
+(* Single attempt; used where a TryLock is meaningful for comparison. *)
+let try_acquire t ctx =
+  let old = Ctx.test_and_set ctx t.flag in
+  Ctx.instr ctx ~reg:1 ~br:2 ();
+  if old = 0 then begin
+    t.acquisitions <- t.acquisitions + 1;
+    true
+  end
+  else begin
+    t.failed_attempts <- t.failed_attempts + 1;
+    false
+  end

@@ -1,0 +1,30 @@
+(** Test&set spin lock with exponential backoff (paper Figure 3c).
+
+    Waiters spin on the lock word itself, loading its memory module and the
+    interconnect — the behaviour the paper's distributed locks avoid. The
+    release is a swap as well (HECTOR has no other atomic), matching the two
+    atomic operations Figure 4 charges to a spin lock/unlock pair. *)
+
+open Hector
+
+type t
+
+(** [create machine ~home backoff] allocates the lock word on PMM [home]. *)
+val create : Machine.t -> ?home:int -> Backoff.t -> t
+
+val acquisitions : t -> int
+
+(** Number of failed test&set attempts (a direct measure of lock-word
+    traffic). *)
+val failed_attempts : t -> int
+
+val home : t -> int
+
+(** Untimed, for test assertions. *)
+val is_held : t -> bool
+
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit
+
+(** Single test&set attempt; true if the lock was obtained. *)
+val try_acquire : t -> Ctx.t -> bool

@@ -1,0 +1,83 @@
+(* Spin-then-block lock (Section 5.3).
+
+   TORNADO's direction: a more process-oriented kernel where waiters spin
+   only briefly and then block, yielding the processor. In the simulation,
+   "blocking" parks the waiting process on the lock's wait list (no events,
+   no memory traffic) until a releaser hands the lock over and wakes it.
+
+   The fast path is a test&set, so the uncontended cost matches a spin
+   lock; the block path adds a wake-up hand-off latency but removes all
+   spinning traffic — the right trade once critical sections are long or
+   processors have other work to run. *)
+
+open Eventsim
+open Hector
+
+type waiter = { proc : int; resume : unit -> unit }
+
+type t = {
+  flag : Cell.t; (* 0 free, 1 held *)
+  spin_cycles : int; (* how long to spin before blocking *)
+  waiters : waiter Queue.t;
+  machine : Machine.t;
+  mutable acquisitions : int;
+  mutable blocks : int; (* waiters that gave up spinning *)
+  mutable handoffs : int; (* releases that woke a blocked waiter *)
+}
+
+let create ?(home = 0) ?(spin_us = 5.0) machine =
+  {
+    flag = Machine.alloc machine ~label:"stb" ~home 0;
+    spin_cycles = Config.cycles_of_us (Machine.config machine) spin_us;
+    waiters = Queue.create ();
+    machine;
+    acquisitions = 0;
+    blocks = 0;
+    handoffs = 0;
+  }
+
+let flag t = t.flag
+let acquisitions t = t.acquisitions
+let blocks t = t.blocks
+let handoffs t = t.handoffs
+let is_held t = Cell.peek t.flag <> 0
+
+let acquire t ctx =
+  let deadline = Machine.now t.machine + t.spin_cycles in
+  let rec spin delay =
+    if Ctx.test_and_set ctx t.flag = 0 then begin
+      Ctx.instr ctx ~reg:1 ~br:2 ();
+      t.acquisitions <- t.acquisitions + 1
+    end
+    else if Machine.now t.machine < deadline then begin
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      Ctx.work ctx delay;
+      spin (min (delay * 2) 64)
+    end
+    else begin
+      (* Block: enqueue and deschedule. The releaser transfers ownership
+         directly (the flag stays 1), so no thundering herd on wake-up. *)
+      t.blocks <- t.blocks + 1;
+      Ctx.work ctx 30 (* enqueue + context-switch entry *);
+      Process.suspend (fun resume ->
+          Queue.push { proc = Ctx.proc ctx; resume } t.waiters);
+      (* Woken with the lock already ours. *)
+      Ctx.work ctx 30 (* context-switch exit *);
+      t.acquisitions <- t.acquisitions + 1
+    end
+  in
+  spin 8
+
+let release t ctx =
+  if Queue.is_empty t.waiters then begin
+    ignore (Ctx.fetch_and_store ctx t.flag 0);
+    Ctx.instr ctx ~br:1 ()
+  end
+  else begin
+    (* Direct hand-off: the flag stays held; wake the first waiter. *)
+    let w = Queue.pop t.waiters in
+    t.handoffs <- t.handoffs + 1;
+    Ctx.work ctx 20 (* wake-up IPI / scheduler insertion *);
+    Engine.schedule_after (Machine.engine t.machine) ~delay:0 w.resume;
+    Ctx.instr ctx ~br:1 ()
+  end

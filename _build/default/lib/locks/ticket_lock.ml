@@ -1,0 +1,73 @@
+(* Ticket lock with proportional backoff.
+
+   The simplest fair lock: take a ticket (fetch&increment on the [next]
+   word), spin until the [owner] word reaches it, backing off proportionally
+   to the distance. HECTOR's swap cannot implement fetch&increment, so this
+   lock — like the paper's "newer" queueing locks — requires a CAS machine
+   (the increment is a CAS retry loop; LL/SC on real hardware).
+
+   Space: two words total, independent of the processor count — the
+   cheapest fair lock, at the price of all waiters spinning on one word
+   ([owner]), which coherent caches amortise and non-coherent machines pay
+   for dearly. *)
+
+open Hector
+
+type t = {
+  next : Cell.t;
+  owner : Cell.t;
+  spin_unit : int; (* backoff cycles per waiter ahead of us *)
+  machine : Machine.t;
+  mutable acquisitions : int;
+  mutable holder : int; (* ticket currently served; bookkeeping *)
+}
+
+let create ?(home = 0) ?(spin_unit = 40) machine =
+  if not (Machine.config machine).Config.has_cas then
+    invalid_arg "Ticket_lock.create: needs a machine with compare&swap";
+  {
+    next = Machine.alloc machine ~label:"ticket.next" ~home 0;
+    owner = Machine.alloc machine ~label:"ticket.owner" ~home 0;
+    spin_unit;
+    machine;
+    acquisitions = 0;
+    holder = -1;
+  }
+
+let acquisitions t = t.acquisitions
+let is_free t = Cell.peek t.next = Cell.peek t.owner
+
+(* fetch&increment by CAS retry. *)
+let take_ticket t ctx =
+  let rec loop () =
+    let v = Ctx.read ctx t.next in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if Ctx.compare_and_swap ctx t.next ~expect:v ~set:(v + 1) then v
+    else loop ()
+  in
+  loop ()
+
+let acquire t ctx =
+  let my = take_ticket t ctx in
+  let rec wait () =
+    let cur = Ctx.read ctx t.owner in
+    Ctx.instr ctx ~br:1 ();
+    if cur <> my then begin
+      (* Proportional backoff: roughly one critical section per waiter
+         ahead. *)
+      let ahead = my - cur in
+      Ctx.interruptible_pause ctx (max 1 (ahead * t.spin_unit));
+      wait ()
+    end
+  in
+  wait ();
+  assert (t.holder = -1);
+  t.holder <- my;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t ctx =
+  assert (t.holder >= 0);
+  let my = t.holder in
+  t.holder <- -1;
+  Ctx.write ctx t.owner (my + 1);
+  Ctx.instr ctx ~br:1 ()

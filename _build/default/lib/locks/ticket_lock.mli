@@ -1,0 +1,15 @@
+(** Ticket lock with proportional backoff — the cheapest fair lock: two
+    words regardless of processor count, all waiters spinning on one word.
+    Requires a CAS machine (fetch&increment is a CAS retry loop). *)
+
+open Hector
+
+type t
+
+val create : ?home:int -> ?spin_unit:int -> Machine.t -> t
+
+val acquisitions : t -> int
+val is_free : t -> bool
+
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit

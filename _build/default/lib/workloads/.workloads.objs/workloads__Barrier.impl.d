@@ -1,0 +1,1 @@
+lib/workloads/barrier.ml: Ctx Eventsim Hector Ivar

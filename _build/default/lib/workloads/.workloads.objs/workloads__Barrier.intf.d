@@ -1,0 +1,1 @@
+lib/workloads/barrier.mli: Ctx Hector

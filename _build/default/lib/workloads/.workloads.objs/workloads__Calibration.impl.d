@@ -1,0 +1,1 @@
+lib/workloads/calibration.ml: Clustering Config Engine Eventsim Hector Hkernel Kernel Machine Memmgr Process Rpc

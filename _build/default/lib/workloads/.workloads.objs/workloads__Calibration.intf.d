@@ -1,0 +1,1 @@
+lib/workloads/calibration.mli: Config Hector

@@ -1,0 +1,1 @@
+lib/workloads/counter_stress.ml: Config Ctx Engine Eventsim Hector List Lock Lockfree Locks Machine Process Rng

@@ -1,0 +1,1 @@
+lib/workloads/counter_stress.mli: Hector Lock Locks

@@ -1,0 +1,1 @@
+lib/workloads/cow_storm.ml: Barrier Cell Config Ctx Engine Eventsim Hector Hkernel Kernel Khash List Machine Measure Memmgr Page Process Procs Stat

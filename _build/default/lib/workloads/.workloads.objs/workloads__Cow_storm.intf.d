@@ -1,0 +1,1 @@
+lib/workloads/cow_storm.mli: Hector Hkernel Measure Procs

@@ -1,0 +1,1 @@
+lib/workloads/destruction.ml: Barrier Config Ctx Engine Eventsim Hector Hkernel Kernel List Machine Measure Process Procs Stat

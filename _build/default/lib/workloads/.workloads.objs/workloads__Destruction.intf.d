@@ -1,0 +1,1 @@
+lib/workloads/destruction.mli: Hector Hkernel Measure Procs

@@ -1,0 +1,1 @@
+lib/workloads/file_read.ml: Clustering Config Ctx Engine Eventsim Fserver Hector Hkernel Kernel List Machine Measure Printf Process Rng Stat

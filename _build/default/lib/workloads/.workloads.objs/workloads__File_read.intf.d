@@ -1,0 +1,1 @@
+lib/workloads/file_read.mli: Hector Measure

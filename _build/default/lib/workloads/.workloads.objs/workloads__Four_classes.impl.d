@@ -1,0 +1,1 @@
+lib/workloads/four_classes.ml: Clustering Config Ctx Engine Eventsim Hector Hkernel Kernel List Locks Machine Measure Memmgr Process Rng Stat

@@ -1,0 +1,1 @@
+lib/workloads/four_classes.mli: Hector Locks Measure

@@ -1,0 +1,1 @@
+lib/workloads/hash_stress.ml: Config Ctx Engine Eventsim Hector Hkernel Khash List Lock Locks Machine Measure Process Rng Stat

@@ -1,0 +1,1 @@
+lib/workloads/hash_stress.mli: Hector Hkernel Khash Lock Locks Measure

@@ -1,0 +1,1 @@
+lib/workloads/independent_faults.ml: Array Clustering Config Ctx Engine Eventsim Hector Hkernel Kernel Khash List Lock Locks Machine Measure Memmgr Process Rng Rpc Stat

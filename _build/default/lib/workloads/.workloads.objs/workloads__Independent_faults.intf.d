@@ -1,0 +1,1 @@
+lib/workloads/independent_faults.mli: Hector Lock Locks Measure

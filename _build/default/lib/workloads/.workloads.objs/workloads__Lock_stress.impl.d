@@ -1,0 +1,1 @@
+lib/workloads/lock_stress.ml: Array Config Ctx Engine Eventsim Hector List Lock Locks Machine Measure Process Resource Rng Stat

@@ -1,0 +1,1 @@
+lib/workloads/lock_stress.mli: Config Hector Lock Locks Measure

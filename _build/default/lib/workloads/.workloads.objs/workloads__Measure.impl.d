@@ -1,0 +1,1 @@
+lib/workloads/measure.ml: Config Eventsim Format Hector Stat

@@ -1,0 +1,1 @@
+lib/workloads/measure.mli: Config Eventsim Format Hector Stat

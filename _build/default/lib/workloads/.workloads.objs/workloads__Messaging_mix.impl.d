@@ -1,0 +1,1 @@
+lib/workloads/messaging_mix.ml: Clustering Config Ctx Engine Eventsim Hector Hkernel Kernel List Machine Measure Process Procs Rng Stat

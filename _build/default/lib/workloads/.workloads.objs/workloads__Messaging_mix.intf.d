@@ -1,0 +1,1 @@
+lib/workloads/messaging_mix.mli: Hector Hkernel Measure Procs

@@ -1,0 +1,1 @@
+lib/workloads/replication_storm.ml: Barrier Config Ctx Engine Eventsim Hector Hkernel Kernel List Machine Measure Memmgr Process Stat

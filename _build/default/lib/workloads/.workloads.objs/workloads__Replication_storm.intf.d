@@ -1,0 +1,1 @@
+lib/workloads/replication_storm.mli: Hector Measure

@@ -1,0 +1,1 @@
+lib/workloads/shared_faults.ml: Array Barrier Clustering Config Ctx Engine Eventsim Hector Hkernel Kernel Khash List Lock Locks Machine Measure Memmgr Process Rpc Stat

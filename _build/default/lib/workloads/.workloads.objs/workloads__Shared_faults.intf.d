@@ -1,0 +1,1 @@
+lib/workloads/shared_faults.mli: Hector Lock Locks Measure

@@ -1,0 +1,1 @@
+lib/workloads/trylock_starvation.ml: Array Config Ctx Engine Eventsim Hector Locks Machine Mcs Measure Process Rng Stat

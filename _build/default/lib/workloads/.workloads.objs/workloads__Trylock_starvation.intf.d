@@ -1,0 +1,1 @@
+lib/workloads/trylock_starvation.mli: Hector Measure

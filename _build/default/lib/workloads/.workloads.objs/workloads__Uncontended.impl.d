@@ -1,0 +1,1 @@
+lib/workloads/uncontended.ml: Config Ctx Engine Eventsim Hector Instr_model List Lock Locks Machine Option Process Rng

@@ -1,0 +1,1 @@
+lib/workloads/uncontended.mli: Config Hector Lock Locks

@@ -1,0 +1,96 @@
+(* Calibration probes for the paper's absolute anchors:
+
+   - a simple soft page fault: ~160 us, of which ~40 us is locking;
+   - a null RPC: ~27 us;
+   - a cluster-wide page lookup + descriptor replication: ~88 us.
+
+   Each probe is single-threaded (no contention), matching how the paper
+   quotes the numbers. *)
+
+open Eventsim
+open Hector
+open Hkernel
+
+type result = {
+  soft_fault_us : float;
+  lockless_fault_us : float;
+  lock_overhead_us : float; (* soft_fault - lockless_fault *)
+  null_rpc_us : float;
+  replicate_fault_us : float; (* first-touch fault on a remote-master page *)
+  replicate_extra_us : float; (* over a local soft fault: lookup+replicate *)
+}
+
+let measure_fault ?(lockless = false) ?(iters = 200) cfg =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let kernel = Kernel.create machine ~cluster_size:16 ~lockless ~seed:3 in
+  Kernel.populate_page kernel ~vpage:42 ~master_cluster:0 ~frame:42;
+  let total = ref 0 in
+  let ctx = Kernel.ctx kernel 0 in
+  Process.spawn eng (fun () ->
+      for _ = 1 to iters do
+        let t0 = Machine.now machine in
+        Memmgr.fault kernel ctx ~vpage:42 ~write:true;
+        total := !total + (Machine.now machine - t0);
+        Memmgr.unmap kernel ctx ~vpage:42
+      done);
+  Engine.run eng;
+  Config.us_of_cycles cfg !total /. float_of_int iters
+
+let measure_null_rpc ?(iters = 200) cfg =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let kernel = Kernel.create machine ~cluster_size:4 ~seed:4 in
+  Kernel.spawn_idle_except kernel ~active:[ 0 ];
+  let ctx = Kernel.ctx kernel 0 in
+  let clustering = Kernel.clustering kernel in
+  let target = Clustering.rpc_target clustering ~from:0 ~target_cluster:1 in
+  let total = ref 0 in
+  Process.spawn eng (fun () ->
+      for _ = 1 to iters do
+        let t0 = Machine.now machine in
+        (match Rpc.call (Kernel.rpc kernel) ctx ~target (fun _ -> Rpc.Ok 0) with
+        | Rpc.Ok _ -> ()
+        | _ -> failwith "null rpc failed");
+        total := !total + (Machine.now machine - t0)
+      done);
+  Engine.run eng;
+  Config.us_of_cycles cfg !total /. float_of_int iters
+
+(* First-touch read fault on a page mastered in another cluster: the local
+   cluster inserts a placeholder, RPCs the master, and replicates the
+   descriptor. *)
+let measure_replicate_fault ?(iters = 100) cfg =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let kernel = Kernel.create machine ~cluster_size:4 ~seed:5 in
+  for i = 0 to iters - 1 do
+    Kernel.populate_page kernel ~vpage:(7000 + i) ~master_cluster:1
+      ~frame:(7000 + i)
+  done;
+  Kernel.spawn_idle_except kernel ~active:[ 0 ];
+  let ctx = Kernel.ctx kernel 0 in
+  let total = ref 0 in
+  Process.spawn eng (fun () ->
+      for i = 0 to iters - 1 do
+        let t0 = Machine.now machine in
+        Memmgr.fault kernel ctx ~vpage:(7000 + i) ~write:false;
+        total := !total + (Machine.now machine - t0)
+      done);
+  Engine.run eng;
+  assert (Kernel.replications kernel = iters);
+  Config.us_of_cycles cfg !total /. float_of_int iters
+
+let run ?(cfg = Config.hector) () =
+  let soft_fault_us = measure_fault cfg in
+  let lockless_fault_us = measure_fault ~lockless:true cfg in
+  let null_rpc_us = measure_null_rpc cfg in
+  let replicate_fault_us = measure_replicate_fault cfg in
+  {
+    soft_fault_us;
+    lockless_fault_us;
+    lock_overhead_us = soft_fault_us -. lockless_fault_us;
+    null_rpc_us;
+    replicate_fault_us;
+    replicate_extra_us = replicate_fault_us -. soft_fault_us;
+  }

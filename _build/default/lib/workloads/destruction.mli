@@ -1,0 +1,31 @@
+(** Program-destruction storm (Section 2.5, experiment RETRY): every
+    process of a program is destroyed at about the same time by different
+    processors, contending on the parent descriptor's reservation. Compares
+    the optimistic and pessimistic deadlock-management strategies. *)
+
+open Hkernel
+
+type config = {
+  n_programs : int;
+  children : int;
+  cluster_size : int;
+  strategy : Procs.strategy;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  strategy : Procs.strategy;
+  destroy_summary : Measure.summary;
+  destroys : int;
+  retries : int;
+  revalidations : int;
+  lost_races : int;
+  total_us : float;
+}
+
+val root_pid : int -> int
+val child_pid : int -> int -> int
+
+val run : ?cfg:Hector.Config.t -> ?config:config -> unit -> result

@@ -1,0 +1,33 @@
+(** File-server read stress (experiment FS, Section 5.1): sequential reads
+    of private files vs one hot shared file through the clustered file
+    server, with and without read-ahead. *)
+
+type sharing = Private_files | Shared_file
+
+val sharing_name : sharing -> string
+
+type config = {
+  p : int;
+  blocks_per_file : int;
+  passes : int;
+  cluster_size : int;
+  read_ahead : int;
+  sharing : sharing;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  sharing : sharing;
+  read_ahead : int;
+  summary : Measure.summary;
+  hit_rate : float;
+  fetch_rpcs : int;
+  blocks_fetched : int;
+}
+
+val run : ?cfg:Hector.Config.t -> ?config:config -> unit -> result
+
+(** Private/shared × read-ahead off/on. *)
+val run_grid : ?cfg:Hector.Config.t -> ?config:config -> unit -> result list

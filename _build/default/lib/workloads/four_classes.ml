@@ -1,0 +1,151 @@
+(* The four access-behaviour classes of the paper's introduction, running
+   simultaneously on one clustered machine (experiment CLASSES):
+
+   1. non-concurrent requests          — one processor faulting alone;
+   2. concurrent independent requests  — a cluster of processors faulting
+                                         on private pages;
+   3. concurrent read-shared requests  — a cluster read-faulting pages
+                                         mastered elsewhere (replication);
+   4. concurrent write-shared requests — a cluster write-faulting shared
+                                         pages (ownership traffic).
+
+   The measurement shows the architecture's whole point: each class keeps
+   its latency profile even while the others run — clustering isolates the
+   independent classes, replication absorbs the read sharing, and only the
+   write-shared class pays cross-cluster costs. *)
+
+open Eventsim
+open Hector
+open Hkernel
+
+type config = {
+  iters : int; (* operations per participating processor *)
+  cluster_size : int;
+  lock_algo : Locks.Lock.algo;
+  seed : int;
+}
+
+let default_config =
+  { iters = 60; cluster_size = 4; lock_algo = Locks.Lock.Mcs_h2; seed = 53 }
+
+type result = {
+  non_concurrent : Measure.summary;
+  independent : Measure.summary;
+  read_shared : Measure.summary;
+  write_shared : Measure.summary;
+  replications : int;
+  invalidations : int;
+  retries : int;
+}
+
+(* Page ranges per class. *)
+let private_page ~proc ~i = 10_000 + (1000 * proc) + i
+let read_shared_page i = 700_000 + i
+let write_shared_page i = 800_000 + i
+
+let n_read_pages = 16
+let n_write_pages = 4
+
+let run ?(cfg = Config.hector) ?(config = default_config) () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let kernel =
+    Kernel.create machine ~cluster_size:config.cluster_size
+      ~lock_algo:config.lock_algo ~seed:config.seed
+  in
+  let clustering = Kernel.clustering kernel in
+  let n_clusters = Clustering.n_clusters clustering in
+  if n_clusters < 4 then
+    invalid_arg "Four_classes.run: needs at least 4 clusters";
+  let cluster_procs c = Clustering.procs_of_cluster clustering c in
+  (* Class 1: the first processor of cluster 0, alone. *)
+  let c1_proc = List.hd (cluster_procs 0) in
+  (* Class 2: all of cluster 1, private pages. *)
+  let c2_procs = cluster_procs 1 in
+  (* Class 3: all of cluster 2, read-faulting pages mastered at cluster 0. *)
+  let c3_procs = cluster_procs 2 in
+  (* Class 4: all of cluster 3 plus cluster 0's remaining processors,
+     write-faulting the same shared pages — write sharing that spans
+     clusters, so ownership must ping-pong. *)
+  let c4_procs = cluster_procs 3 @ List.tl (cluster_procs 0) in
+  (* Populate. *)
+  List.iter
+    (fun proc ->
+      for i = 0 to config.iters - 1 do
+        Kernel.populate_page kernel
+          ~vpage:(private_page ~proc ~i)
+          ~master_cluster:(Clustering.cluster_of_proc clustering proc)
+          ~frame:i
+      done)
+    (c1_proc :: c2_procs);
+  for i = 0 to n_read_pages - 1 do
+    Kernel.populate_page kernel ~vpage:(read_shared_page i) ~master_cluster:0
+      ~frame:i
+  done;
+  for i = 0 to n_write_pages - 1 do
+    Kernel.populate_page kernel ~vpage:(write_shared_page i) ~master_cluster:0
+      ~frame:i
+  done;
+  let active = (c1_proc :: c2_procs) @ c3_procs @ c4_procs in
+  Kernel.spawn_idle_except kernel ~active;
+  let s1 = Stat.create "class1" in
+  let s2 = Stat.create "class2" in
+  let s3 = Stat.create "class3" in
+  let s4 = Stat.create "class4" in
+  let rng = Rng.create config.seed in
+  let spawn_faulter proc stat pick_page ~write =
+    let ctx = Kernel.ctx kernel proc in
+    let my_rng = Rng.split rng in
+    Process.spawn eng (fun () ->
+        for i = 0 to config.iters - 1 do
+          Ctx.work ctx (200 + Rng.int my_rng 400);
+          let vpage = pick_page my_rng i in
+          let t0 = Machine.now machine in
+          Memmgr.fault kernel ctx ~vpage ~write;
+          Stat.add stat (Machine.now machine - t0);
+          (* Shared pages are unmapped so the next round faults again. *)
+          if write then Memmgr.unmap kernel ctx ~vpage
+        done;
+        Ctx.idle_loop ctx)
+  in
+  (* Class 1 and 2: private pages, each faulted once. *)
+  spawn_faulter c1_proc s1 (fun _ i -> private_page ~proc:c1_proc ~i) ~write:false;
+  List.iter
+    (fun proc ->
+      spawn_faulter proc s2 (fun _ i -> private_page ~proc ~i) ~write:false)
+    c2_procs;
+  (* Class 3: read-shared pages; after the first touch they are local
+     replicas — exactly the "increase access bandwidth" behaviour. The
+     pages must be remapped per access, so unmap after each fault. *)
+  List.iter
+    (fun proc ->
+      let ctx = Kernel.ctx kernel proc in
+      let my_rng = Rng.split rng in
+      Process.spawn eng (fun () ->
+          for _ = 0 to config.iters - 1 do
+            Ctx.work ctx (200 + Rng.int my_rng 400);
+            let vpage = read_shared_page (Rng.int my_rng n_read_pages) in
+            let t0 = Machine.now machine in
+            Memmgr.fault kernel ctx ~vpage ~write:false;
+            Stat.add s3 (Machine.now machine - t0);
+            Memmgr.unmap kernel ctx ~vpage
+          done;
+          Ctx.idle_loop ctx))
+    c3_procs;
+  (* Class 4: write-shared pages. *)
+  List.iter
+    (fun proc ->
+      spawn_faulter proc s4
+        (fun my_rng _ -> write_shared_page (Rng.int my_rng n_write_pages))
+        ~write:true)
+    c4_procs;
+  Engine.run eng;
+  {
+    non_concurrent = Measure.of_stat cfg ~label:"non-concurrent" s1;
+    independent = Measure.of_stat cfg ~label:"independent" s2;
+    read_shared = Measure.of_stat cfg ~label:"read-shared" s3;
+    write_shared = Measure.of_stat cfg ~label:"write-shared" s4;
+    replications = Kernel.replications kernel;
+    invalidations = Kernel.invalidations kernel;
+    retries = Kernel.retries kernel;
+  }

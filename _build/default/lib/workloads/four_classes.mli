@@ -1,0 +1,25 @@
+(** The four access-behaviour classes of the paper's introduction, running
+    simultaneously on one clustered machine (experiment CLASSES):
+    non-concurrent, concurrent independent, concurrent read-shared, and
+    concurrent write-shared requests, one cluster each. *)
+
+type config = {
+  iters : int;
+  cluster_size : int;
+  lock_algo : Locks.Lock.algo;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  non_concurrent : Measure.summary;
+  independent : Measure.summary;
+  read_shared : Measure.summary;
+  write_shared : Measure.summary;
+  replications : int;
+  invalidations : int;
+  retries : int;
+}
+
+val run : ?cfg:Hector.Config.t -> ?config:config -> unit -> result

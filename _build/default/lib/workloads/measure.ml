@@ -1,0 +1,41 @@
+(* Measurement summaries in microseconds.
+
+   Experiments record latencies in cycles ({!Eventsim.Stat}); a [summary]
+   converts to the paper's unit at the configured clock rate and carries the
+   tail statistics the paper quotes (the >2 ms starvation fraction of
+   Section 4.1.2). *)
+
+open Eventsim
+open Hector
+
+type summary = {
+  label : string;
+  n : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  min_us : float;
+  max_us : float;
+  frac_above_2ms : float;
+}
+
+let of_stat cfg ~label stat =
+  let us c = Config.us_of_cycles cfg c in
+  {
+    label;
+    n = Stat.count stat;
+    mean_us = Config.us_of_cycles cfg 1 *. Stat.mean stat;
+    p50_us = us (Stat.median stat);
+    p90_us = us (Stat.percentile stat 0.90);
+    p99_us = us (Stat.percentile stat 0.99);
+    min_us = us (Stat.min_value stat);
+    max_us = us (Stat.max_value stat);
+    frac_above_2ms = Stat.fraction_above stat (Config.cycles_of_us cfg 2000.0);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%-14s n=%6d mean=%8.2fus p50=%8.2f p99=%9.2f max=%9.2f >2ms=%5.1f%%"
+    s.label s.n s.mean_us s.p50_us s.p99_us s.max_us
+    (100.0 *. s.frac_above_2ms)

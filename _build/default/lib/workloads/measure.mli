@@ -1,0 +1,21 @@
+(** Latency summaries in microseconds, including the tail statistics the
+    paper quotes (the >2 ms starvation fraction of Section 4.1.2). *)
+
+open Eventsim
+open Hector
+
+type summary = {
+  label : string;
+  n : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  min_us : float;
+  max_us : float;
+  frac_above_2ms : float;
+}
+
+val of_stat : Config.t -> label:string -> Stat.t -> summary
+
+val pp : Format.formatter -> summary -> unit

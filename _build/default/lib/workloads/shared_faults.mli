@@ -1,0 +1,31 @@
+(** Shared page-fault test (Figures 6b, 7b, 7d): [p] processes write the
+    same small page set each round, barrier, unmap, repeat. Contention is
+    implicit in the application: reserve bits inside a cluster, write
+    ownership (replication + invalidation RPCs) across clusters. *)
+
+open Locks
+
+type config = {
+  p : int;
+  n_pages : int;
+  rounds : int;
+  cluster_size : int;
+  lock_algo : Lock.algo;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  summary : Measure.summary;
+  faults : int;
+  retries : int;
+  rpcs : int;
+  replications : int;
+  invalidations : int;
+  reserve_conflicts : int;
+}
+
+val vpage_of : int -> int
+
+val run : ?cfg:Hector.Config.t -> ?config:config -> unit -> result

@@ -1,0 +1,113 @@
+(* TryLock fairness under saturation (Section 3.2, experiment TRY).
+
+   Distributed locks are inherently fair: a saturated lock is handed
+   directly from holder to queued waiter and is never observed free. A
+   retry-based TryLock therefore starves: the paper found its second TryLock
+   variant "discriminated against RPC operations", which led them to the
+   Stodolsky soft-mask + deferred-work-queue scheme instead.
+
+   This experiment saturates an H2-MCS lock with [holders] processors and
+   drives a stream of TryLock attempts from another processor, then runs the
+   same stream through the deferred-work scheme (post the work to a holder
+   processor; its soft mask defers the interrupt until the lock is
+   released, at which point the work runs and takes the lock immediately).
+
+   Expected: TryLock success rate near zero under saturation; the deferred
+   scheme completes every request with bounded latency. *)
+
+open Eventsim
+open Hector
+open Locks
+
+type config = {
+  holders : int;
+  hold_us : float;
+  attempt_gap_us : float;
+  window_us : float;
+  seed : int;
+}
+
+let default_config =
+  { holders = 4; hold_us = 10.0; attempt_gap_us = 30.0; window_us = 20_000.0; seed = 31 }
+
+type result = {
+  try_attempts : int;
+  try_successes : int;
+  try_success_rate : float;
+  deferred_posted : int;
+  deferred_completed : int;
+  deferred_latency : Measure.summary;
+}
+
+let run ?(cfg = Config.hector) ?(config = default_config) () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let mcs = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  let hold = Config.cycles_of_us cfg config.hold_us in
+  let gap = Config.cycles_of_us cfg config.attempt_gap_us in
+  let t_end = Config.cycles_of_us cfg config.window_us in
+  let rng = Rng.create config.seed in
+  (* Saturating holders on processors 0..holders-1; they hold the lock with
+     the soft mask set, so posted work is deferred, not lost. *)
+  let holder_ctxs =
+    Array.init config.holders (fun p -> Ctx.create machine ~proc:p (Rng.split rng))
+  in
+  Array.iter
+    (fun ctx ->
+      Process.spawn eng (fun () ->
+          let rec loop () =
+            if Machine.now machine < t_end then begin
+              Ctx.set_soft_mask ctx;
+              Mcs.acquire mcs ctx;
+              Ctx.work ctx hold;
+              Mcs.release mcs ctx;
+              Ctx.clear_soft_mask ctx;
+              loop ()
+            end
+          in
+          loop ()))
+    holder_ctxs;
+  (* The remote requester: alternates a TryLock attempt and a deferred-work
+     post each gap. *)
+  let requester = Ctx.create machine ~proc:(config.holders + 1) (Rng.split rng) in
+  let try_attempts = ref 0 in
+  let try_successes = ref 0 in
+  let posted = ref 0 in
+  let completed = ref 0 in
+  let latency = Stat.create "deferred" in
+  Process.spawn eng (fun () ->
+      let rec loop i =
+        if Machine.now machine < t_end then begin
+          incr try_attempts;
+          if Mcs.try_acquire_v2 mcs requester then begin
+            incr try_successes;
+            Ctx.work requester hold;
+            Mcs.release mcs requester
+          end;
+          (* Deferred-work route: post the same request to holder i's
+             processor. Its handler takes the lock when it runs (after the
+             holder clears its mask — i.e. right after a release). *)
+          let t0 = Machine.now machine in
+          incr posted;
+          Ctx.post_ipi holder_ctxs.(i mod config.holders) (fun hctx ->
+              Mcs.acquire mcs hctx;
+              Ctx.work hctx hold;
+              Mcs.release mcs hctx;
+              incr completed;
+              Stat.add latency (Machine.now machine - t0));
+          Ctx.work requester gap;
+          loop (i + 1)
+        end
+      in
+      loop 0);
+  Engine.run eng;
+  {
+    try_attempts = !try_attempts;
+    try_successes = !try_successes;
+    try_success_rate =
+      (if !try_attempts = 0 then 0.0
+       else float_of_int !try_successes /. float_of_int !try_attempts);
+    deferred_posted = !posted;
+    deferred_completed = !completed;
+    deferred_latency = Measure.of_stat cfg ~label:"deferred-work" latency;
+  }

@@ -1,0 +1,24 @@
+(** TryLock fairness under a saturated distributed lock (Section 3.2,
+    experiment TRY): retry-based TryLock never sees the lock free, while
+    the soft-mask + deferred-work scheme completes every request. *)
+
+type config = {
+  holders : int;
+  hold_us : float;
+  attempt_gap_us : float;
+  window_us : float;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  try_attempts : int;
+  try_successes : int;
+  try_success_rate : float;
+  deferred_posted : int;
+  deferred_completed : int;
+  deferred_latency : Measure.summary;
+}
+
+val run : ?cfg:Hector.Config.t -> ?config:config -> unit -> result

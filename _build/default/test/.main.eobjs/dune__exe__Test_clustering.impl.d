@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Clustering Hkernel List Printf QCheck QCheck_alcotest

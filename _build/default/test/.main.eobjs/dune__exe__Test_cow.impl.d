@@ -1,0 +1,1 @@
+test/test_cow.ml: Alcotest Cell Config Ctx Engine Eventsim Hector Hkernel Kernel Khash List Machine Memmgr Page Process Procs Workloads

@@ -1,0 +1,1 @@
+test/test_ctx.ml: Alcotest Config Ctx Engine Eventsim Hector Ivar List Machine Process Rng

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Eventsim List

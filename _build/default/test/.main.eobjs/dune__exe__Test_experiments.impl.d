@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Destruction Hash_stress Hkernel Hurricane Independent_faults List Lock Lock_stress Locks Measure Printf Shared_faults Trylock_starvation Uncontended Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cell Clh Config Ctx Engine Eventsim Hector Hurricane List Lock Lockfree Locks Machine Process Rng Stb_lock Workloads

@@ -1,0 +1,1 @@
+test/test_fserver.ml: Alcotest Config Ctx Engine Eventsim Fserver Hector Hkernel Kernel List Machine Process Workloads

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cell Clustering Config Ctx Engine Eventsim Fserver Hector Hkernel Kernel Khash List Locks Machine Memmgr Option Page Printf Process Procs QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_ivar.ml: Alcotest Engine Eventsim Ivar List Process

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Cell Clustering Config Costs Engine Eventsim Hector Hkernel Kernel Khash List Locks Machine Memmgr Page Printf Process Resource Rpc

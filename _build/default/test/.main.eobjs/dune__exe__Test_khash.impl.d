@@ -1,0 +1,1 @@
+test/test_khash.ml: Alcotest Config Ctx Engine Eventsim Hashtbl Hector Hkernel Khash List Lock Locks Machine Process QCheck QCheck_alcotest Reserve Rng String

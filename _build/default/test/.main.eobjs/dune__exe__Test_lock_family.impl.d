@@ -1,0 +1,1 @@
+test/test_lock_family.ml: Alcotest Anderson_lock Config Ctx Engine Eventsim Four_classes Hector Hurricane List Lock Locks Machine Measure Process Rng Ticket_lock Workloads

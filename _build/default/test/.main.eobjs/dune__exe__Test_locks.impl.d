@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Backoff Config Ctx Engine Eventsim Hector Instr_model List Lock Locks Machine Process Reserve Rng Spin_lock

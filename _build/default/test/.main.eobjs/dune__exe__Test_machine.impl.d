@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cell Config Engine Eventsim Hector List Machine Process

@@ -1,0 +1,1 @@
+test/test_mcs.ml: Alcotest Config Ctx Engine Eventsim Hector List Locks Machine Mcs Process QCheck QCheck_alcotest Rng

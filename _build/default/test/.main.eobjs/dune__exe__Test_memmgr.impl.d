@@ -1,0 +1,1 @@
+test/test_memmgr.ml: Alcotest Cell Clustering Config Ctx Engine Eventsim Hector Hkernel Kernel Khash List Locks Machine Memmgr Page Process QCheck QCheck_alcotest

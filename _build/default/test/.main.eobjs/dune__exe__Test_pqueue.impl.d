@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Eventsim List Pqueue QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Engine Eventsim List Process

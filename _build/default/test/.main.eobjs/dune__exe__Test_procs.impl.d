@@ -1,0 +1,1 @@
+test/test_procs.ml: Alcotest Config Ctx Engine Eventsim Hector Hkernel Kernel List Machine Printf Process Procs Workloads

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring Buffer Dat Eventsim Experiments Filename Format Hector Hurricane List Lock Locks Measure Report String Sys Workloads

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Eventsim List QCheck QCheck_alcotest Resource

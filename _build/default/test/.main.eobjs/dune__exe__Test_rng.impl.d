@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Eventsim QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Array Config Costs Ctx Engine Eventsim Hector Hkernel Machine Process Rng Rpc

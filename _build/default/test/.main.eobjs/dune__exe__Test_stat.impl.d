@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Eventsim Gen List QCheck QCheck_alcotest Stat

@@ -1,0 +1,67 @@
+(* Tests for the machine configuration. *)
+
+open Hector
+
+let test_hector_shape () =
+  let c = Config.hector in
+  Alcotest.(check int) "16 processors" 16 (Config.n_procs c);
+  Alcotest.(check int) "stations" 4 c.Config.stations;
+  Alcotest.(check int) "local latency" 10 c.Config.local_latency;
+  Alcotest.(check int) "station latency" 19 c.Config.station_latency;
+  Alcotest.(check int) "ring latency" 23 c.Config.ring_latency;
+  Alcotest.(check bool) "no CAS" false c.Config.has_cas;
+  Alcotest.(check int) "swap = 2 accesses" 2 c.Config.atomic_mem_accesses
+
+let test_station_mapping () =
+  let c = Config.hector in
+  Alcotest.(check int) "proc 0" 0 (Config.station_of_proc c 0);
+  Alcotest.(check int) "proc 3" 0 (Config.station_of_proc c 3);
+  Alcotest.(check int) "proc 4" 1 (Config.station_of_proc c 4);
+  Alcotest.(check int) "proc 15" 3 (Config.station_of_proc c 15);
+  Alcotest.(check int) "index in station" 3 (Config.index_in_station c 7)
+
+let test_time_conversion () =
+  let c = Config.hector in
+  Alcotest.(check (float 0.0001)) "16 cycles = 1us" 1.0
+    (Config.us_of_cycles c 16);
+  Alcotest.(check int) "25us = 400 cycles" 400 (Config.cycles_of_us c 25.0);
+  Alcotest.(check (float 0.0001)) "roundtrip" 25.0
+    (Config.us_of_cycles c (Config.cycles_of_us c 25.0))
+
+let test_with_cas () =
+  let c = Config.with_cas Config.hector in
+  Alcotest.(check bool) "has CAS" true c.Config.has_cas;
+  Alcotest.(check int) "single-access atomics" 1 c.Config.atomic_mem_accesses
+
+let test_validate_rejects_bad () =
+  let bad_cases =
+    [
+      { Config.hector with Config.stations = 0 };
+      { Config.hector with Config.procs_per_station = -1 };
+      { Config.hector with Config.mhz = 0 };
+      { Config.hector with Config.station_latency = 5 } (* < local *);
+      { Config.hector with Config.atomic_mem_accesses = 0 };
+    ]
+  in
+  List.iteri
+    (fun i c ->
+      match Config.validate c with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "bad config %d accepted" i)
+    bad_cases
+
+let test_validate_accepts_hector () =
+  Alcotest.(check bool) "hector valid" true
+    (Config.validate Config.hector == Config.hector)
+
+let suite =
+  [
+    Alcotest.test_case "HECTOR preset shape" `Quick test_hector_shape;
+    Alcotest.test_case "station mapping" `Quick test_station_mapping;
+    Alcotest.test_case "cycle/us conversion" `Quick test_time_conversion;
+    Alcotest.test_case "with_cas" `Quick test_with_cas;
+    Alcotest.test_case "validate rejects bad configs" `Quick
+      test_validate_rejects_bad;
+    Alcotest.test_case "validate accepts hector" `Quick
+      test_validate_accepts_hector;
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the per-processor context: instruction charging, the swap
+   overlap window, interrupts, and soft masking. *)
+
+open Eventsim
+open Hector
+
+let make ?(cfg = Config.hector) () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng cfg in
+  let ctx p = Ctx.create machine ~proc:p (Rng.create (100 + p)) in
+  (eng, machine, ctx)
+
+let simulate eng f =
+  Process.spawn eng f;
+  Engine.run eng
+
+let test_instr_costs () =
+  let eng, machine, ctx = make () in
+  let c = ctx 0 in
+  simulate eng (fun () ->
+      let t0 = Machine.now machine in
+      Ctx.instr c ~reg:3 ~br:2 ();
+      (* 3 * 1 + 2 * 2 = 7 cycles, no overlap credit pending. *)
+      Alcotest.(check int) "cycles" 7 (Machine.now machine - t0))
+
+let test_overlap_after_atomic () =
+  let eng, machine, ctx = make () in
+  let c = ctx 0 in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      ignore (Ctx.fetch_and_store c cell 1);
+      let t0 = Machine.now machine in
+      (* 5 cycles of overlap credit: the first 5 instruction cycles are
+         hidden behind the swap's store phase. *)
+      Ctx.instr c ~reg:3 ~br:1 ();
+      Alcotest.(check int) "5 cycles hidden" 0 (Machine.now machine - t0);
+      let t1 = Machine.now machine in
+      Ctx.instr c ~reg:2 ();
+      Alcotest.(check int) "credit exhausted" 2 (Machine.now machine - t1))
+
+let test_overlap_cleared_by_memory_op () =
+  let eng, machine, ctx = make () in
+  let c = ctx 0 in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      ignore (Ctx.fetch_and_store c cell 1);
+      ignore (Ctx.read c cell);
+      let t0 = Machine.now machine in
+      Ctx.instr c ~reg:2 ();
+      Alcotest.(check int) "no credit after load" 2 (Machine.now machine - t0))
+
+let test_ipi_delivery () =
+  let eng, _, ctx = make () in
+  let target = ctx 1 in
+  let served = ref false in
+  Process.spawn eng (fun () -> Ctx.idle_loop target);
+  Process.spawn eng (fun () ->
+      Ctx.post_ipi target (fun _ -> served := true);
+      Process.pause eng 1000);
+  Engine.run eng;
+  Alcotest.(check bool) "handler ran" true !served;
+  Alcotest.(check int) "counted" 1 (Ctx.irqs_taken target)
+
+let test_soft_mask_defers () =
+  let eng, machine, ctx = make () in
+  let target = ctx 1 in
+  let cell = Machine.alloc machine ~home:1 0 in
+  let served_at = ref (-1) in
+  let unmask_at = ref (-1) in
+  Process.spawn eng (fun () ->
+      Ctx.set_soft_mask target;
+      (* Memory ops poll interrupts; the mask must defer the handler. *)
+      for _ = 1 to 20 do
+        ignore (Ctx.read target cell)
+      done;
+      unmask_at := Machine.now machine;
+      Ctx.clear_soft_mask target;
+      Process.pause eng 100);
+  Process.spawn eng (fun () ->
+      Process.pause eng 30;
+      Ctx.post_ipi target (fun tctx -> served_at := Ctx.now tctx));
+  Engine.run eng;
+  Alcotest.(check bool) "deferred until unmask" true (!served_at >= !unmask_at);
+  Alcotest.(check int) "counted as deferred" 1 (Ctx.irqs_deferred target)
+
+let test_unmasked_interrupt_taken_at_op_boundary () =
+  let eng, machine, ctx = make () in
+  let target = ctx 1 in
+  let cell = Machine.alloc machine ~home:1 0 in
+  let served_at = ref (-1) in
+  Process.spawn eng (fun () ->
+      for _ = 1 to 50 do
+        ignore (Ctx.read target cell)
+      done);
+  Process.spawn eng (fun () ->
+      Process.pause eng 55;
+      Ctx.post_ipi target (fun tctx -> served_at := Ctx.now tctx));
+  Engine.run eng;
+  Alcotest.(check bool) "served promptly" true
+    (!served_at >= 55 && !served_at < 300);
+  ignore machine
+
+let test_no_nested_interrupts () =
+  let eng, machine, ctx = make () in
+  let target = ctx 1 in
+  let order = ref [] in
+  Process.spawn eng (fun () -> Ctx.idle_loop target);
+  Process.spawn eng (fun () ->
+      Process.pause eng 10;
+      Ctx.post_ipi target (fun tctx ->
+          order := "first-start" :: !order;
+          (* While this handler runs, a second IPI arrives; it must not
+             nest. The handler's own memory ops poll, but in_interrupt
+             blocks re-entry. *)
+          ignore (Ctx.read tctx (Machine.alloc machine ~home:1 0));
+          Ctx.work tctx 200;
+          order := "first-end" :: !order);
+      Process.pause eng 20;
+      Ctx.post_ipi target (fun _ -> order := "second" :: !order));
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "second handler ran after the first"
+    [ "first-start"; "first-end"; "second" ]
+    (List.rev !order)
+
+let test_await_serves_interrupts () =
+  let eng, _, ctx = make () in
+  let waiter = ctx 0 in
+  let iv = Ivar.create () in
+  let served = ref false in
+  let got = ref 0 in
+  Process.spawn eng (fun () -> got := Ctx.await waiter iv);
+  Process.spawn eng (fun () ->
+      Process.pause eng 50;
+      (* Interrupt the waiting processor... *)
+      Ctx.post_ipi waiter (fun _ -> served := true);
+      Process.pause eng 200;
+      Ivar.fill eng iv 9);
+  Engine.run eng;
+  Alcotest.(check bool) "interrupt served while awaiting" true !served;
+  Alcotest.(check int) "reply received" 9 !got
+
+let test_with_soft_mask_restores_on_exception () =
+  let eng, _, ctx = make () in
+  let c = ctx 0 in
+  simulate eng (fun () ->
+      (try Ctx.with_soft_mask c (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      Alcotest.(check bool) "mask cleared" false (Ctx.soft_masked c))
+
+let suite =
+  [
+    Alcotest.test_case "instruction cycle charging" `Quick test_instr_costs;
+    Alcotest.test_case "swap overlap window" `Quick test_overlap_after_atomic;
+    Alcotest.test_case "memory op closes overlap window" `Quick
+      test_overlap_cleared_by_memory_op;
+    Alcotest.test_case "IPI wakes an idle processor" `Quick test_ipi_delivery;
+    Alcotest.test_case "soft mask defers handlers" `Quick test_soft_mask_defers;
+    Alcotest.test_case "unmasked IPI taken at op boundary" `Quick
+      test_unmasked_interrupt_taken_at_op_boundary;
+    Alcotest.test_case "interrupts do not nest" `Quick test_no_nested_interrupts;
+    Alcotest.test_case "await keeps serving interrupts" `Quick
+      test_await_serves_interrupts;
+    Alcotest.test_case "with_soft_mask restores on exception" `Quick
+      test_with_soft_mask_restores_on_exception;
+  ]

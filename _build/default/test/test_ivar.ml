@@ -1,0 +1,63 @@
+(* Tests for one-shot ivars. *)
+
+open Eventsim
+
+let test_fill_then_read () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  Alcotest.(check bool) "empty" false (Ivar.is_full iv);
+  Ivar.fill eng iv 42;
+  Alcotest.(check bool) "full" true (Ivar.is_full iv);
+  Alcotest.(check (option int)) "peek" (Some 42) (Ivar.peek iv);
+  let got = ref 0 in
+  Process.spawn eng (fun () -> got := Ivar.read iv);
+  Engine.run eng;
+  Alcotest.(check int) "read full" 42 !got
+
+let test_read_blocks_until_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref (-1) in
+  let when_read = ref (-1) in
+  Process.spawn eng (fun () ->
+      got := Ivar.read iv;
+      when_read := Engine.now eng);
+  Process.spawn eng (fun () ->
+      Process.pause eng 100;
+      Ivar.fill eng iv 7);
+  Engine.run eng;
+  Alcotest.(check int) "value" 7 !got;
+  Alcotest.(check int) "woke at fill time" 100 !when_read
+
+let test_multiple_readers_wake_in_order () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Process.spawn eng (fun () ->
+        Process.pause eng i;
+        ignore (Ivar.read iv);
+        log := i :: !log)
+  done;
+  Process.spawn eng (fun () ->
+      Process.pause eng 50;
+      Ivar.fill eng iv ());
+  Engine.run eng;
+  Alcotest.(check (list int)) "arrival order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_double_fill_raises () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill eng iv 1;
+  Alcotest.check_raises "double" Ivar.Already_filled (fun () ->
+      Ivar.fill eng iv 2)
+
+let suite =
+  [
+    Alcotest.test_case "fill then read" `Quick test_fill_then_read;
+    Alcotest.test_case "read blocks until fill" `Quick
+      test_read_blocks_until_fill;
+    Alcotest.test_case "readers wake in arrival order" `Quick
+      test_multiple_readers_wake_in_order;
+    Alcotest.test_case "double fill raises" `Quick test_double_fill_raises;
+  ]

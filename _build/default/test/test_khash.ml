@@ -1,0 +1,237 @@
+(* Tests for the hybrid-locked chained hash table. *)
+
+open Eventsim
+open Hector
+open Locks
+open Hkernel
+
+let make ?(granularity = Khash.Hybrid) ?(lock_algo = Lock.Mcs_h2) () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng Config.hector in
+  let table =
+    Khash.create machine ~granularity ~nbins:16 ~lock_algo
+      ~homes:(List.init 16 (fun i -> i))
+  in
+  let ctx p = Ctx.create machine ~proc:p (Rng.create (400 + p)) in
+  (eng, machine, table, ctx)
+
+let simulate eng f =
+  Process.spawn eng f;
+  Engine.run eng
+
+let test_insert_and_find () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      ignore (Khash.insert table c 42 ~make:(fun _ -> "hello"));
+      match Khash.reserve_existing table c 42 with
+      | None -> Alcotest.fail "not found"
+      | Some e ->
+        Alcotest.(check string) "payload" "hello" e.Khash.payload;
+        Alcotest.(check int) "key" 42 e.Khash.key;
+        Khash.release_reserve c e);
+  Alcotest.(check int) "size" 1 (Khash.size table)
+
+let test_missing_key () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      Alcotest.(check bool) "absent" true
+        (Khash.reserve_existing table (ctx 0) 7 = None))
+
+let test_reserve_blocks_second_reserver () =
+  let eng, machine, table, ctx = make () in
+  let order = ref [] in
+  simulate eng (fun () ->
+      ignore (Khash.insert table (ctx 0) 1 ~make:(fun _ -> ())));
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      match Khash.reserve_existing table c 1 with
+      | Some e ->
+        order := ("a-got", Machine.now machine) :: !order;
+        Ctx.work c 1000;
+        Khash.release_reserve c e;
+        order := ("a-rel", Machine.now machine) :: !order
+      | None -> Alcotest.fail "a missing");
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      Process.pause eng 50;
+      match Khash.reserve_existing table c 1 with
+      | Some e ->
+        order := ("b-got", Machine.now machine) :: !order;
+        Khash.release_reserve c e
+      | None -> Alcotest.fail "b missing");
+  Engine.run eng;
+  match List.rev !order with
+  | [ ("a-got", _); ("a-rel", t_rel); ("b-got", t_b) ] ->
+    Alcotest.(check bool) "b waited for a's release" true (t_b >= t_rel);
+    Alcotest.(check bool) "conflict recorded" true
+      (Khash.reserve_conflicts table >= 1)
+  | other ->
+    Alcotest.failf "unexpected order: %s"
+      (String.concat "," (List.map fst other))
+
+let test_reserve_or_insert_placeholder () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      (match Khash.reserve_or_insert table c 9 ~make:(fun _ -> "new") with
+      | `Inserted e ->
+        Alcotest.(check string) "fresh payload" "new" e.Khash.payload;
+        (* Placeholder is born reserved: the combining-tree trick. *)
+        Alcotest.(check bool) "born reserved" true
+          (Reserve.write_reserved e.Khash.status);
+        Khash.release_reserve c e
+      | `Reserved _ -> Alcotest.fail "expected insertion");
+      match Khash.reserve_or_insert table c 9 ~make:(fun _ -> "other") with
+      | `Reserved e ->
+        Alcotest.(check string) "existing payload" "new" e.Khash.payload;
+        Khash.release_reserve c e
+      | `Inserted _ -> Alcotest.fail "duplicate insertion")
+
+let test_try_reserve_existing_fails_fast () =
+  let eng, _, table, ctx = make () in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      ignore (Khash.insert table c 5 ~make:(fun _ -> ()));
+      match Khash.reserve_existing table c 5 with
+      | Some e ->
+        Ctx.work c 2000;
+        Khash.release_reserve c e
+      | None -> Alcotest.fail "missing");
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      Process.pause eng 700;
+      (* While reserved: the non-blocking path must report the conflict. *)
+      (match Khash.try_reserve_existing table c 5 with
+      | `Would_deadlock -> ()
+      | `Absent -> Alcotest.fail "should exist"
+      | `Reserved _ -> Alcotest.fail "should be reserved by proc 0");
+      match Khash.try_reserve_existing table c 999 with
+      | `Absent -> ()
+      | _ -> Alcotest.fail "999 should be absent");
+  Engine.run eng
+
+let test_remove () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      ignore (Khash.insert table c 3 ~make:(fun _ -> ()));
+      Alcotest.(check bool) "removed" true (Khash.remove table c 3);
+      Alcotest.(check bool) "gone" true (Khash.reserve_existing table c 3 = None);
+      Alcotest.(check bool) "second remove false" false (Khash.remove table c 3));
+  Alcotest.(check int) "size back to zero" 0 (Khash.size table)
+
+let test_search_charges_probes () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      for k = 0 to 31 do
+        ignore (Khash.insert table c k ~make:(fun _ -> ()))
+      done;
+      let before = Khash.probes table in
+      (match Khash.reserve_existing table c 17 with
+      | Some e -> Khash.release_reserve c e
+      | None -> Alcotest.fail "missing");
+      Alcotest.(check bool) "probes counted" true (Khash.probes table > before))
+
+let test_with_element_all_granularities () =
+  List.iter
+    (fun granularity ->
+      let eng, _, table, ctx = make ~granularity () in
+      let hits = ref 0 in
+      simulate eng (fun () ->
+          let c = ctx 0 in
+          ignore (Khash.insert table c 11 ~make:(fun _ -> ())));
+      for p = 0 to 3 do
+        Process.spawn eng (fun () ->
+            let c = ctx p in
+            for _ = 1 to 10 do
+              match Khash.with_element table c 11 (fun _ -> incr hits) with
+              | Some () -> ()
+              | None -> Alcotest.fail "element vanished"
+            done)
+      done;
+      Engine.run eng;
+      Alcotest.(check int)
+        (Khash.granularity_name granularity ^ " all ops ran")
+        40 !hits)
+    [ Khash.Hybrid; Khash.Coarse; Khash.Fine ]
+
+let test_with_element_missing () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      Alcotest.(check bool) "None for missing" true
+        (Khash.with_element table (ctx 0) 123 (fun _ -> ()) = None))
+
+let test_untimed_iteration () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      List.iter
+        (fun k -> ignore (Khash.insert table c k ~make:(fun _ -> k * 10)))
+        [ 1; 2; 3; 4; 5 ]);
+  let keys = ref [] in
+  Khash.iter_untimed table (fun e -> keys := e.Khash.key :: !keys);
+  Alcotest.(check (list int)) "all keys" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare !keys);
+  Alcotest.(check bool) "mem" true (Khash.mem_untimed table 3);
+  Alcotest.(check bool) "not mem" false (Khash.mem_untimed table 9)
+
+let test_coarse_lock_masks_interrupts () =
+  (* with_coarse must set the soft mask so services cannot deadlock on the
+     holder's own coarse lock. *)
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      Khash.with_coarse table c (fun () ->
+          Alcotest.(check bool) "masked inside" true (Ctx.soft_masked c));
+      Alcotest.(check bool) "unmasked outside" false (Ctx.soft_masked c))
+
+let prop_untimed_matches_inserted =
+  QCheck.Test.make ~name:"table contents = inserted \\ removed" ~count:50
+    QCheck.(list (pair (int_range 0 50) bool))
+    (fun ops ->
+      let eng, _, table, ctx = make () in
+      let expected = Hashtbl.create 16 in
+      Process.spawn eng (fun () ->
+          let c = ctx 0 in
+          List.iter
+            (fun (k, ins) ->
+              if ins then begin
+                if not (Hashtbl.mem expected k) then begin
+                  Hashtbl.replace expected k ();
+                  ignore (Khash.insert table c k ~make:(fun _ -> ()))
+                end
+              end
+              else begin
+                Hashtbl.remove expected k;
+                ignore (Khash.remove table c k)
+              end)
+            ops);
+      Engine.run eng;
+      let actual = ref [] in
+      Khash.iter_untimed table (fun e -> actual := e.Khash.key :: !actual);
+      List.sort compare !actual
+      = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) expected []))
+
+let suite =
+  [
+    Alcotest.test_case "insert and find" `Quick test_insert_and_find;
+    Alcotest.test_case "missing key" `Quick test_missing_key;
+    Alcotest.test_case "reserve blocks a second reserver" `Quick
+      test_reserve_blocks_second_reserver;
+    Alcotest.test_case "reserve_or_insert placeholder" `Quick
+      test_reserve_or_insert_placeholder;
+    Alcotest.test_case "try_reserve_existing fails fast" `Quick
+      test_try_reserve_existing_fails_fast;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "search charges probes" `Quick test_search_charges_probes;
+    Alcotest.test_case "with_element under all granularities" `Quick
+      test_with_element_all_granularities;
+    Alcotest.test_case "with_element on a missing key" `Quick
+      test_with_element_missing;
+    Alcotest.test_case "untimed iteration" `Quick test_untimed_iteration;
+    Alcotest.test_case "coarse sections soft-mask interrupts" `Quick
+      test_coarse_lock_masks_interrupts;
+    QCheck_alcotest.to_alcotest prop_untimed_matches_inserted;
+  ]

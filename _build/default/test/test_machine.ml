@@ -1,0 +1,189 @@
+(* Tests for the machine model: latencies, atomicity, contention. *)
+
+open Eventsim
+open Hector
+
+let make () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng Config.hector in
+  (eng, machine)
+
+(* Run a single simulated computation to completion. *)
+let simulate eng f =
+  Process.spawn eng f;
+  Engine.run eng
+
+let timed machine f =
+  let t0 = Machine.now machine in
+  let v = f () in
+  (v, Machine.now machine - t0)
+
+let test_base_latencies () =
+  let _, machine = make () in
+  Alcotest.(check int) "local" 10 (Machine.base_latency machine ~proc:0 ~home:0);
+  Alcotest.(check int) "on-station" 19
+    (Machine.base_latency machine ~proc:0 ~home:3);
+  Alcotest.(check int) "cross-ring" 23
+    (Machine.base_latency machine ~proc:0 ~home:12)
+
+let test_local_read_latency () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:2 99 in
+  simulate eng (fun () ->
+      let v, dt = timed machine (fun () -> Machine.read machine ~proc:2 cell) in
+      Alcotest.(check int) "value" 99 v;
+      Alcotest.(check int) "10 cycles" 10 dt)
+
+let test_remote_read_latency_uncontended () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:12 5 in
+  simulate eng (fun () ->
+      let _, dt = timed machine (fun () -> Machine.read machine ~proc:0 cell) in
+      (* Cross-ring: at least the 23-cycle base; the interconnect path may
+         add a little when its service occupancies exceed the base. *)
+      Alcotest.(check bool) "at least base" true (dt >= 23);
+      Alcotest.(check bool) "no queueing when idle" true (dt <= 30))
+
+let test_write_visible () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      Machine.write machine ~proc:0 cell 123;
+      Alcotest.(check int) "readback" 123 (Machine.read machine ~proc:0 cell))
+
+let test_fetch_and_store () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:0 7 in
+  simulate eng (fun () ->
+      let old, dt =
+        timed machine (fun () -> Machine.fetch_and_store machine ~proc:0 cell 9)
+      in
+      Alcotest.(check int) "old value" 7 old;
+      Alcotest.(check int) "new value" 9 (Cell.peek cell);
+      (* Swap = two local accesses. *)
+      Alcotest.(check int) "2x local latency" 20 dt)
+
+let test_test_and_set () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      Alcotest.(check int) "was free" 0 (Machine.test_and_set machine ~proc:0 cell);
+      Alcotest.(check int) "now held" 1 (Machine.test_and_set machine ~proc:0 cell))
+
+let test_cas_needs_capability () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      match Machine.compare_and_swap machine ~proc:0 cell ~expect:0 ~set:1 with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "CAS accepted on a swap-only machine")
+
+let test_cas_when_available () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng (Config.with_cas Config.hector) in
+  let cell = Machine.alloc machine ~home:0 5 in
+  simulate eng (fun () ->
+      Alcotest.(check bool) "matches" true
+        (Machine.compare_and_swap machine ~proc:0 cell ~expect:5 ~set:6);
+      Alcotest.(check bool) "mismatch" false
+        (Machine.compare_and_swap machine ~proc:0 cell ~expect:5 ~set:7);
+      Alcotest.(check int) "value" 6 (Cell.peek cell))
+
+let test_remote_contention_queues () =
+  (* Two processors hammer one remote module; the second stream must see
+     queueing that an isolated stream would not. *)
+  let run n_contenders =
+    let eng, machine = make () in
+    let cells = Array.init 2 (fun i -> Machine.alloc machine ~home:12 i) in
+    let finish = ref 0 in
+    for p = 0 to n_contenders - 1 do
+      Process.spawn eng (fun () ->
+          for _ = 1 to 50 do
+            ignore (Machine.read machine ~proc:p cells.(p mod 2))
+          done;
+          finish := max !finish (Machine.now machine))
+    done;
+    Engine.run eng;
+    !finish
+  in
+  let alone = run 1 in
+  let contended = run 2 in
+  Alcotest.(check bool) "contention stretches accesses" true
+    (contended > alone)
+
+let test_local_accesses_do_not_contend () =
+  (* The local port: a processor spinning on its own memory must not slow a
+     remote reader of a different cell on another module. *)
+  let eng, machine = make () in
+  let local_cell = Machine.alloc machine ~home:1 0 in
+  let remote_cell = Machine.alloc machine ~home:2 0 in
+  (* Proc 1 spins furiously on its own memory. *)
+  Process.spawn eng (fun () ->
+      for _ = 1 to 1000 do
+        ignore (Machine.read machine ~proc:1 local_cell)
+      done);
+  let dt = ref 0 in
+  Process.spawn eng (fun () ->
+      let t0 = Machine.now machine in
+      ignore (Machine.read machine ~proc:2 remote_cell);
+      dt := Machine.now machine - t0);
+  Engine.run eng;
+  Alcotest.(check int) "local read unhindered" 10 !dt
+
+let test_operation_counters () =
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      ignore (Machine.read machine ~proc:0 cell);
+      Machine.write machine ~proc:0 cell 1;
+      ignore (Machine.fetch_and_store machine ~proc:0 cell 2));
+  Alcotest.(check int) "reads" 1 (Machine.reads machine);
+  Alcotest.(check int) "writes" 1 (Machine.writes machine);
+  Alcotest.(check int) "atomics" 1 (Machine.atomics machine)
+
+let test_alloc_validates_home () =
+  let _, machine = make () in
+  Alcotest.(check bool) "bad home rejected" true
+    (match Machine.alloc machine ~home:99 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_atomicity_order () =
+  (* Two concurrent fetch&stores on the same cell: exactly one sees the
+     other's value; the final value belongs to the later one. *)
+  let eng, machine = make () in
+  let cell = Machine.alloc machine ~home:8 0 in
+  let results = ref [] in
+  for p = 0 to 1 do
+    Process.spawn eng (fun () ->
+        let old = Machine.fetch_and_store machine ~proc:p cell (p + 1) in
+        results := (p, old) :: !results)
+  done;
+  Engine.run eng;
+  let olds = List.map snd !results |> List.sort compare in
+  (* One got the initial 0; the other got the first writer's value. *)
+  Alcotest.(check bool) "serialised" true
+    (olds = [ 0; 1 ] || olds = [ 0; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "base latencies 10/19/23" `Quick test_base_latencies;
+    Alcotest.test_case "local read costs 10 cycles" `Quick
+      test_local_read_latency;
+    Alcotest.test_case "remote read near base when idle" `Quick
+      test_remote_read_latency_uncontended;
+    Alcotest.test_case "writes are visible" `Quick test_write_visible;
+    Alcotest.test_case "fetch&store semantics and cost" `Quick
+      test_fetch_and_store;
+    Alcotest.test_case "test&set" `Quick test_test_and_set;
+    Alcotest.test_case "CAS refused without capability" `Quick
+      test_cas_needs_capability;
+    Alcotest.test_case "CAS works when configured" `Quick test_cas_when_available;
+    Alcotest.test_case "remote contention queues" `Quick
+      test_remote_contention_queues;
+    Alcotest.test_case "local accesses use a private port" `Quick
+      test_local_accesses_do_not_contend;
+    Alcotest.test_case "operation counters" `Quick test_operation_counters;
+    Alcotest.test_case "alloc validates home" `Quick test_alloc_validates_home;
+    Alcotest.test_case "concurrent swaps serialise" `Quick test_atomicity_order;
+  ]

@@ -1,0 +1,102 @@
+(* Unit and property tests for the event heap. *)
+
+open Eventsim
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek" true (Pqueue.peek q = None)
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:30 ~seq:0 "c";
+  Pqueue.push q ~time:10 ~seq:1 "a";
+  Pqueue.push q ~time:20 ~seq:2 "b";
+  let pop () =
+    match Pqueue.pop q with
+    | Some e -> e.Pqueue.payload
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+let test_fifo_ties () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.push q ~time:5 ~seq:i i
+  done;
+  let order = List.map (fun e -> e.Pqueue.payload) (Pqueue.drain q) in
+  Alcotest.(check (list int)) "ties pop in seq order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    order
+
+let test_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1 ~seq:0 "x";
+  ignore (Pqueue.peek q);
+  Alcotest.(check int) "still there" 1 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek_time" (Some 1) (Pqueue.peek_time q)
+
+let test_clear () =
+  let q = Pqueue.create () in
+  for i = 0 to 99 do
+    Pqueue.push q ~time:i ~seq:i i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_interleaved_push_pop () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:10 ~seq:0 10;
+  Pqueue.push q ~time:5 ~seq:1 5;
+  (match Pqueue.pop q with
+  | Some e -> Alcotest.(check int) "min first" 5 e.Pqueue.payload
+  | None -> Alcotest.fail "empty");
+  Pqueue.push q ~time:1 ~seq:2 1;
+  (match Pqueue.pop q with
+  | Some e -> Alcotest.(check int) "new min" 1 e.Pqueue.payload
+  | None -> Alcotest.fail "empty");
+  match Pqueue.pop q with
+  | Some e -> Alcotest.(check int) "last" 10 e.Pqueue.payload
+  | None -> Alcotest.fail "empty"
+
+let prop_drain_sorted =
+  QCheck.Test.make ~name:"drain is sorted by (time, seq)" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun seq time -> Pqueue.push q ~time ~seq time) times;
+      let out = Pqueue.drain q in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          (a.Pqueue.time < b.Pqueue.time
+          || (a.Pqueue.time = b.Pqueue.time && a.Pqueue.seq < b.Pqueue.seq))
+          && sorted rest
+        | _ -> true
+      in
+      sorted out && List.length out = List.length times)
+
+let prop_multiset_preserved =
+  QCheck.Test.make ~name:"drain returns every pushed element" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun seq time -> Pqueue.push q ~time ~seq time) times;
+      let out = List.map (fun e -> e.Pqueue.payload) (Pqueue.drain q) in
+      List.sort compare out = List.sort compare times)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "pops in time order" `Quick test_ordering;
+    Alcotest.test_case "FIFO tie-breaking" `Quick test_fifo_ties;
+    Alcotest.test_case "peek keeps elements" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    QCheck_alcotest.to_alcotest prop_drain_sorted;
+    QCheck_alcotest.to_alcotest prop_multiset_preserved;
+  ]

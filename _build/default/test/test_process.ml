@@ -1,0 +1,126 @@
+(* Tests for effect-based simulated processes. *)
+
+open Eventsim
+
+let test_pause_advances_time () =
+  let eng = Engine.create () in
+  let seen = ref (-1) in
+  Process.spawn eng (fun () ->
+      Process.pause eng 100;
+      seen := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "resumed at 100" 100 !seen
+
+let test_pause_zero_is_noop () =
+  let eng = Engine.create () in
+  let ran = ref false in
+  Process.spawn eng (fun () ->
+      Process.pause eng 0;
+      ran := true;
+      Alcotest.(check int) "no time passed" 0 (Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check bool) "ran" true !ran
+
+let test_wait_until () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Process.spawn eng (fun () ->
+      Process.wait_until eng 50;
+      log := ("a", Engine.now eng) :: !log;
+      Process.wait_until eng 70;
+      log := ("b", Engine.now eng) :: !log);
+  Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "waits hit their times"
+    [ ("a", 50); ("b", 70) ]
+    (List.rev !log)
+
+let test_wait_until_past_rejected () =
+  let eng = Engine.create () in
+  let raised = ref false in
+  Process.spawn eng (fun () ->
+      Process.pause eng 10;
+      (try Process.wait_until eng 5 with Invalid_argument _ -> raised := true));
+  Engine.run eng;
+  Alcotest.(check bool) "raised" true !raised
+
+let test_spawn_at () =
+  let eng = Engine.create () in
+  let started = ref (-1) in
+  Process.spawn_at eng ~at:42 (fun () -> started := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "starts at 42" 42 !started
+
+let test_two_processes_interleave () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let worker name delay =
+    Process.spawn eng (fun () ->
+        for i = 1 to 3 do
+          Process.pause eng delay;
+          log := (name, i, Engine.now eng) :: !log
+        done)
+  in
+  worker "fast" 10;
+  worker "slow" 25;
+  Engine.run eng;
+  let names = List.map (fun (n, _, _) -> n) (List.rev !log) in
+  Alcotest.(check (list string))
+    "interleaving by time"
+    [ "fast"; "fast"; "slow"; "fast"; "slow"; "slow" ]
+    names
+
+let test_suspend_manual_resume () =
+  let eng = Engine.create () in
+  let resume_slot = ref None in
+  let state = ref "init" in
+  Process.spawn eng (fun () ->
+      state := "suspended";
+      Process.suspend (fun resume -> resume_slot := Some resume);
+      state := "resumed");
+  Engine.run eng;
+  Alcotest.(check string) "parked" "suspended" !state;
+  (match !resume_slot with
+  | Some resume -> resume ()
+  | None -> Alcotest.fail "no resume captured");
+  Alcotest.(check string) "woke" "resumed" !state
+
+let test_yield_lets_same_time_events_run () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Process.spawn eng (fun () ->
+      log := "a1" :: !log;
+      Process.yield eng;
+      log := "a2" :: !log);
+  Process.spawn eng (fun () -> log := "b" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "b ran between" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_many_processes () =
+  let eng = Engine.create () in
+  let finished = ref 0 in
+  for i = 1 to 200 do
+    Process.spawn eng (fun () ->
+        Process.pause eng i;
+        incr finished)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "all finished" 200 !finished;
+  Alcotest.(check int) "time is max delay" 200 (Engine.now eng)
+
+let suite =
+  [
+    Alcotest.test_case "pause advances virtual time" `Quick
+      test_pause_advances_time;
+    Alcotest.test_case "pause 0 is a no-op" `Quick test_pause_zero_is_noop;
+    Alcotest.test_case "wait_until" `Quick test_wait_until;
+    Alcotest.test_case "wait_until in the past fails" `Quick
+      test_wait_until_past_rejected;
+    Alcotest.test_case "spawn_at" `Quick test_spawn_at;
+    Alcotest.test_case "two processes interleave" `Quick
+      test_two_processes_interleave;
+    Alcotest.test_case "manual suspend/resume" `Quick test_suspend_manual_resume;
+    Alcotest.test_case "yield" `Quick test_yield_lets_same_time_events_run;
+    Alcotest.test_case "200 processes" `Quick test_many_processes;
+  ]

@@ -1,0 +1,108 @@
+(* Smoke tests for the report printers and the TSV emitters: every printer
+   renders its experiment's output without raising, and the .dat files are
+   well-formed. Run on reduced-size experiments. *)
+
+open Hurricane
+open Locks
+open Workloads
+
+let buf_print f =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let nonempty name s =
+  Alcotest.(check bool) (name ^ " produced output") true (String.length s > 40)
+
+let test_fig4_printer () =
+  nonempty "fig4" (buf_print (fun ppf -> Report.fig4 ppf (Experiments.fig4 ())))
+
+let test_uncontended_printer () =
+  nonempty "uncontended"
+    (buf_print (fun ppf -> Report.uncontended ppf (Experiments.uncontended ())))
+
+let test_fig5_printer () =
+  let series = Experiments.fig5 ~procs:[ 1; 2 ] ~window_us:1000.0 () in
+  nonempty "fig5"
+    (buf_print (fun ppf -> Report.fig5 ppf ~name:"FIG5a" ~hold_us:0.0 series))
+
+let test_fig7_printer () =
+  let series = Experiments.fig7a ~procs:[ 1; 2 ] ~iters:10 () in
+  nonempty "fig7"
+    (buf_print (fun ppf ->
+         Report.fig7 ppf ~name:"FIG7a" ~xlabel:"p" ~claim:"c" series))
+
+let test_constants_printer () =
+  nonempty "constants"
+    (buf_print (fun ppf -> Report.constants ppf (Experiments.constants ())))
+
+let test_section_format () =
+  let s = buf_print (fun ppf -> Report.section ppf "TITLE" "CLAIM") in
+  Alcotest.(check bool) "has title" true
+    (Astring.String.is_infix ~affix:"TITLE" s
+    || String.length s > 0 && String.sub s 0 1 = "-")
+
+let test_dat_files () =
+  let dir = Filename.temp_file "hurricane" "" in
+  Sys.remove dir;
+  let series = Experiments.fig5 ~procs:[ 1; 2 ] ~window_us:1000.0 () in
+  Sys.mkdir dir 0o755;
+  let path = Dat.fig5 dir ~name:"t5" series in
+  let ic = open_in path in
+  let header = input_line ic in
+  let row1 = input_line ic in
+  let row2 = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "header is a comment" true (header.[0] = '#');
+  let cols s = List.length (String.split_on_char '\t' s) in
+  Alcotest.(check int) "columns = 1 + algorithms" (1 + 5) (cols row1);
+  Alcotest.(check int) "rows consistent" (cols row1) (cols row2);
+  Alcotest.(check bool) "x values" true
+    (String.sub row1 0 1 = "1" && String.sub row2 0 1 = "2")
+
+let test_dat_fig7 () =
+  let dir = Filename.temp_file "hurricane" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let series = Experiments.fig7a ~procs:[ 1; 4 ] ~iters:10 () in
+  let path = Dat.fig7 dir ~name:"t7" series in
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "mentions the algorithms" true
+    (Astring.String.is_infix ~affix:"H1-MCS" header
+    && Astring.String.is_infix ~affix:"Spin" header)
+
+let test_gnuplot_script () =
+  let dir = Filename.temp_file "hurricane" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Dat.gnuplot_script dir in
+  Alcotest.(check bool) "written" true (Sys.file_exists path)
+
+let test_measure_pp () =
+  let stat = Eventsim.Stat.create "x" in
+  Eventsim.Stat.add stat 160;
+  let s =
+    buf_print (fun ppf ->
+        Measure.pp ppf (Measure.of_stat Hector.Config.hector ~label:"x" stat))
+  in
+  Alcotest.(check bool) "mentions the label" true
+    (Astring.String.is_infix ~affix:"x" s);
+  ignore Lock.Mcs_h2
+
+let suite =
+  [
+    Alcotest.test_case "fig4 printer" `Quick test_fig4_printer;
+    Alcotest.test_case "uncontended printer" `Quick test_uncontended_printer;
+    Alcotest.test_case "fig5 printer" `Quick test_fig5_printer;
+    Alcotest.test_case "fig7 printer" `Quick test_fig7_printer;
+    Alcotest.test_case "constants printer" `Quick test_constants_printer;
+    Alcotest.test_case "section format" `Quick test_section_format;
+    Alcotest.test_case "fig5 .dat files" `Quick test_dat_files;
+    Alcotest.test_case "fig7 .dat files" `Quick test_dat_fig7;
+    Alcotest.test_case "gnuplot script" `Quick test_gnuplot_script;
+    Alcotest.test_case "Measure.pp" `Quick test_measure_pp;
+  ]

@@ -1,0 +1,137 @@
+(* Tests for the inter-cluster RPC layer. *)
+
+open Eventsim
+open Hector
+open Hkernel
+
+let make () =
+  let eng = Engine.create () in
+  let machine = Machine.create eng Config.hector in
+  let rng = Rng.create 55 in
+  let ctxs =
+    Array.init 16 (fun p -> Ctx.create machine ~proc:p (Rng.split rng))
+  in
+  let rpc = Rpc.create machine ctxs Costs.default in
+  (eng, machine, ctxs, rpc)
+
+let test_remote_call () =
+  let eng, machine, ctxs, rpc = make () in
+  Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(8));
+  let got = ref None in
+  let service_proc = ref (-1) in
+  Process.spawn eng (fun () ->
+      let r =
+        Rpc.call rpc ctxs.(0) ~target:8 (fun tctx ->
+            service_proc := Ctx.proc tctx;
+            Rpc.Ok 99)
+      in
+      got := Some r);
+  Engine.run eng;
+  Alcotest.(check bool) "reply" true (!got = Some (Rpc.Ok 99));
+  Alcotest.(check int) "ran on the target" 8 !service_proc;
+  Alcotest.(check int) "counted" 1 (Rpc.calls rpc);
+  ignore machine
+
+let test_remote_call_has_latency () =
+  let eng, machine, ctxs, rpc = make () in
+  Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(12));
+  let dt = ref 0 in
+  Process.spawn eng (fun () ->
+      let t0 = Machine.now machine in
+      ignore (Rpc.call rpc ctxs.(0) ~target:12 (fun _ -> Rpc.Ok 0));
+      dt := Machine.now machine - t0);
+  Engine.run eng;
+  (* A null RPC costs on the order of the paper's 27 us = 432 cycles. *)
+  Alcotest.(check bool) "at least 200 cycles" true (!dt > 200);
+  Alcotest.(check bool) "below 1000 cycles" true (!dt < 1000)
+
+let test_local_call_is_direct () =
+  let eng, _, ctxs, rpc = make () in
+  let ran_on = ref (-1) in
+  Process.spawn eng (fun () ->
+      ignore
+        (Rpc.call rpc ctxs.(3) ~target:3 (fun tctx ->
+             ran_on := Ctx.proc tctx;
+             Rpc.Ok 1)));
+  Engine.run eng;
+  Alcotest.(check int) "same processor" 3 !ran_on
+
+let test_deadlock_failures_counted () =
+  let eng, _, ctxs, rpc = make () in
+  Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(4));
+  Process.spawn eng (fun () ->
+      ignore (Rpc.call rpc ctxs.(0) ~target:4 (fun _ -> Rpc.Would_deadlock)));
+  Engine.run eng;
+  Alcotest.(check int) "counted" 1 (Rpc.deadlock_failures rpc)
+
+let test_call_until_resolved_retries () =
+  let eng, _, ctxs, rpc = make () in
+  Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(4));
+  let failures_left = ref 3 in
+  let released = ref 0 in
+  let got = ref None in
+  Process.spawn eng (fun () ->
+      let r =
+        Rpc.call_until_resolved rpc ctxs.(0) ~target:4
+          ~before_retry:(fun () -> incr released)
+          (fun _ ->
+            if !failures_left > 0 then begin
+              decr failures_left;
+              Rpc.Would_deadlock
+            end
+            else Rpc.Ok 5)
+      in
+      got := Some r);
+  Engine.run eng;
+  Alcotest.(check bool) "eventually ok" true (!got = Some (Rpc.Ok 5));
+  Alcotest.(check int) "reserves released per retry" 3 !released;
+  Alcotest.(check int) "retries counted" 3 (Rpc.retries rpc)
+
+let test_concurrent_calls_to_one_target () =
+  let eng, _, ctxs, rpc = make () in
+  Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(9));
+  let replies = ref 0 in
+  for p = 0 to 3 do
+    Process.spawn eng (fun () ->
+        match Rpc.call rpc ctxs.(p) ~target:9 (fun tctx ->
+            Ctx.work tctx 50;
+            Rpc.Ok p)
+        with
+        | Rpc.Ok v when v = p -> incr replies
+        | _ -> Alcotest.fail "wrong reply")
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "all served" 4 !replies
+
+let test_caller_serves_while_waiting () =
+  (* Two processors RPC each other simultaneously: both must complete,
+     because a waiting caller keeps taking interrupts. *)
+  let eng, _, ctxs, rpc = make () in
+  let done_count = ref 0 in
+  for p = 0 to 1 do
+    let target = 1 - p in
+    Process.spawn eng (fun () ->
+        match Rpc.call rpc ctxs.(p) ~target (fun tctx ->
+            Ctx.work tctx 30;
+            Rpc.Ok 0)
+        with
+        | Rpc.Ok _ -> incr done_count
+        | _ -> Alcotest.fail "failed")
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "both crossed calls completed" 2 !done_count
+
+let suite =
+  [
+    Alcotest.test_case "remote call round trip" `Quick test_remote_call;
+    Alcotest.test_case "remote call latency" `Quick test_remote_call_has_latency;
+    Alcotest.test_case "local call runs directly" `Quick test_local_call_is_direct;
+    Alcotest.test_case "deadlock failures counted" `Quick
+      test_deadlock_failures_counted;
+    Alcotest.test_case "call_until_resolved retries" `Quick
+      test_call_until_resolved_retries;
+    Alcotest.test_case "concurrent calls to one target" `Quick
+      test_concurrent_calls_to_one_target;
+    Alcotest.test_case "crossed RPCs both complete" `Quick
+      test_caller_serves_while_waiting;
+  ]

@@ -1,0 +1,94 @@
+(* Tests for the statistics accumulator. *)
+
+open Eventsim
+
+let with_samples samples =
+  let s = Stat.create "t" in
+  List.iter (Stat.add s) samples;
+  s
+
+let test_empty () =
+  let s = Stat.create "t" in
+  Alcotest.(check int) "count" 0 (Stat.count s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stat.mean s);
+  Alcotest.(check int) "median" 0 (Stat.median s);
+  Alcotest.(check (float 0.0)) "tail" 0.0 (Stat.fraction_above s 5)
+
+let test_basic_moments () =
+  let s = with_samples [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "count" 5 (Stat.count s);
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Stat.mean s);
+  Alcotest.(check int) "min" 1 (Stat.min_value s);
+  Alcotest.(check int) "max" 5 (Stat.max_value s);
+  Alcotest.(check int) "median" 3 (Stat.median s);
+  Alcotest.(check (float 0.001)) "stddev" (sqrt 2.5) (Stat.stddev s)
+
+let test_percentiles () =
+  let s = with_samples (List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check int) "p50" 50 (Stat.percentile s 0.5);
+  Alcotest.(check int) "p90" 90 (Stat.percentile s 0.9);
+  Alcotest.(check int) "p99" 99 (Stat.percentile s 0.99);
+  Alcotest.(check int) "p100" 100 (Stat.percentile s 1.0);
+  Alcotest.(check int) "p0 clamps" 1 (Stat.percentile s 0.0);
+  Alcotest.(check int) "q>1 clamps" 100 (Stat.percentile s 2.0)
+
+let test_percentile_after_more_adds () =
+  (* Percentile sorts internally; adding afterwards must still work. *)
+  let s = with_samples [ 5; 1; 3 ] in
+  Alcotest.(check int) "median" 3 (Stat.median s);
+  Stat.add s 2;
+  Stat.add s 4;
+  Alcotest.(check int) "median updated" 3 (Stat.median s);
+  Alcotest.(check int) "max" 5 (Stat.max_value s)
+
+let test_fraction_above () =
+  let s = with_samples [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check (float 0.001)) "above 8" 0.2 (Stat.fraction_above s 8);
+  Alcotest.(check (float 0.001)) "above 0" 1.0 (Stat.fraction_above s 0);
+  Alcotest.(check (float 0.001)) "above 10" 0.0 (Stat.fraction_above s 10)
+
+let test_clear () =
+  let s = with_samples [ 1; 2; 3 ] in
+  Stat.clear s;
+  Alcotest.(check int) "count" 0 (Stat.count s);
+  Stat.add s 7;
+  Alcotest.(check (float 0.001)) "fresh mean" 7.0 (Stat.mean s)
+
+let test_to_list () =
+  let s = with_samples [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "insertion order kept" [ 3; 1; 2 ]
+    (Stat.to_list s)
+
+let prop_percentile_matches_sorted =
+  QCheck.Test.make ~name:"nearest-rank percentile matches sorted list"
+    ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (int_bound 1000)) (float_bound_inclusive 1.0))
+    (fun (samples, q) ->
+      let s = with_samples samples in
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      Stat.percentile s q = List.nth sorted idx)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_bound 1000))
+    (fun samples ->
+      let s = with_samples samples in
+      float_of_int (Stat.min_value s) <= Stat.mean s +. 1e-9
+      && Stat.mean s <= float_of_int (Stat.max_value s) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty stat" `Quick test_empty;
+    Alcotest.test_case "basic moments" `Quick test_basic_moments;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile after later adds" `Quick
+      test_percentile_after_more_adds;
+    Alcotest.test_case "fraction above threshold" `Quick test_fraction_above;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_list keeps order" `Quick test_to_list;
+    QCheck_alcotest.to_alcotest prop_percentile_matches_sorted;
+    QCheck_alcotest.to_alcotest prop_mean_bounds;
+  ]
