@@ -85,6 +85,7 @@ let run_trylock () = Report.trylock ppf (Experiments.trylock ())
 let run_classes () = Report.classes ppf (Experiments.classes ())
 let run_cow () = Report.cow ppf (Experiments.cow ())
 let run_fs () = Report.fs ppf (Experiments.fs ())
+let run_fault_matrix () = Report.fault_matrix ppf (Experiments.fault_matrix ())
 
 let experiments =
   [
@@ -112,6 +113,7 @@ let experiments =
     ("classes", run_classes);
     ("cow", run_cow);
     ("fs", run_fs);
+    ("fault-matrix", run_fault_matrix);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

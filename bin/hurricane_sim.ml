@@ -231,6 +231,111 @@ let sweep_cmd =
        ~doc:"Sweep the cluster size at p=16 (Figures 7c/7d).")
     Term.(const run $ algo_arg $ shared $ sizes)
 
+(* -- storm subcommand --------------------------------------------------------- *)
+
+let check_fault_config fc =
+  match Eventsim.Fault.validate fc with
+  | fc -> fc
+  | exception Invalid_argument msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+
+let storm_cmd =
+  let run mech_name p stall_every_us stall_us drop_rate delay_rate seed =
+    let mech =
+      match String.lowercase_ascii mech_name with
+      | "no-timeout" | "none" -> Fault_storm.No_timeout
+      | "timeout" -> Fault_storm.Timeout
+      | "bounded-retry" | "bounded" -> Fault_storm.Bounded_retry
+      | other ->
+        Format.eprintf
+          "unknown mechanism %S (no-timeout | timeout | bounded-retry)@." other;
+        exit 2
+    in
+    let cfg = Hector.Config.hector in
+    let fault =
+      if stall_every_us <= 0.0 && drop_rate <= 0.0 && delay_rate <= 0.0 then
+        None
+      else
+        Some
+          (check_fault_config
+          @@ {
+            Eventsim.Fault.disabled with
+            seed;
+            stall_every =
+              (if stall_every_us > 0.0 then
+                 Hector.Config.cycles_of_us cfg stall_every_us
+               else 0);
+            stall_cycles = Hector.Config.cycles_of_us cfg stall_us;
+            rpc_delay_rate = delay_rate;
+            rpc_delay_cycles = Hector.Config.cycles_of_us cfg 25.0;
+            rpc_drop_rate = drop_rate;
+            reply_timeout =
+              (if drop_rate > 0.0 then Hector.Config.cycles_of_us cfg 250.0
+               else 0);
+          })
+    in
+    let r =
+      Fault_storm.run ~cfg
+        ~config:{ Fault_storm.default_config with p; seed; fault }
+        mech
+    in
+    Format.fprintf ppf
+      "%s: ops=%d deferred=%d rpc-ok=%d/%d resends=%d gave-ups=%d@."
+      (Fault_storm.mechanism_name mech)
+      r.Fault_storm.ops r.Fault_storm.deferred r.Fault_storm.rpc_ok
+      r.Fault_storm.rpc_calls r.Fault_storm.rpc_resends
+      r.Fault_storm.rpc_gave_ups;
+    Format.fprintf ppf
+      "lock-timeouts=%d gcs=%d reserve-timeouts=%d injected: stalls=%d \
+       delays=%d drops=%d hotspots=%d@."
+      r.Fault_storm.lock_timeouts r.Fault_storm.lock_gcs
+      r.Fault_storm.reserve_timeouts r.Fault_storm.stalls_injected
+      r.Fault_storm.delays_injected r.Fault_storm.drops_injected
+      r.Fault_storm.hotspots_injected;
+    Format.fprintf ppf "recovery: %a@." Measure.pp r.Fault_storm.recovery
+  in
+  let mech =
+    Arg.(
+      value & opt string "timeout"
+      & info [ "m"; "mechanism" ] ~docv:"MECH"
+          ~doc:"Recovery mechanism: no-timeout, timeout or bounded-retry.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "p"; "workers" ] ~docv:"P" ~doc:"Worker processors.")
+  in
+  let stall_every =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "stall-every" ] ~docv:"US"
+          ~doc:"Inject a holder stall every US microseconds (0 = none).")
+  in
+  let stall =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "stall" ] ~docv:"US" ~doc:"Length of an injected stall.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"R" ~doc:"P(message loss) per RPC call.")
+  in
+  let delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay-rate" ] ~docv:"R" ~doc:"P(delay) per RPC message.")
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Fault-injection storm: holder stalls, RPC loss/delay, and the \
+          timeout/bounded-retry recovery mechanisms.")
+    Term.(
+      const run $ mech $ workers $ stall_every $ stall $ drop $ delay
+      $ seed_arg)
+
 (* -- figure subcommand -------------------------------------------------------- *)
 
 let figure_cmd =
@@ -259,6 +364,7 @@ let figure_cmd =
     | "trylock" -> Report.trylock ppf (Experiments.trylock ())
     | "classes" -> Report.classes ppf (Experiments.classes ())
     | "cow" -> Report.cow ppf (Experiments.cow ())
+    | "fault-matrix" -> Report.fault_matrix ppf (Experiments.fault_matrix ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -277,6 +383,14 @@ let main_cmd =
   let doc = "Simulator for the HURRICANE locking architecture on HECTOR." in
   Cmd.group
     (Cmd.info "hurricane_sim" ~version:"1.0.0" ~doc)
-    [ locks_cmd; faults_cmd; calibrate_cmd; destroy_cmd; sweep_cmd; figure_cmd ]
+    [
+      locks_cmd;
+      faults_cmd;
+      calibrate_cmd;
+      destroy_cmd;
+      sweep_cmd;
+      storm_cmd;
+      figure_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

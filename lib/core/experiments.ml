@@ -418,3 +418,68 @@ let cow ?cfg () = Cow_storm.run_both ?cfg ()
 (* -- FS: the file server (Section 5.1) ----------------------------------------- *)
 
 let fs ?cfg () = File_read.run_grid ?cfg ()
+
+(* -- FAULTS: injected holder stalls vs recovery mechanisms --------------------- *)
+
+type fault_row = {
+  fmech : Fault_storm.mechanism;
+  stall_every_us : float; (* 0 = fault-free baseline *)
+  fault_ops : int;
+  retained : float; (* fault_ops / the same mechanism's baseline ops *)
+  recovery_mean_us : float;
+  recovery_p99_us : float;
+  fault_lock_timeouts : int;
+  fault_reserve_timeouts : int;
+  fault_gave_ups : int;
+  fault_deferred : int;
+  stalls : int;
+}
+
+(* One stall dose (scheduled mode, identical for every mechanism) per
+   period x mechanism, plus a fault-free baseline per mechanism to express
+   throughput as a retained fraction. *)
+let fault_matrix ?(cfg = Config.hector)
+    ?(periods_us = [ 4000.0; 2000.0; 1000.0 ]) () =
+  let stall_cycles = Config.cycles_of_us cfg 1000.0 in
+  let run mech ~period_us =
+    let fault =
+      if period_us <= 0.0 then None
+      else
+        Some
+          {
+            Eventsim.Fault.disabled with
+            seed = 42;
+            stall_every = Config.cycles_of_us cfg period_us;
+            stall_cycles;
+          }
+    in
+    Fault_storm.run ~cfg
+      ~config:{ Fault_storm.default_config with fault }
+      mech
+  in
+  List.concat_map
+    (fun mech ->
+      let base = run mech ~period_us:0.0 in
+      let row ~period_us (r : Fault_storm.result) =
+        {
+          fmech = mech;
+          stall_every_us = period_us;
+          fault_ops = r.Fault_storm.ops;
+          retained =
+            (if base.Fault_storm.ops = 0 then 0.0
+             else float_of_int r.Fault_storm.ops
+                  /. float_of_int base.Fault_storm.ops);
+          recovery_mean_us = r.Fault_storm.recovery.Measure.mean_us;
+          recovery_p99_us = r.Fault_storm.recovery.Measure.p99_us;
+          fault_lock_timeouts = r.Fault_storm.lock_timeouts;
+          fault_reserve_timeouts = r.Fault_storm.reserve_timeouts;
+          fault_gave_ups = r.Fault_storm.rpc_gave_ups;
+          fault_deferred = r.Fault_storm.deferred;
+          stalls = r.Fault_storm.stalls_injected;
+        }
+      in
+      row ~period_us:0.0 base
+      :: List.map
+           (fun period_us -> row ~period_us (run mech ~period_us))
+           periods_us)
+    [ Fault_storm.No_timeout; Fault_storm.Timeout; Fault_storm.Bounded_retry ]

@@ -160,3 +160,24 @@ val cow : ?cfg:Config.t -> unit -> Cow_storm.result * Cow_storm.result
 (** FS — the file server built from the same techniques (Section 5.1):
     private vs shared files, read-ahead off/on. *)
 val fs : ?cfg:Config.t -> unit -> File_read.result list
+
+(** FAULTS — injected lock-holder stalls (1 ms, scheduled at a fixed
+    period so every mechanism gets the same dose) against the unbounded
+    protocol, timeout-capable locking, and bounded-retry RPC. *)
+
+type fault_row = {
+  fmech : Fault_storm.mechanism;
+  stall_every_us : float;  (** 0 = fault-free baseline *)
+  fault_ops : int;
+  retained : float;  (** fault_ops over the mechanism's baseline ops *)
+  recovery_mean_us : float;
+  recovery_p99_us : float;
+  fault_lock_timeouts : int;
+  fault_reserve_timeouts : int;
+  fault_gave_ups : int;
+  fault_deferred : int;
+  stalls : int;
+}
+
+val fault_matrix :
+  ?cfg:Config.t -> ?periods_us:float list -> unit -> fault_row list

@@ -282,6 +282,25 @@ let cow ppf ((opt : Cow_storm.result), (pes : Cow_storm.result)) =
   line opt;
   line pes
 
+let fault_matrix ppf rows =
+  section ppf "FAULTS - injected holder stalls vs recovery mechanisms"
+    "a stalled holder freezes everything behind an unbounded spin or retry; \
+     timeouts re-search around it and a bounded RPC budget degrades to \
+     pessimistic fallbacks instead of looping";
+  Format.fprintf ppf "%-14s %10s %6s %9s %11s %11s %6s %6s %6s %7s %7s@."
+    "mechanism" "stall/us" "doses" "ops" "retained" "recov(us)" "ltmo"
+    "rtmo" "gaveup" "defer" "p99(us)";
+  List.iter
+    (fun (r : Experiments.fault_row) ->
+      Format.fprintf ppf
+        "%-14s %10.0f %6d %9d %10.0f%% %11.1f %6d %6d %6d %7d %7.1f@."
+        (Fault_storm.mechanism_name r.fmech)
+        r.stall_every_us r.stalls r.fault_ops
+        (100.0 *. r.retained)
+        r.recovery_mean_us r.fault_lock_timeouts r.fault_reserve_timeouts
+        r.fault_gave_ups r.fault_deferred r.recovery_p99_us)
+    rows
+
 let fs ppf rows =
   section ppf "FS - the file server, same techniques (Section 5.1)"
     "per-cluster block caches + combining fetches give the file system the \

@@ -60,3 +60,5 @@ val classes : Format.formatter -> Four_classes.result -> unit
 val cow : Format.formatter -> Cow_storm.result * Cow_storm.result -> unit
 
 val fs : Format.formatter -> File_read.result list -> unit
+
+val fault_matrix : Format.formatter -> Experiments.fault_row list -> unit

@@ -1,0 +1,177 @@
+(* Deterministic fault injection.
+
+   A fault plan is a seeded recipe for adversity: lock-holder stalls
+   (a holder preempted mid-critical-section), RPC delays and losses (a
+   request or reply held up or dropped in the interconnect, forcing the
+   caller to resend), and memory hot-spots (a PMM serving accesses at a
+   multiple of its normal latency for a window).
+
+   All draws come from the plan's own splitmix64 stream ({!Rng}), so a
+   given (config, workload) pair replays bit-for-bit, and the plan never
+   perturbs the random streams of the processors it torments. Every
+   injected fault is counted — experiments reconcile observed degradation
+   against these counters.
+
+   The plan is pure bookkeeping: it never advances simulated time itself.
+   The injection sites (Hector.Ctx, Hector.Machine, Hkernel.Rpc) ask it
+   what to inject and charge the simulated cycles themselves, and they ask
+   only when a plan is installed — with no plan there are no draws, no
+   branches taken, and identical timing. *)
+
+type config = {
+  seed : int;
+  stall_rate : float; (* P(stall) per fault point visit *)
+  stall_every : int;
+      (* scheduled mode: >0 injects a stall at the first fault-point visit
+         on or after each multiple of this period — a fixed dosage,
+         independent of how often the workload visits fault points, so
+         mechanisms can be compared under identical adversity *)
+  stall_cycles : int; (* how long a stalled holder is away *)
+  rpc_delay_rate : float; (* P(delay) per message (request and reply) *)
+  rpc_delay_cycles : int;
+  rpc_drop_rate : float; (* P(loss) per call; at most one loss per call *)
+  reply_timeout : int; (* caller resends after this many cycles; 0 = never *)
+  hotspot_rate : float; (* P(window opens) per access to a cool PMM *)
+  hotspot_factor : int; (* latency multiplier while hot *)
+  hotspot_cycles : int; (* window length *)
+}
+
+let disabled =
+  {
+    seed = 1;
+    stall_rate = 0.0;
+    stall_every = 0;
+    stall_cycles = 0;
+    rpc_delay_rate = 0.0;
+    rpc_delay_cycles = 0;
+    rpc_drop_rate = 0.0;
+    reply_timeout = 0;
+    hotspot_rate = 0.0;
+    hotspot_factor = 1;
+    hotspot_cycles = 0;
+  }
+
+let validate cfg =
+  let check_rate name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Fault: %s must be in [0,1]" name)
+  in
+  check_rate "stall_rate" cfg.stall_rate;
+  if cfg.stall_every < 0 then invalid_arg "Fault: stall_every must be >= 0";
+  if cfg.stall_rate > 0.0 && cfg.stall_every > 0 then
+    invalid_arg "Fault: stall_rate and stall_every are mutually exclusive";
+  check_rate "rpc_delay_rate" cfg.rpc_delay_rate;
+  check_rate "rpc_drop_rate" cfg.rpc_drop_rate;
+  check_rate "hotspot_rate" cfg.hotspot_rate;
+  if cfg.hotspot_factor < 1 then
+    invalid_arg "Fault: hotspot_factor must be >= 1";
+  if cfg.rpc_drop_rate > 0.0 && cfg.reply_timeout <= 0 then
+    invalid_arg "Fault: rpc_drop_rate > 0 needs a positive reply_timeout";
+  cfg
+
+type drop = No_drop | Drop_request | Drop_reply
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable stalls : int;
+  site_stalls : (int, int) Hashtbl.t;
+  mutable rpc_delays : int;
+  mutable rpc_drops : int;
+  mutable hotspots : int;
+  mutable stall_log_rev : (int * int) list; (* (start, duration), newest first *)
+  mutable next_stall : int; (* scheduled mode: earliest time of the next stall *)
+  hot_until : (int, int) Hashtbl.t; (* pmm -> window end *)
+}
+
+let create cfg =
+  let cfg = validate cfg in
+  {
+    cfg;
+    rng = Rng.create cfg.seed;
+    stalls = 0;
+    site_stalls = Hashtbl.create 8;
+    rpc_delays = 0;
+    rpc_drops = 0;
+    hotspots = 0;
+    stall_log_rev = [];
+    next_stall = cfg.stall_every;
+    hot_until = Hashtbl.create 8;
+  }
+
+let config t = t.cfg
+let reply_timeout t = t.cfg.reply_timeout
+
+let stalls_injected t = t.stalls
+
+let stalls_at t ~site =
+  match Hashtbl.find_opt t.site_stalls site with Some n -> n | None -> 0
+
+let rpc_delays_injected t = t.rpc_delays
+let rpc_drops_injected t = t.rpc_drops
+let hotspots_injected t = t.hotspots
+
+let total_injected t = t.stalls + t.rpc_delays + t.rpc_drops + t.hotspots
+
+let stall_log t = List.rev t.stall_log_rev
+
+(* Should the caller stall at this fault point?  Returns the stall length;
+   the caller spends the cycles (interruptibly — a preempted holder's
+   processor still serves interrupts). *)
+let record_stall t ~site ~now =
+  t.stalls <- t.stalls + 1;
+  Hashtbl.replace t.site_stalls site (stalls_at t ~site + 1);
+  t.stall_log_rev <- (now, t.cfg.stall_cycles) :: t.stall_log_rev;
+  Some t.cfg.stall_cycles
+
+let draw_stall t ~site ~now =
+  if t.cfg.stall_every > 0 then
+    if now >= t.next_stall then begin
+      (* One stall per period; skipping quiet periods rather than bursting
+         to catch up keeps the dosage bounded by elapsed time. *)
+      t.next_stall <- now + t.cfg.stall_every;
+      record_stall t ~site ~now
+    end
+    else None
+  else if t.cfg.stall_rate <= 0.0 then None
+  else if Rng.float t.rng < t.cfg.stall_rate then record_stall t ~site ~now
+  else None
+
+(* Should this message (request or reply) be held up in the interconnect? *)
+let draw_rpc_delay t =
+  if t.cfg.rpc_delay_rate <= 0.0 then None
+  else if Rng.float t.rng < t.cfg.rpc_delay_rate then begin
+    t.rpc_delays <- t.rpc_delays + 1;
+    Some t.cfg.rpc_delay_cycles
+  end
+  else None
+
+(* Should this delivery lose its request or its reply?  Drawn once per
+   delivery attempt; the RPC layer enforces at most one loss per call. *)
+let draw_rpc_drop t =
+  if t.cfg.rpc_drop_rate <= 0.0 then No_drop
+  else if Rng.float t.rng < t.cfg.rpc_drop_rate then begin
+    t.rpc_drops <- t.rpc_drops + 1;
+    if Rng.bool t.rng then Drop_request else Drop_reply
+  end
+  else No_drop
+
+(* Latency multiplier for an access to [pmm] at time [now]: the configured
+   factor while a hot window is open, 1 otherwise.  An access to a cool
+   PMM may open a new window. *)
+let hotspot_factor t ~pmm ~now =
+  if t.cfg.hotspot_rate <= 0.0 then 1
+  else begin
+    let hot =
+      match Hashtbl.find_opt t.hot_until pmm with
+      | Some until -> now < until
+      | None -> false
+    in
+    if hot then t.cfg.hotspot_factor
+    else if Rng.float t.rng < t.cfg.hotspot_rate then begin
+      t.hotspots <- t.hotspots + 1;
+      Hashtbl.replace t.hot_until pmm (now + t.cfg.hotspot_cycles);
+      t.cfg.hotspot_factor
+    end
+    else 1
+  end

@@ -1,0 +1,77 @@
+(** Deterministic, seeded fault injection.
+
+    A fault plan decides — from its own {!Rng} stream, so replays are
+    bit-for-bit — when to inject lock-holder stalls, RPC delays/losses, and
+    memory hot-spot slowdowns. The plan only makes decisions and counts
+    them; the injection sites (context fault points, the machine's access
+    path, the RPC layer) spend the simulated cycles. When no plan is
+    installed those sites make no draws at all, so disabled injection is
+    exactly free. *)
+
+type config = {
+  seed : int;
+  stall_rate : float;  (** P(stall) per fault-point visit *)
+  stall_every : int;
+      (** scheduled mode (exclusive with [stall_rate]): [> 0] stalls the
+          first fault-point visit on or after each multiple of this period
+          — a fixed dosage independent of visit frequency, for comparing
+          mechanisms under identical adversity *)
+  stall_cycles : int;  (** length of an injected holder stall *)
+  rpc_delay_rate : float;  (** P(delay) per RPC message (request or reply) *)
+  rpc_delay_cycles : int;
+  rpc_drop_rate : float;
+      (** P(loss) per call — request or reply, at most once per call *)
+  reply_timeout : int;
+      (** callers resend the request after this many cycles without a
+          reply; 0 disables resending (required > 0 when losses are on) *)
+  hotspot_rate : float;  (** P(window opens) per access to a cool PMM *)
+  hotspot_factor : int;  (** access-latency multiplier while hot *)
+  hotspot_cycles : int;  (** hot-window length *)
+}
+
+(** All rates zero: a plan that never injects anything. *)
+val disabled : config
+
+(** @raise Invalid_argument on out-of-range rates, a factor below 1, or
+    losses enabled without a reply timeout. *)
+val validate : config -> config
+
+type t
+
+val create : config -> t
+val config : t -> config
+val reply_timeout : t -> int
+
+(** {2 Draws — called by the injection sites} *)
+
+(** Stall decision at a fault point; [Some cycles] means the caller must
+    spend [cycles] stalled. Recorded in the stall log. *)
+val draw_stall : t -> site:int -> now:int -> int option
+
+(** Delay decision for one RPC message. *)
+val draw_rpc_delay : t -> int option
+
+type drop = No_drop | Drop_request | Drop_reply
+
+(** Loss decision for one RPC delivery attempt. *)
+val draw_rpc_drop : t -> drop
+
+(** Latency multiplier for an access to [pmm] at [now]; 1 when cool. May
+    open a new hot window. *)
+val hotspot_factor : t -> pmm:int -> now:int -> int
+
+(** {2 Accounting} *)
+
+val stalls_injected : t -> int
+
+(** Stalls injected at one fault-point site. *)
+val stalls_at : t -> site:int -> int
+
+val rpc_delays_injected : t -> int
+val rpc_drops_injected : t -> int
+val hotspots_injected : t -> int
+val total_injected : t -> int
+
+(** Chronological [(start, duration)] log of injected stalls, for
+    recovery-latency analysis. *)
+val stall_log : t -> (int * int) list

@@ -189,6 +189,21 @@ let interruptible_pause ?(granule = 32) t cycles =
   in
   loop ()
 
+(* Fault-injection point: code that wants to be subject to injected
+   lock-holder stalls (e.g. a workload's critical section) calls this at
+   the spot where a preemption would hurt. With no plan installed it is a
+   single host-side branch — no draws, no simulated cycles — so paper
+   workloads, which never call it anyway, are untouched. A drawn stall is
+   an interruptible pause: the preempted holder's processor keeps serving
+   interrupts (the preemptor runs with interrupts enabled). *)
+let fault_point t ~site =
+  match Machine.fault_plan t.machine with
+  | None -> ()
+  | Some plan -> (
+    match Fault.draw_stall plan ~site ~now:(Machine.now t.machine) with
+    | None -> ()
+    | Some cycles -> interruptible_pause t cycles)
+
 (* Spin on a reply while continuing to take interrupts: this is how a
    processor waits for an RPC to complete in an exception-based kernel — the
    processor is busy, but interrupts (and hence incoming RPCs) still get
@@ -206,6 +221,26 @@ let await ?(poll_interval = 16) t ivar =
     | None ->
       Process.pause eng poll_interval;
       loop ()
+  in
+  loop ()
+
+(* [await] with a deadline: gives up once [timeout] cycles pass without the
+   ivar filling. This is what lets an RPC caller detect a lost message and
+   resend instead of spinning forever. *)
+let await_timeout ?(poll_interval = 16) t ~timeout ivar =
+  assert (not t.soft_masked);
+  let eng = engine t in
+  let deadline = Machine.now t.machine + timeout in
+  let rec loop () =
+    poll t;
+    match Ivar.peek ivar with
+    | Some v -> Some v
+    | None ->
+      if Machine.now t.machine >= deadline then None
+      else begin
+        Process.pause eng poll_interval;
+        loop ()
+      end
   in
   loop ()
 

@@ -62,9 +62,19 @@ val post_ipi : t -> handler -> unit
     computing. *)
 val interruptible_pause : ?granule:int -> t -> int -> unit
 
+(** Fault-injection point: consult the machine's installed fault plan
+    ({!Machine.set_fault_plan}) and, if a stall is drawn for [site], spend
+    it as an interruptible pause (a preempted holder's processor still
+    serves interrupts). Free when no plan is installed. *)
+val fault_point : t -> site:int -> unit
+
 (** Busy-wait for an ivar while continuing to take interrupts — how a
     processor waits for an RPC reply in an exception-based kernel. *)
 val await : ?poll_interval:int -> t -> 'a Ivar.t -> 'a
+
+(** {!await} with a deadline: [None] once [timeout] cycles pass without a
+    value — the caller can resend a lost request. *)
+val await_timeout : ?poll_interval:int -> t -> timeout:int -> 'a Ivar.t -> 'a option
 
 (** Idle service loop for processors without their own workload: sleeps
     until an IPI arrives, serves it, repeats. Never returns. *)

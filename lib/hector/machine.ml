@@ -23,6 +23,7 @@ type t = {
   mutable writes : int;
   mutable atomics : int;
   mutable cache_hits : int;
+  mutable fault : Fault.t option; (* installed fault plan, for hot-spots *)
 }
 
 let create eng cfg =
@@ -40,6 +41,7 @@ let create eng cfg =
     writes = 0;
     atomics = 0;
     cache_hits = 0;
+    fault = None;
   }
 
 let engine t = t.eng
@@ -51,6 +53,9 @@ let reads t = t.reads
 let writes t = t.writes
 let atomics t = t.atomics
 let cache_hits t = t.cache_hits
+
+let set_fault_plan t plan = t.fault <- plan
+let fault_plan t = t.fault
 
 let mem_resource t m = t.mem.(m)
 let bus_resource t s = t.bus.(s)
@@ -82,12 +87,20 @@ let access_finish_time t ~proc ~home ~accesses ~atomic =
   let start = Engine.now t.eng in
   let sp = Config.station_of_proc cfg proc
   and sm = Config.station_of_pmm cfg home in
+  (* Injected hot-spot: the destination PMM may be serving at a multiple of
+     its normal latency. 1 when no plan is installed or the PMM is cool, so
+     the factor costs nothing when injection is off. *)
+  let hot =
+    match t.fault with
+    | None -> 1
+    | Some plan -> Fault.hotspot_factor plan ~pmm:home ~now:start
+  in
   (* A processor's accesses to its own PMM go through a dedicated local
      port: the processor is sequential, so it cannot contend with itself,
      and local spinning must stay harmless — that is the property of
      distributed locks the paper builds on. Local accesses therefore pay
      the base latency but reserve no shared resource. *)
-  if proc = home then start + (cfg.Config.local_latency * accesses)
+  if proc = home then start + (cfg.Config.local_latency * accesses * hot)
   else begin
   (* An atomic makes [accesses] full memory accesses, each a separate
      transaction on the buses and ring, so every occupancy scales with
@@ -109,11 +122,12 @@ let access_finish_time t ~proc ~home ~accesses ~atomic =
       Resource.reserve t.bus.(sp) ~now:!path
         ~service:(cfg.Config.bus_service * accesses);
   let service =
-    (cfg.Config.mem_service * accesses)
-    + (if atomic then cfg.Config.atomic_module_overhead else 0)
+    ((cfg.Config.mem_service * accesses)
+    + (if atomic then cfg.Config.atomic_module_overhead else 0))
+    * hot
   in
   path := Resource.reserve t.mem.(home) ~now:!path ~service;
-  let base = base_latency t ~proc ~home * accesses in
+  let base = base_latency t ~proc ~home * accesses * hot in
   max !path (start + base)
   end
 

@@ -30,6 +30,13 @@ val atomics : t -> int
 (** Cache hits, on a coherent configuration. *)
 val cache_hits : t -> int
 
+(** Install (or clear) a fault plan: while installed, accesses to a PMM the
+    plan declares hot pay a multiplied latency. [None] (the default) makes
+    every timing identical to a build without injection. *)
+val set_fault_plan : t -> Fault.t option -> unit
+
+val fault_plan : t -> Fault.t option
+
 val mem_resource : t -> int -> Resource.t
 val bus_resource : t -> int -> Resource.t
 val ring_resource : t -> Resource.t

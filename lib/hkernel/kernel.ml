@@ -44,6 +44,7 @@ type t = {
   mutable retries : int; (* optimistic-protocol retries *)
   mutable replications : int; (* descriptors replicated to a cluster *)
   mutable invalidations : int; (* replicas invalidated for write ownership *)
+  mutable degradations : int; (* optimistic ops that fell back to pessimistic *)
 }
 
 let create ?(costs = Costs.default) ?(lock_algo = Lock.Mcs_h2)
@@ -101,6 +102,7 @@ let create ?(costs = Costs.default) ?(lock_algo = Lock.Mcs_h2)
     retries = 0;
     replications = 0;
     invalidations = 0;
+    degradations = 0;
   }
   in
   t
@@ -129,6 +131,13 @@ let fault_rpcs t = t.fault_rpcs
 let retries t = t.retries
 let replications t = t.replications
 let invalidations t = t.invalidations
+let degradations t = t.degradations
+
+(* Install (or clear) a fault plan machine-wide: memory hot-spots at the
+   machine layer, delay/loss and the reply timeout at the RPC layer. *)
+let install_fault_plan t plan =
+  Machine.set_fault_plan t.machine plan;
+  Rpc.set_fault_plan t.rpc plan
 
 (* Kernel execution is memory-bound: the MC88100 runs with kernel data
    uncached, so padding work is charged as interleaved accesses to kernel
@@ -178,6 +187,7 @@ let count_fault_rpc t = t.fault_rpcs <- t.fault_rpcs + 1
 let count_retry t = t.retries <- t.retries + 1
 let count_replication t = t.replications <- t.replications + 1
 let count_invalidation t = t.invalidations <- t.invalidations + 1
+let count_degradation t = t.degradations <- t.degradations + 1
 
 (* Spawn idle RPC-service loops on every processor not in [active], so RPCs
    directed at them are served. *)

@@ -61,11 +61,21 @@ val retries : t -> int
 val replications : t -> int
 val invalidations : t -> int
 
+(** Optimistic operations that fell back to the pessimistic protocol after
+    exhausting their attempt budget. *)
+val degradations : t -> int
+
 val count_fault : t -> unit
 val count_fault_rpc : t -> unit
 val count_retry : t -> unit
 val count_replication : t -> unit
 val count_invalidation : t -> unit
+val count_degradation : t -> unit
+
+(** Install (or clear) a fault plan on the whole kernel: memory hot-spots
+    at the machine layer, RPC delay/loss and the reply timeout at the RPC
+    layer. [None] restores fault-free execution. *)
+val install_fault_plan : t -> Fault.t option -> unit
 
 (** Memory-bound kernel work: [cycles] of interleaved kernel-data accesses
     (mostly processor-local, partly cluster-shared) and compute. Under load

@@ -311,7 +311,7 @@ let fault k ctx ~vpage ~write =
                        ~write)
                 with
                 | Rpc.Absent -> failwith "fault: master lost the page"
-                | Rpc.Would_deadlock -> `Retry
+                | Rpc.Would_deadlock | Rpc.Gave_up -> `Retry
                 | Rpc.Ok mask ->
                   if fetch_needed then begin
                     Kernel.count_replication k;
@@ -353,7 +353,7 @@ let fault k ctx ~vpage ~write =
                     let mask' = Page.remove_sharer mask c in
                     owed := Some mask';
                     demote_all mask'
-                  | Rpc.Would_deadlock -> `Conflict
+                  | Rpc.Would_deadlock | Rpc.Gave_up -> `Conflict
                 end
             in
             let mask = Option.value !owed ~default:0 in
@@ -470,7 +470,7 @@ let read_fault_no_combining k ctx ~vpage =
                ~write:false)
         with
         | Rpc.Absent -> failwith "read_fault_no_combining: master lost page"
-        | Rpc.Would_deadlock ->
+        | Rpc.Would_deadlock | Rpc.Gave_up ->
           retry_pause k ctx n;
           attempt (n + 1)
         | Rpc.Ok _downgrade -> (
@@ -541,8 +541,13 @@ let cow_unshare_service k ~vpage tctx =
    local cluster, mastered locally). Returns [Broke] on success or
    [Already_gone] if the shared page vanished first (pessimistic only —
    optimistic callers hold their reserve, so the page cannot vanish under
-   them). *)
-let cow_fault k ctx ~strategy ~vpage ~private_vpage =
+   them).
+
+   [degrade_after] (0 = never) bounds the optimistic attempts: past that
+   many conflicts the fault switches to the pessimistic release-everything
+   protocol, so a stalled remote holder costs bounded optimistic spinning
+   rather than an unbounded reserve-and-retry loop. *)
+let cow_fault ?(degrade_after = 0) k ctx ~strategy ~vpage ~private_vpage =
   Kernel.count_fault k;
   let costs = Kernel.costs k in
   Kernel.kernel_work k ctx costs.Costs.fault_entry;
@@ -586,6 +591,14 @@ let cow_fault k ctx ~strategy ~vpage ~private_vpage =
   in
   let rec attempt n =
     if n > 1000 then failwith "Memmgr.cow_fault: livelock";
+    let strategy =
+      if degrade_after > 0 && n > degrade_after then begin
+        if strategy = Procs.Optimistic && n = degrade_after + 1 then
+          Kernel.count_degradation k;
+        Procs.Pessimistic
+      end
+      else strategy
+    in
     match strategy with
     | Procs.Optimistic -> (
       (* Hold the private placeholder's reserve across the unshare. *)
@@ -597,14 +610,14 @@ let cow_fault k ctx ~strategy ~vpage ~private_vpage =
         finish priv;
         Kernel.kernel_work k ctx costs.Costs.fault_exit;
         Broke
-      | Rpc.Would_deadlock ->
+      | Rpc.Would_deadlock | Rpc.Gave_up ->
         Khash.release_reserve ctx priv;
         retry_pause k ctx n;
         attempt (n + 1))
     | Procs.Pessimistic -> (
       (* Release everything before going remote... *)
       match unshare () with
-      | Rpc.Would_deadlock ->
+      | Rpc.Would_deadlock | Rpc.Gave_up ->
         retry_pause k ctx n;
         attempt (n + 1)
       | (Rpc.Ok _ | Rpc.Absent) as r ->

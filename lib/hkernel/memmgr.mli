@@ -46,13 +46,16 @@ val unmap_pte : Kernel.t -> Ctx.t -> Page.pdesc -> unit
     shared descriptor with the last share) and map a fresh private page
     [private_vpage]. With [Procs.Pessimistic] the caller releases
     everything around the remote call and may observe the shared page
-    already gone. *)
+    already gone. [degrade_after] (0, the default, = never) bounds the
+    optimistic attempts before the fault degrades to the pessimistic
+    protocol (counted by {!Kernel.degradations}). *)
 
 type cow_outcome = Broke | Already_gone
 
 val cow_unshare_service : Kernel.t -> vpage:int -> Ctx.t -> Rpc.outcome
 
 val cow_fault :
+  ?degrade_after:int ->
   Kernel.t ->
   Ctx.t ->
   strategy:Procs.strategy ->

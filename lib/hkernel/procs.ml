@@ -61,6 +61,8 @@ type t = {
   tree_tables : tnode Khash.t array; (* Separate layout only *)
   layout : layout;
   strategy : strategy;
+  max_attempts : int; (* 0 = never degrade *)
+  mutable degradations : int; (* operations that fell back to Pessimistic *)
   mutable destroys : int;
   mutable retries : int;
   mutable revalidations : int;
@@ -69,7 +71,8 @@ type t = {
   mutable send_retries : int;
 }
 
-let create ?(strategy = Optimistic) ?(layout = Combined) kernel =
+let create ?(strategy = Optimistic) ?(layout = Combined) ?(max_attempts = 0)
+    kernel =
   let clustering = Kernel.clustering kernel in
   let machine = Kernel.machine kernel in
   let mk_tables () =
@@ -84,6 +87,8 @@ let create ?(strategy = Optimistic) ?(layout = Combined) kernel =
     tree_tables = (match layout with Separate -> mk_tables () | Combined -> [||]);
     layout;
     strategy;
+    max_attempts;
+    degradations = 0;
     destroys = 0;
     retries = 0;
     revalidations = 0;
@@ -94,6 +99,18 @@ let create ?(strategy = Optimistic) ?(layout = Combined) kernel =
 
 let strategy t = t.strategy
 let layout t = t.layout
+let degradations t = t.degradations
+
+(* Effective strategy for attempt [n]: an optimistic operation past its
+   attempt budget degrades to the pessimistic release-everything protocol —
+   stop holding reservations across remote calls rather than loop forever
+   against a stalled peer. *)
+let strategy_for t n =
+  if t.max_attempts > 0 && n > t.max_attempts then Pessimistic else t.strategy
+
+let note_degradation t n =
+  if t.max_attempts > 0 && n = t.max_attempts + 1 && t.strategy = Optimistic
+  then t.degradations <- t.degradations + 1
 let destroys t = t.destroys
 let retries t = t.retries
 let revalidations t = t.revalidations
@@ -345,6 +362,7 @@ let destroy_combined t ctx pid =
   in
   let rec attempt n =
     if n > 1000 then failwith "Procs.destroy: livelock";
+    note_degradation t n;
     match reserve_self () with
     | `Gone -> false
     | `Conflict ->
@@ -382,18 +400,18 @@ let destroy_combined t ctx pid =
         let rec run held = function
           | [] -> `Finished held
           | (cluster, service) :: rest -> (
-            match t.strategy with
+            match strategy_for t n with
             | Optimistic -> (
               match rpc_to t ctx ~cluster service with
               | Rpc.Ok _ | Rpc.Absent -> run held rest
-              | Rpc.Would_deadlock ->
+              | Rpc.Would_deadlock | Rpc.Gave_up ->
                 Khash.release_reserve ctx held;
                 `Restart)
             | Pessimistic -> (
               Khash.release_reserve ctx held;
               let r = rpc_to t ctx ~cluster service in
               match r with
-              | Rpc.Would_deadlock -> `Restart
+              | Rpc.Would_deadlock | Rpc.Gave_up -> `Restart
               | Rpc.Ok _ | Rpc.Absent -> (
                 match re_establish () with
                 | `Gone -> `Lost
@@ -445,6 +463,7 @@ let destroy_separate t ctx pid =
   in
   let rec attempt n =
     if n > 1000 then failwith "Procs.destroy_separate: livelock";
+    note_degradation t n;
     match reserve_tree () with
     | `Gone -> false
     | `Conflict ->
@@ -474,17 +493,17 @@ let destroy_separate t ctx pid =
       let rec run held = function
         | [] -> `Finished held
         | (cluster, service) :: rest -> (
-          match t.strategy with
+          match strategy_for t n with
           | Optimistic -> (
             match rpc_to t ctx ~cluster service with
             | Rpc.Ok _ | Rpc.Absent -> run held rest
-            | Rpc.Would_deadlock ->
+            | Rpc.Would_deadlock | Rpc.Gave_up ->
               Khash.release_reserve ctx held;
               `Restart)
           | Pessimistic -> (
             Khash.release_reserve ctx held;
             match rpc_to t ctx ~cluster service with
-            | Rpc.Would_deadlock -> `Restart
+            | Rpc.Would_deadlock | Rpc.Gave_up -> `Restart
             | Rpc.Ok _ | Rpc.Absent -> (
               match re_establish () with
               | `Gone -> `Lost
@@ -554,6 +573,14 @@ let send t ctx ~src ~dst =
       else begin
         (* Record the in-flight send in the source descriptor. *)
         Kernel.kernel_work t.kernel ctx 30;
+        (* Past the attempt budget the optimistic messaging protocol
+           degrades: give up the source reservation *before* the deposit so
+           a stalled destination holder cannot keep us looping while we
+           hold it, and revalidate the source afterwards. *)
+        let degraded = t.max_attempts > 0 && n > t.max_attempts && dst <> src in
+        if degraded && n = t.max_attempts + 1 then
+          t.degradations <- t.degradations + 1;
+        if degraded then Khash.release_reserve ctx e;
         let outcome =
           if dst = src then begin
             (* Self-send: the descriptor is already ours; deposit inline. *)
@@ -570,14 +597,22 @@ let send t ctx ~src ~dst =
         in
         match outcome with
         | Rpc.Ok _ ->
-          Khash.release_reserve ctx e;
+          if degraded then begin
+            (* The message is deposited; re-check the source briefly (the
+               pessimistic revalidation cost). *)
+            t.revalidations <- t.revalidations + 1;
+            match Khash.try_reserve_existing table ctx src with
+            | `Reserved e2 -> Khash.release_reserve ctx e2
+            | `Absent | `Would_deadlock -> ()
+          end
+          else Khash.release_reserve ctx e;
           t.sends <- t.sends + 1;
           true
         | Rpc.Absent ->
-          Khash.release_reserve ctx e;
+          if not degraded then Khash.release_reserve ctx e;
           false
-        | Rpc.Would_deadlock ->
-          Khash.release_reserve ctx e;
+        | Rpc.Would_deadlock | Rpc.Gave_up ->
+          if not degraded then Khash.release_reserve ctx e;
           t.send_retries <- t.send_retries + 1;
           let costs = Kernel.costs t.kernel in
           let base = costs.Costs.retry_backoff * min n 8 in

@@ -37,13 +37,22 @@ type pd = {
 
 type t
 
-val create : ?strategy:strategy -> ?layout:layout -> Kernel.t -> t
+(** [max_attempts] (0, the default, = never) caps how many optimistic
+    attempts an operation makes before degrading to the pessimistic
+    release-everything protocol — the recovery path when a remote holder
+    may be stalled. *)
+val create :
+  ?strategy:strategy -> ?layout:layout -> ?max_attempts:int -> Kernel.t -> t
 
 val strategy : t -> strategy
 val layout : t -> layout
 val destroys : t -> int
 val retries : t -> int
 val revalidations : t -> int
+
+(** Operations that fell back from optimistic to pessimistic after
+    exhausting [max_attempts]. *)
+val degradations : t -> int
 
 (** Destructions abandoned because the target died under a racing
     destroyer. *)

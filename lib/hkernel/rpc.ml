@@ -9,7 +9,16 @@
    initiator retries (Section 2.3).
 
    The target processor is chosen by the caller; Hurricane's rule is i-th
-   processor to i-th processor (see {!Clustering.rpc_target}). *)
+   processor to i-th processor (see {!Clustering.rpc_target}).
+
+   Fault injection: with a plan installed ({!set_fault_plan}), a request or
+   reply may be delayed, and at most once per call the request or reply may
+   be lost outright. A lost message is recovered by the caller's reply
+   timeout, which resends the IPI — at-least-once delivery, so services run
+   under a fault plan must tolerate re-execution (a duplicate whose reply
+   was already delivered is recognised and discarded). With no plan there
+   are no draws, no timeouts and no extra cycles: timing is identical to a
+   build without injection. *)
 
 open Eventsim
 open Hector
@@ -18,11 +27,13 @@ type outcome =
   | Ok of int
   | Would_deadlock (* a reserve bit was found set on the remote side *)
   | Absent (* the remote structure does not exist *)
+  | Gave_up (* call_until_resolved exhausted its attempt budget *)
 
 let outcome_name = function
   | Ok v -> Printf.sprintf "Ok(%d)" v
   | Would_deadlock -> "Would_deadlock"
   | Absent -> "Absent"
+  | Gave_up -> "Gave_up"
 
 type t = {
   ctxs : Ctx.t array;
@@ -31,9 +42,14 @@ type t = {
   mutable work : Ctx.t -> int -> unit;
       (* how marshal/dispatch cycles are charged; the kernel installs its
          memory-bound worker here *)
+  mutable fault : Fault.t option;
   mutable calls : int;
   mutable deadlock_failures : int;
   mutable retries : int;
+  mutable resends : int; (* reply timeouts that re-raised the IPI *)
+  mutable gave_ups : int;
+  mutable max_attempts_seen : int; (* worst attempt count over all calls *)
+  mutable backoff_cap_hits : int; (* attempts past the x8 backoff cap *)
 }
 
 let create machine ctxs costs =
@@ -44,16 +60,27 @@ let create machine ctxs costs =
       Array.init (Array.length ctxs) (fun p ->
           Machine.alloc machine ~label:(Printf.sprintf "rpcreq%d" p) ~home:p 0);
     work = (fun ctx cycles -> Ctx.work ctx cycles);
+    fault = None;
     calls = 0;
     deadlock_failures = 0;
     retries = 0;
+    resends = 0;
+    gave_ups = 0;
+    max_attempts_seen = 0;
+    backoff_cap_hits = 0;
   }
 
 let set_work t f = t.work <- f
+let set_fault_plan t plan = t.fault <- plan
+let fault_plan t = t.fault
 
 let calls t = t.calls
 let deadlock_failures t = t.deadlock_failures
 let retries t = t.retries
+let resends t = t.resends
+let gave_ups t = t.gave_ups
+let max_attempts_seen t = t.max_attempts_seen
+let backoff_cap_hits t = t.backoff_cap_hits
 
 (* One synchronous RPC. [service] runs on the target processor's context in
    interrupt state. *)
@@ -65,46 +92,114 @@ let call t ctx ~target service =
     let r = service ctx in
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
-    | Ok _ | Absent -> ());
+    | Ok _ | Absent | Gave_up -> ());
     r
   end
   else begin
     t.calls <- t.calls + 1;
     t.work ctx t.costs.Costs.rpc_send;
+    (* Injected congestion may hold up the request marshalling. *)
+    (match t.fault with
+    | None -> ()
+    | Some plan -> (
+      match Fault.draw_rpc_delay plan with
+      | None -> ()
+      | Some d -> Ctx.interruptible_pause ctx d));
     (* Deposit the request in the target's mailbox: one remote write. *)
     Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
     let reply = Ivar.create () in
     let reply_cell =
       Machine.alloc machine ~label:"rpcreply" ~home:(Ctx.proc ctx) 0
     in
-    Ctx.post_ipi t.ctxs.(target) (fun tctx ->
-        t.work tctx t.costs.Costs.rpc_dispatch;
+    (* At most one loss per call, whichever side the draw picks. *)
+    let lost_once = ref false in
+    let handler ~drop_reply tctx =
+      t.work tctx t.costs.Costs.rpc_dispatch;
+      if Ivar.peek reply = None then begin
         let r = service tctx in
+        (match t.fault with
+        | None -> ()
+        | Some plan -> (
+          match Fault.draw_rpc_delay plan with
+          | None -> ()
+          | Some d -> Ctx.interruptible_pause tctx d));
         t.work tctx t.costs.Costs.rpc_reply;
-        (* Deposit the reply at the caller: one remote write. *)
-        Ctx.write tctx reply_cell 1;
-        Ivar.fill (Ctx.engine tctx) reply r);
-    let r = Ctx.await ctx reply in
+        if not drop_reply then begin
+          (* Deposit the reply at the caller: one remote write. *)
+          Ctx.write tctx reply_cell 1;
+          Ivar.fill (Ctx.engine tctx) reply r
+        end
+      end
+      (* else: a resent duplicate whose reply already arrived — the target
+         recognises the stale sequence number and discards it. *)
+    in
+    let post () =
+      let fate =
+        match t.fault with
+        | Some plan when not !lost_once -> Fault.draw_rpc_drop plan
+        | _ -> Fault.No_drop
+      in
+      match fate with
+      | Fault.Drop_request -> lost_once := true (* the IPI is lost *)
+      | Fault.Drop_reply ->
+        lost_once := true;
+        Ctx.post_ipi t.ctxs.(target) (handler ~drop_reply:true)
+      | Fault.No_drop -> Ctx.post_ipi t.ctxs.(target) (handler ~drop_reply:false)
+    in
+    post ();
+    let rec wait () =
+      let timeout =
+        match t.fault with Some plan -> Fault.reply_timeout plan | None -> 0
+      in
+      if timeout <= 0 then Ctx.await ctx reply
+      else
+        match Ctx.await_timeout ctx ~timeout reply with
+        | Some r -> r
+        | None ->
+          (* The reply is overdue: assume the request or reply was lost and
+             resend the IPI. *)
+          t.resends <- t.resends + 1;
+          t.work ctx t.costs.Costs.rpc_send;
+          Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
+          post ();
+          wait ()
+    in
+    let r = wait () in
     (* Consume the reply word. *)
     ignore (Ctx.read ctx reply_cell);
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
-    | Ok _ | Absent -> ());
+    | Ok _ | Absent | Gave_up -> ());
     r
   end
 
 (* Retry a [Would_deadlock]-prone call until it resolves, backing off with
    jitter between attempts. [before_retry] lets the caller release local
-   reserve bits (the optimistic protocol) before each new attempt. *)
-let call_until_resolved ?(before_retry = fun () -> ()) t ctx ~target service =
+   reserve bits (the optimistic protocol) before each new attempt — and
+   before a [Gave_up] is returned, since a caller that gives up must not
+   keep holding them either. [max_attempts = 0] retries forever (the
+   pre-existing behaviour); a positive cap turns exhaustion into [Gave_up]
+   so the caller can degrade instead of looping. *)
+let call_until_resolved ?(before_retry = fun () -> ()) ?(max_attempts = 0) t
+    ctx ~target service =
   let rec go attempt =
     match call t ctx ~target service with
     | Would_deadlock ->
       t.retries <- t.retries + 1;
+      if attempt > t.max_attempts_seen then t.max_attempts_seen <- attempt;
+      (* The backoff multiplier saturates at x8; attempts past that point
+         no longer spread out and deserve a visible warning count. *)
+      if attempt > 8 then t.backoff_cap_hits <- t.backoff_cap_hits + 1;
       before_retry ();
-      let base = t.costs.Costs.retry_backoff * min attempt 8 in
-      Ctx.interruptible_pause ctx (base + Rng.int (Ctx.rng ctx) (max 1 base));
-      go (attempt + 1)
-    | (Ok _ | Absent) as r -> r
+      if max_attempts > 0 && attempt >= max_attempts then begin
+        t.gave_ups <- t.gave_ups + 1;
+        Gave_up
+      end
+      else begin
+        let base = t.costs.Costs.retry_backoff * min attempt 8 in
+        Ctx.interruptible_pause ctx (base + Rng.int (Ctx.rng ctx) (max 1 base));
+        go (attempt + 1)
+      end
+    | (Ok _ | Absent | Gave_up) as r -> r
   in
   go 1

@@ -5,14 +5,24 @@
     on the reply with interrupts enabled — a busy processor still serves
     incoming RPCs, which an exception-based kernel requires. Services run in
     the target's interrupt context and must never wait: they fail with
-    [Would_deadlock] and the initiator retries (Section 2.3). *)
+    [Would_deadlock] and the initiator retries (Section 2.3).
 
+    With a fault plan installed ({!set_fault_plan}), requests and replies
+    may be delayed or (at most once per call) lost; a lost message is
+    recovered by the caller's reply timeout resending the IPI —
+    at-least-once delivery, so services run under a plan must tolerate
+    re-execution. *)
+
+open Eventsim
 open Hector
 
 type outcome =
   | Ok of int
   | Would_deadlock  (** a reserve bit was found set on the remote side *)
   | Absent  (** the remote structure does not exist *)
+  | Gave_up
+      (** {!call_until_resolved} exhausted its attempt budget; the caller
+          should degrade (e.g. fall back to the pessimistic protocol) *)
 
 val outcome_name : outcome -> string
 
@@ -24,19 +34,42 @@ val create : Machine.t -> Ctx.t array -> Costs.t -> t
     them through its memory-bound worker). *)
 val set_work : t -> (Ctx.t -> int -> unit) -> unit
 
+(** Install (or clear) a fault plan governing delay/loss injection and the
+    reply timeout. [None] (the default) is exactly free. *)
+val set_fault_plan : t -> Fault.t option -> unit
+
+val fault_plan : t -> Fault.t option
 val calls : t -> int
 val deadlock_failures : t -> int
 val retries : t -> int
 
+(** Reply timeouts that resent the request IPI. *)
+val resends : t -> int
+
+(** Calls that returned [Gave_up]. *)
+val gave_ups : t -> int
+
+(** Highest failed-attempt number any {!call_until_resolved} reached. *)
+val max_attempts_seen : t -> int
+
+(** Failed attempts past the x8 backoff cap — retries that no longer spread
+    out; a persistently growing count is the unbounded-retry warning sign
+    that the [max_attempts] cap exists to stop. *)
+val backoff_cap_hits : t -> int
+
 (** One synchronous call; [service] runs on the target processor. A call to
-    the caller's own processor runs the service directly. *)
+    the caller's own processor runs the service directly. Never returns
+    [Gave_up]. *)
 val call : t -> Ctx.t -> target:int -> (Ctx.t -> outcome) -> outcome
 
 (** Retry a call through [Would_deadlock] failures with jittered backoff;
     [before_retry] releases the caller's reserve bits first (the optimistic
-    protocol). Never returns [Would_deadlock]. *)
+    protocol) — it also runs before a [Gave_up] return. [max_attempts]
+    caps the attempts (0, the default, retries forever); on exhaustion the
+    call returns [Gave_up] instead of [Would_deadlock]. *)
 val call_until_resolved :
   ?before_retry:(unit -> unit) ->
+  ?max_attempts:int ->
   t ->
   Ctx.t ->
   target:int ->

@@ -67,9 +67,17 @@ type t = {
   mutable grafts : int; (* repairs that found a usurper *)
   mutable try_failures : int;
   mutable gc_count : int; (* abandoned nodes collected by release *)
+  mutable timeouts : int; (* acquire_with_timeout deadline expiries *)
 }
 
 let nil = 0
+
+(* Mark values on an interrupt node. [mark_claimed] is written by a
+   releaser's atomic swap to commit a hand-off to a live timeout waiter;
+   the swap is what makes hand-off and abandonment race-free (whoever swaps
+   the mark first wins the node). *)
+let mark_abandoned = 1
+let mark_claimed = 2
 
 let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
     ?(track_in_use = false) machine =
@@ -105,6 +113,7 @@ let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
     grafts = 0;
     try_failures = 0;
     gc_count = 0;
+    timeouts = 0;
   }
 
 let variant t = t.variant
@@ -114,6 +123,7 @@ let repairs t = t.repairs
 let grafts t = t.grafts
 let try_failures t = t.try_failures
 let gc_count t = t.gc_count
+let timeouts t = t.timeouts
 
 (* Qnode ids are 1-based indices into [nodes]. *)
 let id_of_node t node =
@@ -240,26 +250,40 @@ let successor_after_cas t ctx node =
   end
 
 (* Hand the lock to [succ_id], garbage-collecting abandoned TryLock nodes
-   (mark = 1 on an interrupt node means its owner gave up and left). *)
+   (a marked interrupt node means its owner gave up and left). A live
+   (unmarked) interrupt node is a timeout-capable waiter: commit the
+   hand-off to it by atomically claiming its mark, so an abandonment racing
+   with us cannot strand the lock — whoever swaps the mark first wins. *)
 let rec hand_off t ctx succ_id =
   let succ = node_of_id t succ_id in
   let n = Machine.n_procs t.machine in
   let is_interrupt_node = succ_id > n in
-  if is_interrupt_node && Ctx.read ctx succ.mark <> 0 then begin
-    (* Abandoned: unlink it, restore its pre-initialised state, free it for
-       its owner, and continue down the queue. *)
-    t.gc_count <- t.gc_count + 1;
-    Ctx.instr ctx ~br:1 ();
-    let continuation = successor_after t ctx succ ~check_next:true in
-    (match continuation with
-    | `Next _ | `Grafted -> Ctx.write ctx succ.next nil
-    | `Free -> ());
-    Ctx.write ctx succ.mark 0;
-    match continuation with
-    | `Free | `Grafted -> ()
-    | `Next next_id -> hand_off t ctx next_id
+  if is_interrupt_node then begin
+    if Ctx.read ctx succ.mark <> 0 then collect t ctx succ
+    else begin
+      let prev = Ctx.fetch_and_store ctx succ.mark mark_claimed in
+      Ctx.instr ctx ~br:1 ();
+      if prev <> 0 then
+        (* The owner abandoned between our read and our swap. *)
+        collect t ctx succ
+      else Ctx.write ctx succ.locked 0
+    end
   end
   else Ctx.write ctx succ.locked 0
+
+(* Unlink an abandoned interrupt node, restore its pre-initialised state,
+   free it for its owner, and continue down the queue. *)
+and collect t ctx succ =
+  t.gc_count <- t.gc_count + 1;
+  Ctx.instr ctx ~br:1 ();
+  let continuation = successor_after t ctx succ ~check_next:true in
+  (match continuation with
+  | `Next _ | `Grafted -> Ctx.write ctx succ.next nil
+  | `Free -> ());
+  Ctx.write ctx succ.mark 0;
+  match continuation with
+  | `Free | `Grafted -> ()
+  | `Next next_id -> hand_off t ctx next_id
 
 let release_with_node t ctx node =
   assert (t.holder = id_of_node t node);
@@ -340,9 +364,84 @@ let try_acquire_v2 t ctx =
       (* The lock is held: mark the node abandoned *before* linking it in,
          so a releaser that reaches it always sees the mark and collects it
          instead of waking a node nobody is watching. *)
-      Ctx.write ctx node.mark 1;
+      Ctx.write ctx node.mark mark_abandoned;
       Ctx.write ctx (node_of_id t pred).next (id_of_node t node);
       t.try_failures <- t.try_failures + 1;
       false
+    end
+  end
+
+(* Timeout-capable acquire, on the interrupt node (Chabbi et al.'s MCS-try
+   family, adapted to the fetch&store-only queue): enqueue and spin like a
+   normal acquire, but give up once [timeout] cycles pass. A timed-out node
+   is abandoned in place — marked, exactly like a failed TryLock-v2 node —
+   and a later release collects it with the same GC machinery.
+
+   The abandonment handshake: a releaser that reaches a live interrupt node
+   first atomically swaps its mark to [mark_claimed], then clears [locked];
+   a waiter whose deadline expires atomically swaps the mark to
+   [mark_abandoned]. Whichever swap lands first wins the node, so the lock
+   is never handed to a waiter that already left, and a waiter never walks
+   away from a hand-off that already committed. *)
+let acquire_with_timeout t ctx ~timeout =
+  let node = interrupt_node t (Ctx.proc ctx) in
+  (* A node abandoned by an earlier timeout may still sit in the queue. *)
+  let still_queued = Ctx.read ctx node.mark in
+  Ctx.instr ctx ~br:1 ();
+  if still_queued <> 0 then begin
+    t.try_failures <- t.try_failures + 1;
+    false
+  end
+  else begin
+    let deadline = Machine.now t.machine + timeout in
+    (match t.variant with
+    | Original -> Ctx.write ctx node.next nil
+    | H1 | H2 -> ());
+    let pred = Ctx.fetch_and_store ctx t.tail (id_of_node t node) in
+    Ctx.instr ctx ~reg:2 ~br:2 ();
+    if pred = nil then begin
+      got_lock t node;
+      true
+    end
+    else begin
+      (match t.variant with
+      | Original -> Ctx.write ctx node.locked 1
+      | H1 | H2 -> node.dirty_locked <- true);
+      Ctx.write ctx (node_of_id t pred).next (id_of_node t node);
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      let rec spin_bounded () =
+        let v = Ctx.read ctx node.locked in
+        Ctx.instr ctx ~br:1 ();
+        if v = 0 then true
+        else if Machine.now t.machine >= deadline then false
+        else spin_bounded ()
+      in
+      if spin_bounded () then begin
+        (* The releaser claimed the node (mark := claimed) before clearing
+           [locked]; make the node reusable again. *)
+        Ctx.write ctx node.mark 0;
+        got_lock t node;
+        true
+      end
+      else begin
+        let prev = Ctx.fetch_and_store ctx node.mark mark_abandoned in
+        Ctx.instr ctx ~br:1 ();
+        if prev = mark_claimed then begin
+          (* Lost the race: a hand-off to us already committed, so the
+             clearing of [locked] is on its way. Take the lock after all. *)
+          spin_while_locked ctx node;
+          Ctx.write ctx node.mark 0;
+          got_lock t node;
+          true
+        end
+        else begin
+          (* Abandonment stands: the node stays queued, marked, until some
+             release collects it. [locked] was never cleared, preserving
+             the pre-initialisation invariant. *)
+          node.dirty_locked <- false;
+          t.timeouts <- t.timeouts + 1;
+          false
+        end
+      end
     end
   end

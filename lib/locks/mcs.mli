@@ -50,6 +50,9 @@ val try_failures : t -> int
 (** Abandoned TryLock nodes collected by releases. *)
 val gc_count : t -> int
 
+(** Deadline expiries in {!acquire_with_timeout}. *)
+val timeouts : t -> int
+
 (** Untimed; for test assertions. *)
 val is_held : t -> bool
 
@@ -67,3 +70,13 @@ val try_acquire_v1 : t -> Ctx.t -> bool
 (** TryLock variant 2: a true TryLock on the caller's interrupt node. On
     failure the node is abandoned in the queue for release to collect. *)
 val try_acquire_v2 : t -> Ctx.t -> bool
+
+(** Acquire with a deadline, on the caller's interrupt node: enqueue and
+    spin like {!acquire}, but give up after [timeout] cycles, abandoning
+    the node in the queue for release to collect (the TryLock-v2 GC
+    machinery). An atomic mark handshake resolves the race between a
+    hand-off and an abandonment, so a timed-out waiter that lost the race
+    still takes the lock (returns [true]). Returns [false] — with the
+    caller holding nothing — when the node is still queued from an earlier
+    timeout or the deadline expired. *)
+val acquire_with_timeout : t -> Ctx.t -> timeout:int -> bool

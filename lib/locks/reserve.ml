@@ -76,3 +76,20 @@ let spin_until_clear ctx backoff status =
     end
   in
   loop (Backoff.initial backoff)
+
+(* Bounded spin: gives up once [timeout] cycles pass with the bit still
+   set, returning false so the caller can re-search — reserve another
+   element, say — instead of waiting out a stalled holder. *)
+let spin_until_clear_timeout ctx backoff status ~timeout =
+  let deadline = Ctx.now ctx + timeout in
+  let rec loop delay =
+    let v = Ctx.read ctx status in
+    Ctx.instr ctx ~br:1 ();
+    if v land write_bit = 0 then true
+    else if Ctx.now ctx >= deadline then false
+    else begin
+      Backoff.delay_on ctx backoff delay;
+      loop (Backoff.next backoff delay)
+    end
+  in
+  loop (Backoff.initial backoff)

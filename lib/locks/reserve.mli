@@ -38,3 +38,10 @@ val write_reserved : Cell.t -> bool
 (** Spin with backoff until the exclusive bit clears. Called without the
     coarse lock; re-acquire and re-search afterwards. *)
 val spin_until_clear : Ctx.t -> Backoff.t -> Cell.t -> unit
+
+(** Like {!spin_until_clear} but gives up after [timeout] cycles: [false]
+    means the bit was still set at the deadline, and the caller should
+    re-search (e.g. pick a different element) rather than keep waiting on a
+    possibly stalled holder. *)
+val spin_until_clear_timeout :
+  Ctx.t -> Backoff.t -> Cell.t -> timeout:int -> bool

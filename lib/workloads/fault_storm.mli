@@ -1,0 +1,56 @@
+(** Fault-injection storm: workers run the hybrid-locking fast path (coarse
+    MCS lock + reserve bits) plus periodic RPCs to a server a "hog" keeps
+    reserved, while a {!Eventsim.Fault} plan injects holder stalls, RPC
+    delay/loss and memory hot-spots. Compares the unbounded pre-existing
+    protocol against timeout-capable locking and bounded-retry RPC. *)
+
+open Eventsim
+open Hector
+
+type mechanism =
+  | No_timeout  (** plain acquire, unbounded spins, unbounded RPC retry *)
+  | Timeout
+      (** lock/reserve timeouts (defer or re-search); RPC retry unbounded *)
+  | Bounded_retry  (** timeouts plus an RPC attempt budget ([Gave_up]) *)
+
+val mechanism_name : mechanism -> string
+
+type config = {
+  p : int;  (** worker processors (server and hog take two more) *)
+  s : int;  (** independent structures, each with its own coarse lock *)
+  k : int;  (** elements per structure *)
+  hold_us : float;
+  think_us : float;
+  window_us : float;
+  rpc_every : int;  (** one op in [rpc_every] also calls the server *)
+  lock_timeout_us : float;
+  reserve_timeout_us : float;
+  max_attempts : int;  (** RPC attempt budget under [Bounded_retry] *)
+  hog_hold_us : float;
+  hog_idle_us : float;
+  seed : int;
+  fault : Fault.config option;  (** [None]: nothing injected *)
+}
+
+val default_config : config
+
+type result = {
+  mechanism : mechanism;
+  ops : int;
+  deferred : int;  (** ops deferred locally after a lock timeout *)
+  rpc_ok : int;
+  rpc_calls : int;
+  rpc_resends : int;
+  rpc_gave_ups : int;
+  lock_timeouts : int;
+  lock_gcs : int;
+  reserve_timeouts : int;
+  stalls_injected : int;
+  delays_injected : int;
+  drops_injected : int;
+  hotspots_injected : int;
+  recovery : Measure.summary;
+      (** per injected stall: stall start to the next reserve acquisition *)
+}
+
+val run : ?cfg:Config.t -> ?config:config -> mechanism -> result

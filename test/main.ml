@@ -18,6 +18,7 @@ let () =
       ("clustering", Test_clustering.suite);
       ("khash", Test_khash.suite);
       ("rpc", Test_rpc.suite);
+      ("fault", Test_fault.suite);
       ("memmgr", Test_memmgr.suite);
       ("procs", Test_procs.suite);
       ("workloads", Test_workloads.suite);

@@ -161,6 +161,61 @@ let test_spin_until_clear () =
   Engine.run eng;
   Alcotest.(check bool) "woke after clear" true (!woke_at >= 500)
 
+let test_write_reserved_flag () =
+  let eng, machine, ctx = make () in
+  let status = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      Alcotest.(check bool) "clear at rest" false (Reserve.write_reserved status);
+      ignore (Reserve.try_reserve c status);
+      Alcotest.(check bool) "set by a writer" true (Reserve.write_reserved status);
+      Reserve.clear c status;
+      ignore (Reserve.try_reserve_read c status);
+      (* Readers count, but the write bit stays clear. *)
+      Alcotest.(check bool) "not set by readers" false
+        (Reserve.write_reserved status);
+      Alcotest.(check int) "one reader" 1 (Reserve.readers status);
+      Reserve.clear_read c status)
+
+let test_spin_until_clear_timeout_clears_in_time () =
+  let eng, machine, ctx = make () in
+  let status = Machine.alloc machine ~home:0 1 in
+  let got = ref None in
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      got :=
+        Some
+          (Reserve.spin_until_clear_timeout c
+             (Backoff.create ~max_cycles:100 ())
+             status ~timeout:5000));
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      Ctx.work c 400;
+      Reserve.clear c status);
+  Engine.run eng;
+  Alcotest.(check (option bool)) "saw the clear" (Some true) !got;
+  Alcotest.(check bool) "after the holder cleared" true
+    (Machine.now machine >= 400)
+
+let test_spin_until_clear_timeout_expires () =
+  (* The holder never clears: the waiter must give up at the deadline
+     instead of spinning forever on a stalled holder. *)
+  let eng, machine, ctx = make () in
+  let status = Machine.alloc machine ~home:0 1 in
+  let got = ref None in
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      got :=
+        Some
+          (Reserve.spin_until_clear_timeout c
+             (Backoff.create ~max_cycles:100 ())
+             status ~timeout:800));
+  Engine.run eng;
+  Alcotest.(check (option bool)) "gave up" (Some false) !got;
+  Alcotest.(check bool) "spent at least the deadline" true
+    (Machine.now machine >= 800);
+  Alcotest.(check bool) "bit untouched" true (Reserve.write_reserved status)
+
 (* -- instruction model ----------------------------------------------------------- *)
 
 let test_fig4_counts_match_paper () =
@@ -259,6 +314,11 @@ let suite =
       test_reserve_known_value_skips_read;
     Alcotest.test_case "spin_until_clear wakes on clear" `Quick
       test_spin_until_clear;
+    Alcotest.test_case "write_reserved flag" `Quick test_write_reserved_flag;
+    Alcotest.test_case "spin_until_clear_timeout sees the clear" `Quick
+      test_spin_until_clear_timeout_clears_in_time;
+    Alcotest.test_case "spin_until_clear_timeout gives up" `Quick
+      test_spin_until_clear_timeout_expires;
     Alcotest.test_case "Figure 4 counts match the paper" `Quick
       test_fig4_counts_match_paper;
     Alcotest.test_case "model latency ordering" `Quick test_model_latency_ordering;

@@ -186,6 +186,95 @@ let test_trylock_v2_node_reusable_after_gc () =
       Mcs.release lock c1);
   Engine.run eng
 
+let test_timed_acquire_uncontended () =
+  let eng, machine, ctx = make () in
+  let lock = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      Alcotest.(check bool) "free -> acquired" true
+        (Mcs.acquire_with_timeout lock c ~timeout:100);
+      Alcotest.(check bool) "held" true (Mcs.is_held lock);
+      Mcs.release lock c;
+      Alcotest.(check bool) "free" true (Mcs.is_free lock));
+  Engine.run eng;
+  Alcotest.(check int) "no timeouts" 0 (Mcs.timeouts lock)
+
+let test_timed_acquire_within_deadline () =
+  (* The holder releases well before the deadline: the waiter queues,
+     spins, and wins like a plain acquire. *)
+  let eng, machine, ctx = make () in
+  let lock = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  let won_at = ref 0 in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      Mcs.acquire lock c;
+      Ctx.work c 300;
+      Mcs.release lock c);
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      Process.pause eng 50;
+      Alcotest.(check bool) "waits and wins" true
+        (Mcs.acquire_with_timeout lock c ~timeout:5000);
+      won_at := Machine.now machine;
+      Mcs.release lock c);
+  Engine.run eng;
+  Alcotest.(check bool) "won after the holder released" true (!won_at >= 300);
+  Alcotest.(check int) "no timeouts" 0 (Mcs.timeouts lock);
+  Alcotest.(check int) "nothing to collect" 0 (Mcs.gc_count lock);
+  Alcotest.(check bool) "free" true (Mcs.is_free lock)
+
+let test_timed_acquire_expires_and_gc () =
+  let eng, machine, ctx = make () in
+  let lock = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      Mcs.acquire lock c;
+      Ctx.work c 2000;
+      Mcs.release lock c);
+  Process.spawn eng (fun () ->
+      let c = ctx 1 in
+      Process.pause eng 50;
+      Alcotest.(check bool) "deadline expires" false
+        (Mcs.acquire_with_timeout lock c ~timeout:200);
+      (* The abandoned node is still queued: a retry before GC must
+         fast-fail without enqueueing a second node. *)
+      let failures = Mcs.try_failures lock in
+      Alcotest.(check bool) "node busy -> refused" false
+        (Mcs.acquire_with_timeout lock c ~timeout:200);
+      Alcotest.(check int) "fast-fail counted" (failures + 1)
+        (Mcs.try_failures lock);
+      (* Wait out the holder: release collects the abandoned node. *)
+      Process.pause eng 5000;
+      Alcotest.(check bool) "node reusable after GC" true
+        (Mcs.acquire_with_timeout lock c ~timeout:200);
+      Mcs.release lock c);
+  Engine.run eng;
+  Alcotest.(check int) "one deadline expiry" 1 (Mcs.timeouts lock);
+  Alcotest.(check int) "abandoned node collected" 1 (Mcs.gc_count lock);
+  Alcotest.(check bool) "free" true (Mcs.is_free lock)
+
+let test_timed_acquire_two_waiters_expire () =
+  let eng, machine, ctx = make () in
+  let lock = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      Mcs.acquire lock c;
+      Ctx.work c 3000;
+      Mcs.release lock c);
+  for p = 1 to 2 do
+    Process.spawn eng (fun () ->
+        let c = ctx p in
+        Process.pause eng (50 * p);
+        Alcotest.(check bool)
+          (Printf.sprintf "waiter %d times out" p)
+          false
+          (Mcs.acquire_with_timeout lock c ~timeout:300))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "both expiries counted" 2 (Mcs.timeouts lock);
+  Alcotest.(check int) "both nodes collected" 2 (Mcs.gc_count lock);
+  Alcotest.(check bool) "free" true (Mcs.is_free lock)
+
 let test_cas_release () =
   let eng = Engine.create () in
   let machine = Machine.create eng (Config.with_cas Config.hector) in
@@ -262,6 +351,14 @@ let suite =
       test_trylock_v2_abandons_and_gc;
     Alcotest.test_case "TryLock v2 node reusable after GC" `Quick
       test_trylock_v2_node_reusable_after_gc;
+    Alcotest.test_case "timed acquire: uncontended" `Quick
+      test_timed_acquire_uncontended;
+    Alcotest.test_case "timed acquire: wins within the deadline" `Quick
+      test_timed_acquire_within_deadline;
+    Alcotest.test_case "timed acquire: expiry, fast-fail, GC, reuse" `Quick
+      test_timed_acquire_expires_and_gc;
+    Alcotest.test_case "timed acquire: two expired waiters collected" `Quick
+      test_timed_acquire_two_waiters_expire;
     Alcotest.test_case "CAS release (Section 5.2)" `Quick test_cas_release;
     QCheck_alcotest.to_alcotest prop_safety;
     Alcotest.test_case "determinism" `Quick test_determinism;
