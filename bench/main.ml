@@ -86,6 +86,7 @@ let run_classes () = Report.classes ppf (Experiments.classes ())
 let run_cow () = Report.cow ppf (Experiments.cow ())
 let run_fs () = Report.fs ppf (Experiments.fs ())
 let run_fault_matrix () = Report.fault_matrix ppf (Experiments.fault_matrix ())
+let run_verify () = Report.verify ppf (Experiments.verify_suite ())
 
 let experiments =
   [
@@ -114,6 +115,7 @@ let experiments =
     ("cow", run_cow);
     ("fs", run_fs);
     ("fault-matrix", run_fault_matrix);
+    ("verify", run_verify);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

@@ -241,7 +241,8 @@ let check_fault_config fc =
     exit 2
 
 let storm_cmd =
-  let run mech_name p stall_every_us stall_us drop_rate delay_rate seed =
+  let run mech_name p stall_every_us stall_us drop_rate delay_rate use_verify
+      seed =
     let mech =
       match String.lowercase_ascii mech_name with
       | "no-timeout" | "none" -> Fault_storm.No_timeout
@@ -275,10 +276,21 @@ let storm_cmd =
                else 0);
           })
     in
+    let verify =
+      if not use_verify then None
+      else begin
+        if drop_rate > 0.0 then
+          Format.eprintf
+            "storm: note: reply-drop recovery re-executes services \
+             (at-least-once), which the checker reports as double clears — \
+             prefer --verify with --drop-rate 0@.";
+        Some (Verify.create ~n_procs:(Hector.Config.n_procs cfg) ())
+      end
+    in
     let r =
       Fault_storm.run ~cfg
         ~config:{ Fault_storm.default_config with p; seed; fault }
-        mech
+        ?verify mech
     in
     Format.fprintf ppf
       "%s: ops=%d deferred=%d rpc-ok=%d/%d resends=%d gave-ups=%d@."
@@ -293,7 +305,19 @@ let storm_cmd =
       r.Fault_storm.reserve_timeouts r.Fault_storm.stalls_injected
       r.Fault_storm.delays_injected r.Fault_storm.drops_injected
       r.Fault_storm.hotspots_injected;
-    Format.fprintf ppf "recovery: %a@." Measure.pp r.Fault_storm.recovery
+    Format.fprintf ppf "recovery: %a@." Measure.pp r.Fault_storm.recovery;
+    match verify with
+    | None -> ()
+    | Some v ->
+      let n = Verify.violation_count v in
+      if n = 0 then Format.fprintf ppf "verify: clean (0 violations)@."
+      else begin
+        Format.eprintf "verify: %d violation(s):@." n;
+        List.iter
+          (fun viol -> Format.eprintf "  %a@." Verify.pp_violation viol)
+          (Verify.violations v);
+        exit 1
+      end
   in
   let mech =
     Arg.(
@@ -327,6 +351,16 @@ let storm_cmd =
       value & opt float 0.0
       & info [ "delay-rate" ] ~docv:"R" ~doc:"P(delay) per RPC message.")
   in
+  let use_verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run under the lockdep checker (lock order, reserve ownership, \
+             stall watchdog); exit non-zero on any violation. Pair with \
+             $(b,--drop-rate) 0: reply-drop recovery re-executes services, \
+             which the ownership checker reports.")
+  in
   Cmd.v
     (Cmd.info "storm"
        ~doc:
@@ -334,7 +368,31 @@ let storm_cmd =
           timeout/bounded-retry recovery mechanisms.")
     Term.(
       const run $ mech $ workers $ stall_every $ stall $ drop $ delay
-      $ seed_arg)
+      $ use_verify $ seed_arg)
+
+(* -- verify subcommand --------------------------------------------------------- *)
+
+let verify_cmd =
+  let run () =
+    let rows = Experiments.verify_suite () in
+    Report.verify ppf rows;
+    if List.for_all (fun r -> r.Experiments.vok) rows then begin
+      Format.fprintf ppf "verify: all probes behaved as planted@.";
+      exit 0
+    end
+    else begin
+      Format.eprintf "verify: FAILED — see the rows marked FAIL above@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the lockdep checker against the planted-violation probes \
+          (inverted lock order, leaked reserve bit, interrupt-context spin, \
+          stalled holder, true deadlock, plus a clean storm that must stay \
+          silent). Exits non-zero if any probe misbehaves.")
+    Term.(const run $ const ())
 
 (* -- figure subcommand -------------------------------------------------------- *)
 
@@ -365,6 +423,7 @@ let figure_cmd =
     | "classes" -> Report.classes ppf (Experiments.classes ())
     | "cow" -> Report.cow ppf (Experiments.cow ())
     | "fault-matrix" -> Report.fault_matrix ppf (Experiments.fault_matrix ())
+    | "verify" -> Report.verify ppf (Experiments.verify_suite ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -390,6 +449,7 @@ let main_cmd =
       destroy_cmd;
       sweep_cmd;
       storm_cmd;
+      verify_cmd;
       figure_cmd;
     ]
 

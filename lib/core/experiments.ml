@@ -483,3 +483,32 @@ let fault_matrix ?(cfg = Config.hector)
            (fun period_us -> row ~period_us (run mech ~period_us))
            periods_us)
     [ Fault_storm.No_timeout; Fault_storm.Timeout; Fault_storm.Bounded_retry ]
+
+(* -- VERIFY: the lockdep checker against planted violations -------------------- *)
+
+type verify_row = {
+  vprobe : Verify_probes.probe;
+  vexpected : string; (* expected violation kind, "none" for the clean run *)
+  vviolations : int;
+  vhits : int; (* violations of the expected kind *)
+  vaborted : bool; (* run terminated by the watchdog raising *)
+  vok : bool;
+  vfirst : string; (* first violation recorded, for display *)
+}
+
+let verify_suite () =
+  List.map
+    (fun (r : Verify_probes.result) ->
+      {
+        vprobe = r.Verify_probes.probe;
+        vexpected =
+          (match r.Verify_probes.expected with
+          | None -> "none"
+          | Some k -> Verify.kind_name k);
+        vviolations = r.Verify_probes.violations;
+        vhits = r.Verify_probes.hits;
+        vaborted = r.Verify_probes.aborted;
+        vok = r.Verify_probes.ok;
+        vfirst = r.Verify_probes.first;
+      })
+    (Verify_probes.run_all ())

@@ -181,3 +181,20 @@ type fault_row = {
 
 val fault_matrix :
   ?cfg:Config.t -> ?periods_us:float list -> unit -> fault_row list
+
+(** VERIFY — the lockdep checker ({!Verify}) against the planted-violation
+    probes: every deliberately wrong workload must be caught (the two
+    watchdog probes by aborting an otherwise-endless run), and the clean
+    storm must record nothing. *)
+
+type verify_row = {
+  vprobe : Verify_probes.probe;
+  vexpected : string;  (** expected violation kind, "none" for clean *)
+  vviolations : int;
+  vhits : int;  (** violations of the expected kind *)
+  vaborted : bool;  (** run terminated by the watchdog raising *)
+  vok : bool;
+  vfirst : string;  (** first violation recorded, for display *)
+}
+
+val verify_suite : unit -> verify_row list

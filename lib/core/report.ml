@@ -315,3 +315,26 @@ let fs ppf rows =
         (100.0 *. r.File_read.hit_rate)
         r.File_read.fetch_rpcs)
     rows
+
+let verify ppf rows =
+  section ppf "VERIFY - lockdep checker vs planted violations"
+    "each probe plants one class of locking error; the checker must catch \
+     every one (the watchdog probes by aborting an otherwise-endless run) \
+     and stay silent on the clean storm";
+  Format.fprintf ppf "%-16s %-18s %6s %6s %8s %6s@." "probe" "expected"
+    "total" "hits" "aborted" "ok";
+  List.iter
+    (fun (r : Experiments.verify_row) ->
+      Format.fprintf ppf "%-16s %-18s %6d %6d %8s %6s@."
+        (Verify_probes.probe_name r.Experiments.vprobe)
+        r.Experiments.vexpected r.Experiments.vviolations r.Experiments.vhits
+        (if r.Experiments.vaborted then "yes" else "no")
+        (if r.Experiments.vok then "ok" else "FAIL"))
+    rows;
+  List.iter
+    (fun (r : Experiments.verify_row) ->
+      if r.Experiments.vfirst <> "" then
+        Format.fprintf ppf "  %-16s %s@."
+          (Verify_probes.probe_name r.Experiments.vprobe)
+          r.Experiments.vfirst)
+    rows

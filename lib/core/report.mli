@@ -62,3 +62,5 @@ val cow : Format.formatter -> Cow_storm.result * Cow_storm.result -> unit
 val fs : Format.formatter -> File_read.result list -> unit
 
 val fault_matrix : Format.formatter -> Experiments.fault_row list -> unit
+
+val verify : Format.formatter -> Experiments.verify_row list -> unit

@@ -60,6 +60,7 @@ let now t = Machine.now t.machine
 let irqs_taken t = t.irqs_taken
 let irqs_deferred t = t.irqs_deferred
 let soft_masked t = t.soft_masked
+let in_interrupt t = t.in_interrupt
 let pending_interrupts t = Queue.length t.inbox
 
 (* Pure compute. Instruction costs never touch the interconnect. *)

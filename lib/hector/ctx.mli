@@ -23,6 +23,11 @@ val now : t -> int
 val irqs_taken : t -> int
 val irqs_deferred : t -> int
 val soft_masked : t -> bool
+
+(** True while this context is running an interrupt handler (an RPC service
+    or deferred-work record drained by [poll]). Used by the verification
+    layer to flag blocking waits from interrupt context. *)
+val in_interrupt : t -> bool
 val pending_interrupts : t -> int
 
 (** Pure compute for [cycles]. *)

@@ -24,6 +24,7 @@ type t = {
   mutable atomics : int;
   mutable cache_hits : int;
   mutable fault : Fault.t option; (* installed fault plan, for hot-spots *)
+  mutable verify : Verify.t option; (* installed lockdep checker *)
 }
 
 let create eng cfg =
@@ -42,6 +43,7 @@ let create eng cfg =
     atomics = 0;
     cache_hits = 0;
     fault = None;
+    verify = None;
   }
 
 let engine t = t.eng
@@ -56,6 +58,9 @@ let cache_hits t = t.cache_hits
 
 let set_fault_plan t plan = t.fault <- plan
 let fault_plan t = t.fault
+
+let set_verify t v = t.verify <- v
+let verify t = t.verify
 
 let mem_resource t m = t.mem.(m)
 let bus_resource t s = t.bus.(s)

@@ -37,6 +37,14 @@ val set_fault_plan : t -> Fault.t option -> unit
 
 val fault_plan : t -> Fault.t option
 
+(** Install (or clear) a lockdep checker: while installed, the locking
+    layers report acquisitions, releases and reserve-bit transitions to it.
+    Hooks are host-side bookkeeping only — they charge no simulated cycles
+    — so simulated timing is identical with and without a checker. *)
+val set_verify : t -> Verify.t option -> unit
+
+val verify : t -> Verify.t option
+
 val mem_resource : t -> int -> Resource.t
 val bus_resource : t -> int -> Resource.t
 val ring_resource : t -> Resource.t

@@ -58,16 +58,16 @@ let block_key ~file ~index = (file * 10_000) + index
 let create ?(read_ahead = 0) kernel =
   let clustering = Kernel.clustering kernel in
   let machine = Kernel.machine kernel in
-  let mk nbins () =
+  let mk nbins vname () =
     Array.init (Clustering.n_clusters clustering) (fun c ->
-        Khash.create machine ~nbins
+        Khash.create machine ~nbins ~vname
           ~lock_algo:(Kernel.lock_algo kernel)
           ~homes:(Clustering.procs_of_cluster clustering c))
   in
   {
     kernel;
-    block_caches = mk 128 ();
-    open_tables = mk 32 ();
+    block_caches = mk 128 "fsrv.blocks" ();
+    open_tables = mk 32 "fsrv.open" ();
     homes = Hashtbl.create 16;
     read_ahead;
     reads = 0;

@@ -64,11 +64,13 @@ let create ?(costs = Costs.default) ?(lock_algo = Lock.Mcs_h2)
         {
           c_id = c;
           procs;
-          as_lock = Lock.make machine ~home:(home 2) algo;
-          region_lock = Lock.make machine ~home:(home 1) algo;
-          fcm_lock = Lock.make machine ~home:(home 3) algo;
+          as_lock = Lock.make machine ~home:(home 2) ~vclass:"kernel.as" algo;
+          region_lock =
+            Lock.make machine ~home:(home 1) ~vclass:"kernel.region" algo;
+          fcm_lock = Lock.make machine ~home:(home 3) ~vclass:"kernel.fcm" algo;
           page_hash =
-            Khash.create machine ~granularity ~nbins ~lock_algo:algo ~homes:procs;
+            Khash.create machine ~granularity ~nbins ~vname:"kernel.pages"
+              ~lock_algo:algo ~homes:procs;
           scratch =
             Array.init 32 (fun i ->
                 Machine.alloc machine
@@ -84,8 +86,10 @@ let create ?(costs = Costs.default) ?(lock_algo = Lock.Mcs_h2)
     ctxs;
     rpc = Rpc.create machine ctxs costs;
     clusters;
-    proc_desc_locks = Array.init n (fun p -> Lock.make machine ~home:p algo);
-    pte_locks = Array.init n (fun p -> Lock.make machine ~home:p algo);
+    proc_desc_locks =
+      Array.init n (fun p -> Lock.make machine ~home:p ~vclass:"kernel.pd" algo);
+    pte_locks =
+      Array.init n (fun p -> Lock.make machine ~home:p ~vclass:"kernel.pte" algo);
     pte_cells =
       Array.init n (fun p ->
           Machine.alloc machine ~label:(Printf.sprintf "pte%d" p) ~home:p 0);
@@ -138,6 +142,10 @@ let degradations t = t.degradations
 let install_fault_plan t plan =
   Machine.set_fault_plan t.machine plan;
   Rpc.set_fault_plan t.rpc plan
+
+(* Install (or remove) a lockdep checker machine-wide; every lock family
+   and reserve bit reports to it from then on. *)
+let install_verify t v = Machine.set_verify t.machine v
 
 (* Kernel execution is memory-bound: the MC88100 runs with kernel data
    uncached, so padding work is charged as interleaved accesses to kernel

@@ -77,6 +77,12 @@ val count_degradation : t -> unit
     layer. [None] restores fault-free execution. *)
 val install_fault_plan : t -> Fault.t option -> unit
 
+(** Install (or remove) a lockdep checker on the kernel's machine: every
+    lock family and reserve bit reports acquisitions, releases and
+    ownership transitions to it from then on. [None] restores unchecked
+    execution (and identical timing — the hooks are host-side only). *)
+val install_verify : t -> Verify.t option -> unit
+
 (** Memory-bound kernel work: [cycles] of interleaved kernel-data accesses
     (mostly processor-local, partly cluster-shared) and compute. Under load
     the shared accesses queue behind lock traffic — the coupling behind the

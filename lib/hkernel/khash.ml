@@ -52,12 +52,15 @@ type 'a t = {
   mutable searches : int;
   mutable probes : int;
   mutable reserve_conflicts : int; (* found element reserved, had to wait *)
+  rcls : Verify.lock_class; (* lock-order class of this table's reserve bits *)
+  elem_vclass : string; (* class name for Fine-mode element locks *)
 }
 
 let fine_backoff machine =
   Backoff.of_us (Machine.config machine) ~max_us:35.0 ()
 
-let create ?(granularity = Hybrid) ?(nbins = 64) ~lock_algo ~homes machine =
+let create ?(granularity = Hybrid) ?(nbins = 64) ?(vname = "khash") ~lock_algo
+    ~homes machine =
   if homes = [] then invalid_arg "Khash.create: empty home list";
   if nbins <= 0 then invalid_arg "Khash.create: nbins must be positive";
   let homes = Array.of_list homes in
@@ -81,13 +84,14 @@ let create ?(granularity = Hybrid) ?(nbins = 64) ~lock_algo ~homes machine =
       Array.init nbins (fun i ->
           Machine.alloc machine ~label:(Printf.sprintf "binhead%d" i)
             ~home:lock_home 0);
-    lock = Lock.make machine ~home:lock_home lock_algo;
+    lock = Lock.make machine ~home:lock_home ~vclass:(vname ^ ".lock") lock_algo;
     bin_locks =
       (match granularity with
       | Fine ->
         Array.init nbins (fun i ->
             Spin_lock.create machine
               ~home:homes.(i mod Array.length homes)
+              ~vclass:(vname ^ ".bin")
               (fine_backoff machine))
       | Hybrid | Coarse -> [||]);
     backoff = fine_backoff machine;
@@ -98,6 +102,8 @@ let create ?(granularity = Hybrid) ?(nbins = 64) ~lock_algo ~homes machine =
     searches = 0;
     probes = 0;
     reserve_conflicts = 0;
+    rcls = Verify.lock_class (vname ^ ".reserve");
+    elem_vclass = vname ^ ".elem";
   }
 
 let granularity t = t.granularity
@@ -152,7 +158,10 @@ let insert_locked ctx t key ~status0 ~make =
       status = Machine.alloc t.machine ~label:(Printf.sprintf "h%d" key) ~home status0;
       elem_lock =
         (match t.granularity with
-        | Fine -> Some (Spin_lock.create t.machine ~home (fine_backoff t.machine))
+        | Fine ->
+          Some
+            (Spin_lock.create t.machine ~home ~vclass:t.elem_vclass
+               (fine_backoff t.machine))
         | Hybrid | Coarse -> None);
       home;
       payload;
@@ -163,6 +172,14 @@ let insert_locked ctx t key ~status0 ~make =
   t.n_elems <- t.n_elems + 1;
   (* Link the element into the chain: one header write. *)
   Ctx.write ctx elem.status status0;
+  (* A placeholder born reserved (the combining-tree trick) belongs to its
+     inserter from this moment; tell the checker, since no [try_reserve]
+     will ever run for it. *)
+  if status0 land 1 <> 0 then
+    Vhook.on ctx (fun v ->
+        Verify.reserve_set v ~proc:(Ctx.proc ctx) ~cls:t.rcls
+          ~word:(Cell.id elem.status) ~label:(Cell.label elem.status)
+          ~now:(Ctx.now ctx));
   elem
 
 let remove_locked ctx t key =
@@ -208,7 +225,7 @@ let rec reserve_existing t ctx key =
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
           else `Busy e)
   in
   match outcome with
@@ -216,7 +233,7 @@ let rec reserve_existing t ctx key =
   | `Got e -> Some e
   | `Busy e ->
     t.reserve_conflicts <- t.reserve_conflicts + 1;
-    Reserve.spin_until_clear ctx t.backoff e.status;
+    Reserve.spin_until_clear ~cls:t.rcls ctx t.backoff e.status;
     reserve_existing t ctx key
 
 (* Like [reserve_existing], but when the key is absent insert a reserved
@@ -229,7 +246,7 @@ let rec reserve_or_insert t ctx key ~make =
         match search_locked_status ctx t key with
         | None -> `New (insert_locked ctx t key ~status0:1 ~make)
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
           else `Busy e)
   in
   match outcome with
@@ -237,7 +254,7 @@ let rec reserve_or_insert t ctx key ~make =
   | `Got e -> `Reserved e
   | `Busy e ->
     t.reserve_conflicts <- t.reserve_conflicts + 1;
-    Reserve.spin_until_clear ctx t.backoff e.status;
+    Reserve.spin_until_clear ~cls:t.rcls ctx t.backoff e.status;
     reserve_or_insert t ctx key ~make
 
 (* Non-blocking reservation attempt: used by RPC service handlers, which
@@ -249,7 +266,7 @@ let try_reserve_existing t ctx key =
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
           else `Busy)
   in
   match outcome with

@@ -33,10 +33,15 @@ type 'a t
 (** [create machine ~lock_algo ~homes] makes a table whose storage (lock
     word, bin heads, elements) lives on PMMs drawn from [homes] — the lock
     and its neighbours, as a real table occupies a contiguous region.
-    [make] callbacks receive the chosen element home. *)
+    [make] callbacks receive the chosen element home. [vname] prefixes the
+    table's {!Verify.lock_class} names (coarse lock [<vname>.lock], bins
+    [<vname>.bin], element locks [<vname>.elem], reserve bits
+    [<vname>.reserve]), giving each table its own place in the lock-order
+    graph. *)
 val create :
   ?granularity:granularity ->
   ?nbins:int ->
+  ?vname:string ->
   lock_algo:Lock.algo ->
   homes:int list ->
   Machine.t ->

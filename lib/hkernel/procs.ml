@@ -75,16 +75,19 @@ let create ?(strategy = Optimistic) ?(layout = Combined) ?(max_attempts = 0)
     kernel =
   let clustering = Kernel.clustering kernel in
   let machine = Kernel.machine kernel in
-  let mk_tables () =
+  let mk_tables vname () =
     Array.init (Clustering.n_clusters clustering) (fun c ->
-        Khash.create machine ~nbins:64
+        Khash.create machine ~nbins:64 ~vname
           ~lock_algo:(Kernel.lock_algo kernel)
           ~homes:(Clustering.procs_of_cluster clustering c))
   in
   {
     kernel;
-    tables = mk_tables ();
-    tree_tables = (match layout with Separate -> mk_tables () | Combined -> [||]);
+    tables = mk_tables "procs.table" ();
+    tree_tables =
+      (match layout with
+      | Separate -> mk_tables "procs.tree" ()
+      | Combined -> [||]);
     layout;
     strategy;
     max_attempts;

@@ -39,6 +39,7 @@ type t = {
   ctxs : Ctx.t array;
   costs : Costs.t;
   req_cells : Cell.t array; (* request mailbox per processor *)
+  reply_cells : Cell.t array; (* reply mailbox per (calling) processor *)
   mutable work : Ctx.t -> int -> unit;
       (* how marshal/dispatch cycles are charged; the kernel installs its
          memory-bound worker here *)
@@ -59,6 +60,15 @@ let create machine ctxs costs =
     req_cells =
       Array.init (Array.length ctxs) (fun p ->
           Machine.alloc machine ~label:(Printf.sprintf "rpcreq%d" p) ~home:p 0);
+    (* One reply mailbox per processor, homed locally so the caller's reply
+       spin is a local access. Allocated once here: a caller has at most one
+       synchronous RPC outstanding, so reuse is safe, and allocating per
+       call would grow the machine without bound on long runs. *)
+    reply_cells =
+      Array.init (Array.length ctxs) (fun p ->
+          Machine.alloc machine
+            ~label:(Printf.sprintf "rpcreply%d" p)
+            ~home:p 0);
     work = (fun ctx cycles -> Ctx.work ctx cycles);
     fault = None;
     calls = 0;
@@ -85,7 +95,6 @@ let backoff_cap_hits t = t.backoff_cap_hits
 (* One synchronous RPC. [service] runs on the target processor's context in
    interrupt state. *)
 let call t ctx ~target service =
-  let machine = Ctx.machine ctx in
   if target = Ctx.proc ctx then begin
     (* Local "call": run the service directly, no interrupt machinery. *)
     t.calls <- t.calls + 1;
@@ -108,9 +117,7 @@ let call t ctx ~target service =
     (* Deposit the request in the target's mailbox: one remote write. *)
     Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
     let reply = Ivar.create () in
-    let reply_cell =
-      Machine.alloc machine ~label:"rpcreply" ~home:(Ctx.proc ctx) 0
-    in
+    let reply_cell = t.reply_cells.(Ctx.proc ctx) in
     (* At most one loss per call, whichever side the draw picks. *)
     let lost_once = ref false in
     let handler ~drop_reply tctx =
@@ -147,6 +154,8 @@ let call t ctx ~target service =
       | Fault.No_drop -> Ctx.post_ipi t.ctxs.(target) (handler ~drop_reply:false)
     in
     post ();
+    Locks.Vhook.on ctx (fun v ->
+        Verify.rpc_started v ~proc:(Ctx.proc ctx) ~target ~now:(Ctx.now ctx));
     let rec wait () =
       let timeout =
         match t.fault with Some plan -> Fault.reply_timeout plan | None -> 0
@@ -167,6 +176,8 @@ let call t ctx ~target service =
     let r = wait () in
     (* Consume the reply word. *)
     ignore (Ctx.read ctx reply_cell);
+    Locks.Vhook.on ctx (fun v ->
+        Verify.rpc_finished v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
     | Ok _ | Absent | Gave_up -> ());
@@ -183,10 +194,14 @@ let call t ctx ~target service =
 let call_until_resolved ?(before_retry = fun () -> ()) ?(max_attempts = 0) t
     ctx ~target service =
   let rec go attempt =
-    match call t ctx ~target service with
+    let r = call t ctx ~target service in
+    (* Attempt counts are recorded on every resolution — first-try
+       successes, local (target = self) calls and exhaustion included —
+       not only on the retry path, so the statistic reflects all calls. *)
+    if attempt > t.max_attempts_seen then t.max_attempts_seen <- attempt;
+    match r with
     | Would_deadlock ->
       t.retries <- t.retries + 1;
-      if attempt > t.max_attempts_seen then t.max_attempts_seen <- attempt;
       (* The backoff multiplier saturates at x8; attempts past that point
          no longer spread out and deserve a visible warning count. *)
       if attempt > 8 then t.backoff_cap_hits <- t.backoff_cap_hits + 1;

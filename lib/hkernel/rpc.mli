@@ -49,7 +49,9 @@ val resends : t -> int
 (** Calls that returned [Gave_up]. *)
 val gave_ups : t -> int
 
-(** Highest failed-attempt number any {!call_until_resolved} reached. *)
+(** Highest attempt number any {!call_until_resolved} reached, recorded
+    uniformly on every resolution — first-try successes and local
+    ([target = self]) calls included, not only the retry path. *)
 val max_attempts_seen : t -> int
 
 (** Failed attempts past the x8 backoff cap — retries that no longer spread

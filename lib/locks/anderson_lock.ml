@@ -18,9 +18,11 @@ type t = {
   mutable acquisitions : int;
   mutable my_slot : int array; (* slot each processor spins on *)
   mutable holder_slot : int; (* bookkeeping *)
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
-let create ?(home = 0) machine =
+let create ?(home = 0) ?(vclass = "anderson") machine =
   if not (Machine.config machine).Config.has_cas then
     invalid_arg "Anderson_lock.create: needs a machine with compare&swap";
   let n = Machine.n_procs machine in
@@ -40,6 +42,8 @@ let create ?(home = 0) machine =
     acquisitions = 0;
     my_slot = Array.make n (-1);
     holder_slot = -1;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let acquisitions t = t.acquisitions
@@ -55,6 +59,7 @@ let take_slot t ctx =
   loop ()
 
 let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let n = Array.length t.slots in
   let slot = take_slot t ctx mod n in
   let rec wait () =
@@ -71,7 +76,8 @@ let acquire t ctx =
   t.my_slot.(Ctx.proc ctx) <- slot;
   assert (t.holder_slot = -1);
   t.holder_slot <- slot;
-  t.acquisitions <- t.acquisitions + 1
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
 let release t ctx =
   let n = Array.length t.slots in
@@ -80,4 +86,5 @@ let release t ctx =
   t.holder_slot <- -1;
   t.my_slot.(Ctx.proc ctx) <- -1;
   Ctx.write ctx t.slots.((slot + 1) mod n) 1;
-  Ctx.instr ctx ~br:1 ()
+  Ctx.instr ctx ~br:1 ();
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid

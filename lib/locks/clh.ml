@@ -27,11 +27,13 @@ type t = {
   (* Bookkeeping for assertions (untimed). *)
   mutable holder : int; (* processor or -1 *)
   pred_of_proc : int array; (* node adopted from the predecessor *)
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
 (* Node ids index [nodes]; node i for i < n starts owned by processor i,
    node n is the dummy the tail starts at. *)
-let create ?(home = 0) machine =
+let create ?(home = 0) ?(vclass = "clh") machine =
   let n = Machine.n_procs machine in
   let nodes =
     Array.init (n + 1) (fun i ->
@@ -49,6 +51,8 @@ let create ?(home = 0) machine =
     acquisitions = 0;
     holder = -1;
     pred_of_proc = Array.make n (-1);
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let acquisitions t = t.acquisitions
@@ -56,6 +60,7 @@ let holder_proc t = if t.holder < 0 then None else Some t.holder
 let is_free t = t.holder < 0
 
 let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let proc = Ctx.proc ctx in
   let my = t.node_of_proc.(proc) in
   (* Mark our node locked (it may be a recycled node homed anywhere). *)
@@ -73,7 +78,8 @@ let acquire t ctx =
   t.pred_of_proc.(proc) <- pred;
   assert (t.holder < 0);
   t.holder <- proc;
-  t.acquisitions <- t.acquisitions + 1
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
 let release t ctx =
   let proc = Ctx.proc ctx in
@@ -84,4 +90,5 @@ let release t ctx =
   Ctx.instr ctx ~br:1 ();
   (* Adopt the predecessor's node for next time. *)
   t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
-  t.pred_of_proc.(proc) <- -1
+  t.pred_of_proc.(proc) <- -1;
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid

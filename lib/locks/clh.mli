@@ -10,7 +10,7 @@ open Hector
 
 type t
 
-val create : ?home:int -> Machine.t -> t
+val create : ?home:int -> ?vclass:string -> Machine.t -> t
 
 val acquisitions : t -> int
 

@@ -86,24 +86,26 @@ let of_mcs lock =
     ~try_acquire:(fun ctx -> Mcs.try_acquire_v2 lock ctx)
     ~is_free:(fun () -> Mcs.is_free lock)
 
-let make machine ?(home = 0) algo =
+let make machine ?(home = 0) ?vclass algo =
   let cfg = Machine.config machine in
   match algo with
   | Null -> null
   | Spin { max_backoff_us } ->
     let backoff = Backoff.of_us cfg ~max_us:max_backoff_us () in
-    let lock = Spin_lock.create machine ~home backoff in
+    let lock = Spin_lock.create machine ~home ?vclass backoff in
     { (of_spin lock) with name = algo_name algo }
-  | Mcs_original -> of_mcs (Mcs.create ~variant:Mcs.Original ~home machine)
-  | Mcs_h1 -> of_mcs (Mcs.create ~variant:Mcs.H1 ~home machine)
-  | Mcs_h2 -> of_mcs (Mcs.create ~variant:Mcs.H2 ~home machine)
+  | Mcs_original -> of_mcs (Mcs.create ~variant:Mcs.Original ~home ?vclass machine)
+  | Mcs_h1 -> of_mcs (Mcs.create ~variant:Mcs.H1 ~home ?vclass machine)
+  | Mcs_h2 -> of_mcs (Mcs.create ~variant:Mcs.H2 ~home ?vclass machine)
   | Mcs_cas ->
     if not cfg.Config.has_cas then
       invalid_arg "Lock.make: Mcs_cas needs a machine with compare&swap";
-    let lock = Mcs.create ~variant:Mcs.H2 ~home ~use_cas_release:true machine in
+    let lock =
+      Mcs.create ~variant:Mcs.H2 ~home ~use_cas_release:true ?vclass machine
+    in
     { (of_mcs lock) with name = algo_name Mcs_cas }
   | Clh ->
-    let lock = Clh.create ~home machine in
+    let lock = Clh.create ~home ?vclass machine in
     instrumented ~name:"CLH"
       ~acquire:(fun ctx -> Clh.acquire lock ctx)
       ~release:(fun ctx -> Clh.release lock ctx)
@@ -113,7 +115,7 @@ let make machine ?(home = 0) algo =
         true)
       ~is_free:(fun () -> Clh.is_free lock)
   | Ticket ->
-    let lock = Ticket_lock.create ~home machine in
+    let lock = Ticket_lock.create ~home ?vclass machine in
     instrumented ~name:"Ticket"
       ~acquire:(fun ctx -> Ticket_lock.acquire lock ctx)
       ~release:(fun ctx -> Ticket_lock.release lock ctx)
@@ -122,7 +124,7 @@ let make machine ?(home = 0) algo =
         true)
       ~is_free:(fun () -> Ticket_lock.is_free lock)
   | Anderson ->
-    let lock = Anderson_lock.create ~home machine in
+    let lock = Anderson_lock.create ~home ?vclass machine in
     instrumented ~name:"Anderson"
       ~acquire:(fun ctx -> Anderson_lock.acquire lock ctx)
       ~release:(fun ctx -> Anderson_lock.release lock ctx)
@@ -131,11 +133,11 @@ let make machine ?(home = 0) algo =
         true)
       ~is_free:(fun () -> Anderson_lock.is_free lock)
   | Spin_then_block { spin_us } ->
-    let lock = Stb_lock.create ~home ~spin_us machine in
+    let lock = Stb_lock.create ~home ~spin_us ?vclass machine in
     instrumented ~name:(algo_name algo)
       ~acquire:(fun ctx -> Stb_lock.acquire lock ctx)
       ~release:(fun ctx -> Stb_lock.release lock ctx)
-      ~try_acquire:(fun ctx -> Ctx.test_and_set ctx (Stb_lock.flag lock) = 0)
+      ~try_acquire:(fun ctx -> Stb_lock.try_acquire lock ctx)
       ~is_free:(fun () -> not (Stb_lock.is_held lock))
 
 (* Acquire with the processor's soft mask set, so inter-processor interrupts

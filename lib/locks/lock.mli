@@ -33,7 +33,9 @@ val algo_name : algo -> string
     cap, spin with 2 ms cap. *)
 val all_paper_algos : algo list
 
-val make : Machine.t -> ?home:int -> algo -> t
+(** [vclass] names the lock-order class reported to an installed
+    {!Verify.t} checker; defaults to a per-algorithm class name. *)
+val make : Machine.t -> ?home:int -> ?vclass:string -> algo -> t
 
 (** A lock that does nothing; calibration probes use it to measure a path
     with locking subtracted. *)

@@ -68,6 +68,8 @@ type t = {
   mutable try_failures : int;
   mutable gc_count : int; (* abandoned nodes collected by release *)
   mutable timeouts : int; (* acquire_with_timeout deadline expiries *)
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
 let nil = 0
@@ -80,7 +82,7 @@ let mark_abandoned = 1
 let mark_claimed = 2
 
 let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
-    ?(track_in_use = false) machine =
+    ?(track_in_use = false) ?(vclass = "mcs") machine =
   let n = Machine.n_procs machine in
   let mk_node ~interrupt p =
     let label kind =
@@ -114,6 +116,8 @@ let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
     try_failures = 0;
     gc_count = 0;
     timeouts = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let variant t = t.variant
@@ -173,13 +177,15 @@ let wait_behind t ctx node pred_id =
   got_lock t node
 
 let acquire_with_node t ctx node =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   (match t.variant with
   | Original -> Ctx.write ctx node.next nil (* the initialisation store *)
   | H1 | H2 -> ());
   if t.track_in_use then Ctx.write ctx node.mark 1;
   let pred = Ctx.fetch_and_store ctx t.tail (id_of_node t node) in
   Ctx.instr ctx ~reg:2 ~br:2 ();
-  if pred = nil then got_lock t node else wait_behind t ctx node pred
+  if pred = nil then got_lock t node else wait_behind t ctx node pred;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
 let acquire t ctx = acquire_with_node t ctx (regular_node t (Ctx.proc ctx))
 
@@ -296,6 +302,7 @@ let release_with_node t ctx node =
          fetch&store path. *)
       successor_after t ctx node ~check_next:(t.variant <> H2)
   in
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   (match successor with
   | `Free -> Ctx.instr ctx ~br:1 ()
   | `Grafted -> ()
@@ -358,6 +365,7 @@ let try_acquire_v2 t ctx =
     Ctx.instr ctx ~reg:1 ~br:2 ();
     if pred = nil then begin
       got_lock t node;
+      Vhook.try_acquired ctx ~cls:t.vcls ~id:t.vid;
       true
     end
     else begin
@@ -393,6 +401,7 @@ let acquire_with_timeout t ctx ~timeout =
     false
   end
   else begin
+    Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
     let deadline = Machine.now t.machine + timeout in
     (match t.variant with
     | Original -> Ctx.write ctx node.next nil
@@ -401,6 +410,7 @@ let acquire_with_timeout t ctx ~timeout =
     Ctx.instr ctx ~reg:2 ~br:2 ();
     if pred = nil then begin
       got_lock t node;
+      Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
       true
     end
     else begin
@@ -421,6 +431,7 @@ let acquire_with_timeout t ctx ~timeout =
            [locked]; make the node reusable again. *)
         Ctx.write ctx node.mark 0;
         got_lock t node;
+        Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
         true
       end
       else begin
@@ -432,6 +443,7 @@ let acquire_with_timeout t ctx ~timeout =
           spin_while_locked ctx node;
           Ctx.write ctx node.mark 0;
           got_lock t node;
+          Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
           true
         end
         else begin
@@ -440,6 +452,7 @@ let acquire_with_timeout t ctx ~timeout =
              the pre-initialisation invariant. *)
           node.dirty_locked <- false;
           t.timeouts <- t.timeouts + 1;
+          Vhook.wait_abandoned ctx;
           false
         end
       end

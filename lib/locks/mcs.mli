@@ -31,6 +31,7 @@ val create :
   ?home:int ->
   ?use_cas_release:bool ->
   ?track_in_use:bool ->
+  ?vclass:string ->
   Machine.t ->
   t
 

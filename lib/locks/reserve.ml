@@ -10,15 +10,33 @@
 
    The word doubles as a reader-writer reserve: bit 0 is the exclusive
    (write) reservation; the remaining bits count read reservations. Which
-   mode applies depends on the data the bit protects (Section 2.3). *)
+   mode applies depends on the data the bit protects (Section 2.3).
+
+   Why [clear] can be a single store of 0, even outside the coarse lock:
+   [try_reserve] succeeds only when the word is entirely free (no writer,
+   no readers) and [try_reserve_read] refuses while the write bit is set —
+   both under the coarse lock. So from the moment a write reservation is
+   taken until it is cleared, the word's value is exactly [write_bit]: no
+   reader increment can interleave, and storing 0 loses nothing. A
+   read-modify-write here would not be any safer — it would just re-read a
+   value the protocol already pins — and the paper's protocol ("clearing is
+   a single store") relies on the store being cheap enough to do from
+   interrupt level. *)
 
 open Hector
 
 let write_bit = 1
 let reader_one = 2
 
+(* Verification hooks: pure host-side bookkeeping, charged no simulated
+   cycles — one [match] on the installed checker when off. *)
+let vcheck ctx f =
+  match Machine.verify (Ctx.machine ctx) with None -> () | Some v -> f v
+
+let default_cls = Verify.lock_class "reserve"
+
 (* All operations below assume the caller holds the coarse lock, except
-   [clear_*] and [spin_until_clear]. *)
+   [clear_*] and [spin_until_clear*]. *)
 
 let is_reserved ctx status =
   let v = Ctx.read ctx status in
@@ -28,7 +46,7 @@ let is_reserved ctx status =
 (* [known] is the status value the caller just read (the status word is
    co-located with the key it examined during the search), saving the
    re-read. *)
-let try_reserve ?known ctx status =
+let try_reserve ?known ?(cls = default_cls) ctx status =
   let v =
     match known with
     | Some v -> v
@@ -38,19 +56,27 @@ let try_reserve ?known ctx status =
   if v land write_bit <> 0 || v >= reader_one then false
   else begin
     Ctx.write ctx status (v lor write_bit);
+    vcheck ctx (fun vf ->
+        Verify.reserve_set vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+          ~label:(Cell.label status) ~now:(Ctx.now ctx));
     true
   end
 
 let clear ctx status =
-  let v = Ctx.read ctx status in
-  Ctx.write ctx status (v land lnot write_bit)
+  Ctx.write ctx status 0;
+  vcheck ctx (fun vf ->
+      Verify.reserve_clear vf ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
+        ~now:(Ctx.now ctx))
 
-let try_reserve_read ctx status =
+let try_reserve_read ?(cls = default_cls) ctx status =
   let v = Ctx.read ctx status in
   Ctx.instr ctx ~br:1 ();
   if v land write_bit <> 0 then false
   else begin
     Ctx.write ctx status (v + reader_one);
+    vcheck ctx (fun vf ->
+        Verify.reserve_read_set vf ~proc:(Ctx.proc ctx) ~cls
+          ~word:(Cell.id status) ~label:(Cell.label status) ~now:(Ctx.now ctx));
     true
   end
 
@@ -58,7 +84,10 @@ let clear_read ctx status =
   let v = Ctx.read ctx status in
   Ctx.instr ctx ~br:1 ();
   assert (v >= reader_one);
-  Ctx.write ctx status (v - reader_one)
+  Ctx.write ctx status (v - reader_one);
+  vcheck ctx (fun vf ->
+      Verify.reserve_read_clear vf ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
+        ~now:(Ctx.now ctx))
 
 let readers status = Cell.peek status / reader_one
 let write_reserved status = Cell.peek status land write_bit <> 0
@@ -66,7 +95,11 @@ let write_reserved status = Cell.peek status land write_bit <> 0
 (* Spin (with exponential backoff) until the exclusive bit clears. Called
    without the coarse lock held; the caller re-acquires the coarse lock and
    re-searches afterwards. *)
-let spin_until_clear ctx backoff status =
+let spin_until_clear ?(cls = default_cls) ctx backoff status =
+  vcheck ctx (fun vf ->
+      Verify.reserve_wait vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+        ~label:(Cell.label status) ~now:(Ctx.now ctx)
+        ~in_interrupt:(Ctx.in_interrupt ctx));
   let rec loop delay =
     let v = Ctx.read ctx status in
     Ctx.instr ctx ~br:1 ();
@@ -75,12 +108,18 @@ let spin_until_clear ctx backoff status =
       loop (Backoff.next backoff delay)
     end
   in
-  loop (Backoff.initial backoff)
+  loop (Backoff.initial backoff);
+  vcheck ctx (fun vf ->
+      Verify.reserve_wait_done vf ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
 
 (* Bounded spin: gives up once [timeout] cycles pass with the bit still
    set, returning false so the caller can re-search — reserve another
    element, say — instead of waiting out a stalled holder. *)
-let spin_until_clear_timeout ctx backoff status ~timeout =
+let spin_until_clear_timeout ?(cls = default_cls) ctx backoff status ~timeout =
+  vcheck ctx (fun vf ->
+      Verify.reserve_wait vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+        ~label:(Cell.label status) ~now:(Ctx.now ctx)
+        ~in_interrupt:(Ctx.in_interrupt ctx));
   let deadline = Ctx.now ctx + timeout in
   let rec loop delay =
     let v = Ctx.read ctx status in
@@ -92,4 +131,7 @@ let spin_until_clear_timeout ctx backoff status ~timeout =
       loop (Backoff.next backoff delay)
     end
   in
-  loop (Backoff.initial backoff)
+  let ok = loop (Backoff.initial backoff) in
+  vcheck ctx (fun vf ->
+      Verify.reserve_wait_done vf ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+  ok

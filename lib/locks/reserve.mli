@@ -6,7 +6,23 @@
     Waiters drop the coarse lock and spin on the word with backoff.
 
     The same word supports reader-writer reservations: bit 0 is the
-    exclusive reservation, higher bits count readers. *)
+    exclusive reservation, higher bits count readers.
+
+    {b Clearing protocol.} [clear] is a single unconditional store of 0 and
+    needs no lock. This is mask-consistent because the set-side operations
+    pin the word's value for the whole write-hold: [try_reserve] succeeds
+    only on a fully free word (no writer, no readers) and
+    [try_reserve_read] refuses while the write bit is set — both run under
+    the coarse lock — so from set to clear the word is exactly the write
+    bit and no concurrent reader increment can be lost. [clear_read] is a
+    read-modify-write and therefore {e does} rely on the coarse lock (or
+    other external serialisation of readers of the same word) to avoid
+    losing a concurrent decrement.
+
+    The optional [cls] arguments name the {!Verify.lock_class} used for
+    lock-order checking when a checker is installed on the machine;
+    structures with their own ordering discipline (e.g. the kernel hash
+    tables) pass a per-structure class. *)
 
 open Hector
 
@@ -18,16 +34,18 @@ val is_reserved : Ctx.t -> Cell.t -> bool
     Call under the coarse lock. [known] passes a status value the caller
     just read, skipping the re-read (key and status share the header
     word). *)
-val try_reserve : ?known:int -> Ctx.t -> Cell.t -> bool
+val try_reserve : ?known:int -> ?cls:Verify.lock_class -> Ctx.t -> Cell.t -> bool
 
-(** Clear the exclusive bit (plain store; no coarse lock needed). *)
+(** Clear the exclusive bit: a single store of 0, no coarse lock needed
+    (see the clearing-protocol note above). *)
 val clear : Ctx.t -> Cell.t -> unit
 
 (** Add a read reservation if no writer holds the word. Under the coarse
     lock. *)
-val try_reserve_read : Ctx.t -> Cell.t -> bool
+val try_reserve_read : ?cls:Verify.lock_class -> Ctx.t -> Cell.t -> bool
 
-(** Drop one read reservation. *)
+(** Drop one read reservation. Read-modify-write: serialise with other
+    readers of the same word (see the clearing-protocol note above). *)
 val clear_read : Ctx.t -> Cell.t -> unit
 
 (** Untimed views for tests. *)
@@ -37,11 +55,11 @@ val write_reserved : Cell.t -> bool
 
 (** Spin with backoff until the exclusive bit clears. Called without the
     coarse lock; re-acquire and re-search afterwards. *)
-val spin_until_clear : Ctx.t -> Backoff.t -> Cell.t -> unit
+val spin_until_clear : ?cls:Verify.lock_class -> Ctx.t -> Backoff.t -> Cell.t -> unit
 
 (** Like {!spin_until_clear} but gives up after [timeout] cycles: [false]
     means the bit was still set at the deadline, and the caller should
     re-search (e.g. pick a different element) rather than keep waiting on a
     possibly stalled holder. *)
 val spin_until_clear_timeout :
-  Ctx.t -> Backoff.t -> Cell.t -> timeout:int -> bool
+  ?cls:Verify.lock_class -> Ctx.t -> Backoff.t -> Cell.t -> timeout:int -> bool

@@ -16,14 +16,18 @@ type t = {
   backoff : Backoff.t;
   mutable acquisitions : int;
   mutable failed_attempts : int;
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
-let create machine ?(home = 0) backoff =
+let create machine ?(home = 0) ?(vclass = "spinlock") backoff =
   {
     flag = Machine.alloc machine ~label:"spinlock" ~home 0;
     backoff;
     acquisitions = 0;
     failed_attempts = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let acquisitions t = t.acquisitions
@@ -34,13 +38,15 @@ let home t = Cell.home t.flag
 let is_held t = Cell.peek t.flag <> 0
 
 let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let rec attempt delay =
     let old = Ctx.test_and_set ctx t.flag in
     if old = 0 then begin
       (* Uncontended path instruction budget (Figure 4): 1 reg, 2 br for the
          acquire side. *)
       Ctx.instr ctx ~reg:1 ~br:2 ();
-      t.acquisitions <- t.acquisitions + 1
+      t.acquisitions <- t.acquisitions + 1;
+      Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
     end
     else begin
       t.failed_attempts <- t.failed_attempts + 1;
@@ -55,7 +61,8 @@ let release t ctx =
   (* swap(L, 0): the MC88100 has no plain "atomic" store-release; the paper
      counts the release as an atomic as well. *)
   ignore (Ctx.fetch_and_store ctx t.flag 0);
-  Ctx.instr ctx ~br:1 ()
+  Ctx.instr ctx ~br:1 ();
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid
 
 (* Single attempt; used where a TryLock is meaningful for comparison. *)
 let try_acquire t ctx =
@@ -63,6 +70,7 @@ let try_acquire t ctx =
   Ctx.instr ctx ~reg:1 ~br:2 ();
   if old = 0 then begin
     t.acquisitions <- t.acquisitions + 1;
+    Vhook.try_acquired ctx ~cls:t.vcls ~id:t.vid;
     true
   end
   else begin

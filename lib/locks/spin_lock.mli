@@ -9,8 +9,10 @@ open Hector
 
 type t
 
-(** [create machine ~home backoff] allocates the lock word on PMM [home]. *)
-val create : Machine.t -> ?home:int -> Backoff.t -> t
+(** [create machine ~home backoff] allocates the lock word on PMM [home].
+    [vclass] names the lock-order class reported to an installed
+    {!Verify.t} checker. *)
+val create : Machine.t -> ?home:int -> ?vclass:string -> Backoff.t -> t
 
 val acquisitions : t -> int
 

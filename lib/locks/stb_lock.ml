@@ -23,9 +23,11 @@ type t = {
   mutable acquisitions : int;
   mutable blocks : int; (* waiters that gave up spinning *)
   mutable handoffs : int; (* releases that woke a blocked waiter *)
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
-let create ?(home = 0) ?(spin_us = 5.0) machine =
+let create ?(home = 0) ?(spin_us = 5.0) ?(vclass = "stb") machine =
   {
     flag = Machine.alloc machine ~label:"stb" ~home 0;
     spin_cycles = Config.cycles_of_us (Machine.config machine) spin_us;
@@ -34,6 +36,8 @@ let create ?(home = 0) ?(spin_us = 5.0) machine =
     acquisitions = 0;
     blocks = 0;
     handoffs = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let flag t = t.flag
@@ -43,11 +47,13 @@ let handoffs t = t.handoffs
 let is_held t = Cell.peek t.flag <> 0
 
 let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let deadline = Machine.now t.machine + t.spin_cycles in
   let rec spin delay =
     if Ctx.test_and_set ctx t.flag = 0 then begin
       Ctx.instr ctx ~reg:1 ~br:2 ();
-      t.acquisitions <- t.acquisitions + 1
+      t.acquisitions <- t.acquisitions + 1;
+      Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
     end
     else if Machine.now t.machine < deadline then begin
       Ctx.instr ctx ~reg:1 ~br:1 ();
@@ -63,10 +69,20 @@ let acquire t ctx =
           Queue.push { proc = Ctx.proc ctx; resume } t.waiters);
       (* Woken with the lock already ours. *)
       Ctx.work ctx 30 (* context-switch exit *);
-      t.acquisitions <- t.acquisitions + 1
+      t.acquisitions <- t.acquisitions + 1;
+      Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
     end
   in
   spin 8
+
+(* Single test&set attempt, never blocking. (Deliberately does not count
+   towards [acquisitions], which tracks the blocking-path statistics.) *)
+let try_acquire t ctx =
+  if Ctx.test_and_set ctx t.flag = 0 then begin
+    Vhook.try_acquired ctx ~cls:t.vcls ~id:t.vid;
+    true
+  end
+  else false
 
 let release t ctx =
   if Queue.is_empty t.waiters then begin
@@ -80,4 +96,5 @@ let release t ctx =
     Ctx.work ctx 20 (* wake-up IPI / scheduler insertion *);
     Engine.schedule_after (Machine.engine t.machine) ~delay:0 w.resume;
     Ctx.instr ctx ~br:1 ()
-  end
+  end;
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid

@@ -9,7 +9,7 @@ open Hector
 type t
 
 (** [create machine] with a [spin_us] spinning budget before blocking. *)
-val create : ?home:int -> ?spin_us:float -> Machine.t -> t
+val create : ?home:int -> ?spin_us:float -> ?vclass:string -> Machine.t -> t
 
 val flag : t -> Cell.t
 val acquisitions : t -> int
@@ -25,3 +25,7 @@ val is_held : t -> bool
 
 val acquire : t -> Ctx.t -> unit
 val release : t -> Ctx.t -> unit
+
+(** Single test&set attempt, never blocking; true if the lock was
+    obtained. *)
+val try_acquire : t -> Ctx.t -> bool

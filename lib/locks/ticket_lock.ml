@@ -20,9 +20,11 @@ type t = {
   machine : Machine.t;
   mutable acquisitions : int;
   mutable holder : int; (* ticket currently served; bookkeeping *)
+  vcls : Verify.lock_class;
+  vid : int;
 }
 
-let create ?(home = 0) ?(spin_unit = 40) machine =
+let create ?(home = 0) ?(spin_unit = 40) ?(vclass = "ticket") machine =
   if not (Machine.config machine).Config.has_cas then
     invalid_arg "Ticket_lock.create: needs a machine with compare&swap";
   {
@@ -32,6 +34,8 @@ let create ?(home = 0) ?(spin_unit = 40) machine =
     machine;
     acquisitions = 0;
     holder = -1;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
   }
 
 let acquisitions t = t.acquisitions
@@ -48,6 +52,7 @@ let take_ticket t ctx =
   loop ()
 
 let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let my = take_ticket t ctx in
   let rec wait () =
     let cur = Ctx.read ctx t.owner in
@@ -63,11 +68,13 @@ let acquire t ctx =
   wait ();
   assert (t.holder = -1);
   t.holder <- my;
-  t.acquisitions <- t.acquisitions + 1
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
 let release t ctx =
   assert (t.holder >= 0);
   let my = t.holder in
   t.holder <- -1;
   Ctx.write ctx t.owner (my + 1);
-  Ctx.instr ctx ~br:1 ()
+  Ctx.instr ctx ~br:1 ();
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid

@@ -6,7 +6,7 @@ open Hector
 
 type t
 
-val create : ?home:int -> ?spin_unit:int -> Machine.t -> t
+val create : ?home:int -> ?spin_unit:int -> ?vclass:string -> Machine.t -> t
 
 val acquisitions : t -> int
 val is_free : t -> bool

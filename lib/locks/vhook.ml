@@ -1,0 +1,28 @@
+(* One-line verification hook sites for the lock implementations: each is a
+   single branch on the installed checker when verification is off, and pure
+   host-side bookkeeping (no simulated cycles) when it is on. *)
+
+open Hector
+
+let on ctx f =
+  match Machine.verify (Ctx.machine ctx) with None -> () | Some v -> f v
+
+let wait_acquire ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.wait_acquire v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
+let acquired ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
+let try_acquired ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.try_acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
+let wait_abandoned ctx =
+  on ctx (fun v ->
+      Verify.wait_abandoned v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
+
+let released ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))

@@ -1,0 +1,23 @@
+(** Verification hook sites shared by the lock implementations: each call
+    is one branch when no checker is installed on the machine, and pure
+    host-side bookkeeping (no simulated cycles) when one is. *)
+
+open Hector
+
+(** [on ctx f] applies [f] to the installed checker, if any. *)
+val on : Ctx.t -> (Verify.t -> unit) -> unit
+
+(** A blocking acquisition is entering its wait (call before the first
+    spin, even if the lock turns out free). *)
+val wait_acquire : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** The blocking acquisition succeeded. *)
+val acquired : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** A non-blocking acquisition succeeded (no [wait_acquire] was issued). *)
+val try_acquired : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** The blocking acquisition timed out and gave up. *)
+val wait_abandoned : Ctx.t -> unit
+
+val released : Ctx.t -> cls:Verify.lock_class -> id:int -> unit

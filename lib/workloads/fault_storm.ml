@@ -127,7 +127,7 @@ let recovery_stat ~label stalls entries =
     stalls;
   stat
 
-let run ?(cfg = Config.hector) ?(config = default_config) mechanism =
+let run ?(cfg = Config.hector) ?(config = default_config) ?verify mechanism =
   let eng = Engine.create () in
   let machine = Machine.create eng cfg in
   let n = Config.n_procs cfg in
@@ -140,6 +140,16 @@ let run ?(cfg = Config.hector) ?(config = default_config) mechanism =
   let plan = Option.map (fun fc -> Fault.create (Fault.validate fc)) config.fault in
   Machine.set_fault_plan machine plan;
   Rpc.set_fault_plan rpc plan;
+  (* Lockdep: installed before any lock traffic so the checker sees every
+     acquisition; the watchdog event keeps itself scheduled until the
+     storm's own processes drain. Note that reply-drop faults re-execute
+     services at-least-once, so the clear service can legitimately run
+     twice — run the checker with a no-drop plan (see EXPERIMENTS.md). *)
+  (match verify with
+  | None -> ()
+  | Some v ->
+    Machine.set_verify machine (Some v);
+    Verify.watchdog v eng);
   (* [s] independent structures — separate coarse locks, separate element
      arrays — like per-cluster instances of one kernel structure. A worker
      whose timed acquire expires moves to another structure instead of
@@ -316,6 +326,9 @@ let run ?(cfg = Config.hector) ?(config = default_config) mechanism =
      terminates when workers and hog finish. *)
   Process.spawn eng (fun () -> Ctx.idle_loop ctxs.(server));
   Engine.run eng;
+  (match verify with
+  | None -> ()
+  | Some v -> Verify.finish v ~now:(Engine.now eng));
   let stalls, delays, drops, hotspots, stall_log =
     match plan with
     | None -> (0, 0, 0, 0, [])

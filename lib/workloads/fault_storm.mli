@@ -53,4 +53,12 @@ type result = {
       (** per injected stall: stall start to the next reserve acquisition *)
 }
 
-val run : ?cfg:Config.t -> ?config:config -> mechanism -> result
+(** Run the storm. With [verify] the lockdep checker is installed on the
+    machine before any lock traffic and its stall watchdog runs alongside
+    the workload; [Verify.finish] is called at the end so leaked reserve
+    bits are reported. The hooks are host-side only: results are identical
+    with and without a checker. Pair [verify] with a drop-free fault plan —
+    reply-drop recovery re-executes services at-least-once, which the
+    ownership checker rightly flags as a double clear. *)
+val run :
+  ?cfg:Config.t -> ?config:config -> ?verify:Verify.t -> mechanism -> result

@@ -30,4 +30,5 @@ let () =
       ("fserver", Test_fserver.suite);
       ("kernel", Test_kernel.suite);
       ("integration", Test_integration.suite);
+      ("verify", Test_verify.suite);
     ]
