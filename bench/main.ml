@@ -4,6 +4,7 @@
    Usage:
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe fig5a fig7d ...  # selected experiments
+     dune exec bench/main.exe -- --json [names] # write BENCH_results.json
      dune exec bench/main.exe -- --bechamel    # wall-clock micro-benchmarks
                                                # of the substrate (one
                                                # Test.make per table)
@@ -87,6 +88,7 @@ let run_cow () = Report.cow ppf (Experiments.cow ())
 let run_fs () = Report.fs ppf (Experiments.fs ())
 let run_fault_matrix () = Report.fault_matrix ppf (Experiments.fault_matrix ())
 let run_verify () = Report.verify ppf (Experiments.verify_suite ())
+let run_obs () = Report.obs ppf (Experiments.obs_profile ())
 
 let experiments =
   [
@@ -116,6 +118,7 @@ let experiments =
     ("fs", run_fs);
     ("fault-matrix", run_fault_matrix);
     ("verify", run_verify);
+    ("obs", run_obs);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)
@@ -201,6 +204,16 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--bechamel" ] -> run_bechamel ()
+  | "--json" :: names ->
+    (* Machine-readable export; [names] restricts to a subset (CI runs a
+       fast one). See Bench_json for the schema. *)
+    let path = "BENCH_results.json" in
+    (try Bench_json.write ~path (Bench_json.document ~names ())
+     with Invalid_argument msg ->
+       Format.eprintf "%s; available: %s@." msg
+         (String.concat ", " Bench_json.default_names);
+       exit 2);
+    Format.printf "wrote %s@." path
   | [ "--dat"; dir ] ->
     let written = Dat.write_all dir in
     List.iter (Format.printf "wrote %s@.") written

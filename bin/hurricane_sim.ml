@@ -394,6 +394,89 @@ let verify_cmd =
           silent). Exits non-zero if any probe misbehaves.")
     Term.(const run $ const ())
 
+(* -- trace subcommand -------------------------------------------------------- *)
+
+let trace_cmd =
+  let run out p window_us stall_every_us capacity seed =
+    let cfg = Hector.Config.hector in
+    let fault =
+      if stall_every_us <= 0.0 then None
+      else
+        Some
+          (check_fault_config
+          @@ {
+               Eventsim.Fault.disabled with
+               seed;
+               stall_every = Hector.Config.cycles_of_us cfg stall_every_us;
+               stall_cycles = Hector.Config.cycles_of_us cfg 1000.0;
+             })
+    in
+    let obs =
+      Obs.create ~trace:capacity
+        ~cluster_of:(Hector.Config.station_of_proc cfg)
+        ~n_clusters:cfg.Hector.Config.stations
+        ~n_procs:(Hector.Config.n_procs cfg) ()
+    in
+    let r =
+      Fault_storm.run ~cfg
+        ~config:{ Fault_storm.default_config with p; window_us; seed; fault }
+        ~obs Fault_storm.Timeout
+    in
+    let doc =
+      Obs.trace_json obs ~us_per_cycle:(Hector.Config.us_of_cycles cfg 1)
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~compact:true doc);
+    output_char oc '\n';
+    close_out oc;
+    Format.fprintf ppf "wrote %s: %d trace events (%d recorded, %d dropped)@."
+      out
+      (List.length (Obs.trace obs))
+      (Obs.trace_recorded obs) (Obs.trace_dropped obs);
+    Report.obs ppf { Experiments.obs_rows = Obs.profile_rows obs; obs_storm = r }
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file (Chrome trace-event JSON; load in Perfetto or \
+                chrome://tracing).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "p"; "workers" ] ~docv:"P" ~doc:"Worker processors.")
+  in
+  let window =
+    Arg.(
+      value & opt float 8000.0
+      & info [ "w"; "window-us" ] ~docv:"US" ~doc:"Storm window, simulated us.")
+  in
+  let stall_every =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "stall-every-us" ] ~docv:"US"
+          ~doc:"Inject a 1000 us holder stall each period; 0 disables.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 65536
+      & info [ "trace-events" ] ~docv:"N"
+          ~doc:"Ring capacity: keep the last N events.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a fault storm with the contention observer installed and \
+          export the event trace as Chrome trace-event JSON, plus the \
+          per-lock-class contention profile. Tracing is host-side only: the \
+          storm's simulated timing is identical with and without it.")
+    Term.(
+      const run $ out $ workers $ window $ stall_every $ capacity $ seed)
+
 (* -- figure subcommand -------------------------------------------------------- *)
 
 let figure_cmd =
@@ -424,6 +507,7 @@ let figure_cmd =
     | "cow" -> Report.cow ppf (Experiments.cow ())
     | "fault-matrix" -> Report.fault_matrix ppf (Experiments.fault_matrix ())
     | "verify" -> Report.verify ppf (Experiments.verify_suite ())
+    | "obs" -> Report.obs ppf (Experiments.obs_profile ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -450,6 +534,7 @@ let main_cmd =
       sweep_cmd;
       storm_cmd;
       verify_cmd;
+      trace_cmd;
       figure_cmd;
     ]
 

@@ -1,0 +1,177 @@
+(* JSON benchmark export (schema in bench_json.mli). Each experiment's
+   encoder works from the same result values the text reports print, so the
+   file and the tables can never disagree. *)
+
+open Locks
+open Workloads
+
+let schema_version = 1
+
+let default_names =
+  [
+    "fig4";
+    "uncontended";
+    "fig5a";
+    "fig5b";
+    "starvation";
+    "fig7a";
+    "fig7b";
+    "fig7c";
+    "fig7d";
+    "constants";
+  ]
+
+(* -- encoders ------------------------------------------------------------- *)
+
+let counts_json (c : Instr_model.counts) =
+  Json.Obj
+    [
+      ("atomic", Json.Int c.Instr_model.atomic);
+      ("mem", Json.Int c.Instr_model.mem);
+      ("reg", Json.Int c.Instr_model.reg);
+      ("br", Json.Int c.Instr_model.br);
+    ]
+
+let fig4_json (rows : Experiments.fig4_row list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.fig4_row) ->
+         Json.Obj
+           [
+             ("algo", Json.String (Instr_model.algo_name r.Experiments.algo));
+             ("ours", counts_json r.Experiments.ours);
+             ("paper", counts_json r.Experiments.paper);
+             ("matches_paper", Json.Bool (r.Experiments.ours = r.Experiments.paper));
+             ("predicted_us", Json.Float r.Experiments.predicted_us);
+           ])
+       rows)
+
+let uncontended_json (rows : Uncontended.result list) =
+  Json.List
+    (List.map
+       (fun (r : Uncontended.result) ->
+         Json.Obj
+           [
+             ("algo", Json.String (Lock.algo_name r.Uncontended.algo));
+             ("pair_us", Json.Float r.Uncontended.pair_us);
+             ("predicted_us",
+              match r.Uncontended.predicted_us with
+              | Some us -> Json.Float us
+              | None -> Json.Null);
+           ])
+       rows)
+
+let summary_fields (s : Measure.summary) =
+  [
+    ("n", Json.Int s.Measure.n);
+    ("mean_us", Json.Float s.Measure.mean_us);
+    ("p50_us", Json.Float s.Measure.p50_us);
+    ("p90_us", Json.Float s.Measure.p90_us);
+    ("p99_us", Json.Float s.Measure.p99_us);
+    ("min_us", Json.Float s.Measure.min_us);
+    ("max_us", Json.Float s.Measure.max_us);
+    ("frac_above_2ms", Json.Float s.Measure.frac_above_2ms);
+  ]
+
+let fig5_json ~hold_us (series : Experiments.fig5_series list) =
+  Json.Obj
+    [
+      ("hold_us", Json.Float hold_us);
+      ("series",
+       Json.List
+         (List.map
+            (fun (s : Experiments.fig5_series) ->
+              Json.Obj
+                [
+                  ("algo", Json.String (Lock.algo_name s.Experiments.algo));
+                  ("points",
+                   Json.List
+                     (List.map
+                        (fun (p, (r : Lock_stress.result)) ->
+                          Json.Obj
+                            (("p", Json.Int p)
+                             :: summary_fields r.Lock_stress.summary
+                            @ [
+                                ("acquisitions",
+                                 Json.Int r.Lock_stress.acquisitions);
+                              ]))
+                        s.Experiments.points));
+                ])
+            series));
+    ]
+
+let fig7_json ~xlabel (series : Experiments.fig7_series list) =
+  Json.Obj
+    [
+      ("xlabel", Json.String xlabel);
+      ("series",
+       Json.List
+         (List.map
+            (fun (s : Experiments.fig7_series) ->
+              Json.Obj
+                [
+                  ("algo", Json.String (Lock.algo_name s.Experiments.lock_algo));
+                  ("points",
+                   Json.List
+                     (List.map
+                        (fun (p : Experiments.fig7_point) ->
+                          Json.Obj
+                            [
+                              ("x", Json.Int p.Experiments.x);
+                              ("mean_us", Json.Float p.Experiments.mean_us);
+                              ("p99_us", Json.Float p.Experiments.p99_us);
+                              ("retries", Json.Int p.Experiments.retries);
+                              ("rpcs", Json.Int p.Experiments.rpcs);
+                            ])
+                        s.Experiments.series));
+                ])
+            series));
+    ]
+
+let constants_json (r : Calibration.result) =
+  Json.Obj
+    [
+      ("soft_fault_us", Json.Float r.Calibration.soft_fault_us);
+      ("lockless_fault_us", Json.Float r.Calibration.lockless_fault_us);
+      ("lock_overhead_us", Json.Float r.Calibration.lock_overhead_us);
+      ("null_rpc_us", Json.Float r.Calibration.null_rpc_us);
+      ("replicate_fault_us", Json.Float r.Calibration.replicate_fault_us);
+      ("replicate_extra_us", Json.Float r.Calibration.replicate_extra_us);
+    ]
+
+(* -- document ------------------------------------------------------------- *)
+
+let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
+  let names = if names = [] then default_names else names in
+  let run name =
+    match name with
+    | "fig4" -> fig4_json (Experiments.fig4 ?cfg ())
+    | "uncontended" -> uncontended_json (Experiments.uncontended ?cfg ())
+    | "fig5a" -> fig5_json ~hold_us:0.0 (Experiments.fig5a ?cfg ?procs ())
+    | "fig5b" -> fig5_json ~hold_us:25.0 (Experiments.fig5b ?cfg ?procs ())
+    | "starvation" -> Json.Obj (summary_fields (Experiments.starvation ?cfg ()))
+    | "fig7a" -> fig7_json ~xlabel:"p" (Experiments.fig7a ?cfg ?procs ?iters ())
+    | "fig7b" ->
+      fig7_json ~xlabel:"p" (Experiments.fig7b ?cfg ?procs ?rounds ())
+    | "fig7c" ->
+      fig7_json ~xlabel:"cluster_size" (Experiments.fig7c ?cfg ?sizes ?iters ())
+    | "fig7d" ->
+      fig7_json ~xlabel:"cluster_size" (Experiments.fig7d ?cfg ?sizes ?rounds ())
+    | "constants" -> constants_json (Experiments.constants ?cfg ())
+    | other ->
+      invalid_arg
+        (Printf.sprintf "Bench_json.document: unknown experiment %S" other)
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("config", Json.String "hector");
+      ("units", Json.Obj [ ("latency", Json.String "us") ]);
+      ("experiments", Json.Obj (List.map (fun n -> (n, run n)) names));
+    ]
+
+let write ~path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc

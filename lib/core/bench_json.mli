@@ -1,0 +1,55 @@
+(** Machine-readable benchmark export: runs the paper experiments and
+    renders their in-process results as one schema-stable JSON document
+    ([bench/main.exe -- --json] writes it to [BENCH_results.json]), so the
+    perf trajectory can be tracked across PRs by tooling instead of by
+    reading text tables.
+
+    Schema (version {!schema_version}):
+    {v
+    { "schema_version": 1,
+      "config": "hector",
+      "units": { "latency": "us" },
+      "experiments": {
+        "fig4":        [ {algo, ours:{atomic,mem,reg,br}, paper:{...},
+                          matches_paper, predicted_us} ],
+        "uncontended": [ {algo, pair_us, predicted_us|null} ],
+        "fig5a"/"fig5b": { hold_us,
+                           series: [ {algo, points: [ {p, n, mean_us,
+                             p50_us, p99_us, max_us, frac_above_2ms,
+                             acquisitions} ]} ] },
+        "starvation":  {n, mean_us, p50_us, p90_us, p99_us, min_us,
+                        max_us, frac_above_2ms},
+        "fig7a".."fig7d": { xlabel,
+                            series: [ {algo, points: [ {x, mean_us,
+                              p99_us, retries, rpcs} ]} ] },
+        "constants":   {soft_fault_us, lockless_fault_us, ...}
+      } }
+    v}
+    Every number is the exact value the in-process runner returned — the
+    schema test re-runs an experiment and compares the parsed file against
+    it. *)
+
+open Hector
+
+val schema_version : int
+
+(** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
+    "constants"] — what a bare [--json] exports. *)
+val default_names : string list
+
+(** Build the document for the named experiments (unknown names raise
+    [Invalid_argument]). The sweep knobs ([procs]/[sizes]/[iters]/[rounds])
+    default to the paper's full settings; tests and CI pass reduced ones
+    through the same code path. *)
+val document :
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?sizes:int list ->
+  ?iters:int ->
+  ?rounds:int ->
+  names:string list ->
+  unit ->
+  Json.t
+
+(** [write ~path doc] serialises with a trailing newline. *)
+val write : path:string -> Json.t -> unit

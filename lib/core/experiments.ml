@@ -512,3 +512,33 @@ let verify_suite () =
         vfirst = r.Verify_probes.first;
       })
     (Verify_probes.run_all ())
+
+(* -- OBS: contention profile of the fault storm ---------------------------- *)
+
+type obs_result = { obs_rows : Obs.row list; obs_storm : Fault_storm.result }
+
+(* Station = cluster: the storm runs on a bare machine, so the natural
+   cluster attribution is the HECTOR station each processor sits on. The
+   dosed stall plan matches the fault matrix's middle column, giving the
+   profile real contention to attribute. *)
+let obs_profile ?(cfg = Config.hector) ?(mechanism = Fault_storm.Timeout) () =
+  let obs =
+    Obs.create
+      ~cluster_of:(Config.station_of_proc cfg)
+      ~n_clusters:cfg.Config.stations ~n_procs:(Config.n_procs cfg) ()
+  in
+  let fault =
+    Some
+      {
+        Eventsim.Fault.disabled with
+        seed = 42;
+        stall_every = Config.cycles_of_us cfg 2000.0;
+        stall_cycles = Config.cycles_of_us cfg 1000.0;
+      }
+  in
+  let storm =
+    Fault_storm.run ~cfg
+      ~config:{ Fault_storm.default_config with fault }
+      ~obs mechanism
+  in
+  { obs_rows = Obs.profile_rows obs; obs_storm = storm }

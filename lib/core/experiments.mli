@@ -198,3 +198,11 @@ type verify_row = {
 }
 
 val verify_suite : unit -> verify_row list
+
+(** OBS — the contention profile ({!Obs}) of a dosed fault storm: which
+    lock class, on which cluster (station), burned the waiting cycles. *)
+
+type obs_result = { obs_rows : Obs.row list; obs_storm : Fault_storm.result }
+
+val obs_profile :
+  ?cfg:Config.t -> ?mechanism:Fault_storm.mechanism -> unit -> obs_result

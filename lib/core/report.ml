@@ -338,3 +338,33 @@ let verify ppf rows =
           (Verify_probes.probe_name r.Experiments.vprobe)
           r.Experiments.vfirst)
     rows
+
+let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
+  section ppf "OBS - where did the cycles go (dosed fault storm)"
+    "the argument of Figures 5/7 is made by attributing waiting time to \
+     specific locks; here every wait/hold cycle is charged to its lock \
+     class and the waiting processor's cluster";
+  let us c = Hector.Config.us_of_cycles cfg c in
+  Format.fprintf ppf "%-16s %-8s %9s %9s %12s %10s %12s %9s@." "class"
+    "cluster" "acqs" "cont" "wait(us)" "avg(us)" "hold(us)" "handoff";
+  let line name cluster (c : Obs.cells) =
+    Format.fprintf ppf "%-16s %-8s %9d %9d %12.1f %10.2f %12.1f %9d@." name
+      cluster c.Obs.acqs c.Obs.contended
+      (us c.Obs.wait_cycles)
+      (if c.Obs.acqs + c.Obs.contended = 0 then 0.0
+       else us c.Obs.wait_cycles /. float_of_int (max c.Obs.acqs c.Obs.contended))
+      (us c.Obs.hold_cycles) c.Obs.handoffs
+  in
+  List.iter
+    (fun (row : Obs.row) ->
+      line row.Obs.row_class "total" row.Obs.total;
+      List.iter
+        (fun (cl, cells) -> line "" (Printf.sprintf "  c%d" cl) cells)
+        row.Obs.by_cluster)
+    r.Experiments.obs_rows;
+  let s = r.Experiments.obs_storm in
+  Format.fprintf ppf
+    "storm: ops=%d deferred=%d rpc=%d/%d stalls=%d (mechanism %s)@."
+    s.Fault_storm.ops s.Fault_storm.deferred s.Fault_storm.rpc_ok
+    s.Fault_storm.rpc_calls s.Fault_storm.stalls_injected
+    (Fault_storm.mechanism_name s.Fault_storm.mechanism)

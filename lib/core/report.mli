@@ -64,3 +64,6 @@ val fs : Format.formatter -> File_read.result list -> unit
 val fault_matrix : Format.formatter -> Experiments.fault_row list -> unit
 
 val verify : Format.formatter -> Experiments.verify_row list -> unit
+
+val obs :
+  ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit

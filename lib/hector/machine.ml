@@ -25,6 +25,7 @@ type t = {
   mutable cache_hits : int;
   mutable fault : Fault.t option; (* installed fault plan, for hot-spots *)
   mutable verify : Verify.t option; (* installed lockdep checker *)
+  mutable obs : Obs.t option; (* installed contention observer *)
 }
 
 let create eng cfg =
@@ -44,6 +45,7 @@ let create eng cfg =
     cache_hits = 0;
     fault = None;
     verify = None;
+    obs = None;
   }
 
 let engine t = t.eng
@@ -61,6 +63,9 @@ let fault_plan t = t.fault
 
 let set_verify t v = t.verify <- v
 let verify t = t.verify
+
+let set_obs t o = t.obs <- o
+let obs t = t.obs
 
 let mem_resource t m = t.mem.(m)
 let bus_resource t s = t.bus.(s)

@@ -45,6 +45,14 @@ val set_verify : t -> Verify.t option -> unit
 
 val verify : t -> Verify.t option
 
+(** Install (or clear) a contention observer ({!Obs}): while installed,
+    the same hook sites that feed the checker also feed per-lock-class
+    profiles and the event trace. Host-side bookkeeping only — simulated
+    timing is identical with and without an observer. *)
+val set_obs : t -> Obs.t option -> unit
+
+val obs : t -> Obs.t option
+
 val mem_resource : t -> int -> Resource.t
 val bus_resource : t -> int -> Resource.t
 val ring_resource : t -> Resource.t

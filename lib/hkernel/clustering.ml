@@ -30,27 +30,38 @@ let cluster_of_proc t p =
 (* Index of a processor within its cluster. *)
 let index_in_cluster t p = p mod t.cluster_size
 
-let procs_of_cluster t c =
+let check_cluster t c =
   if c < 0 || c >= t.n_clusters then
-    invalid_arg (Printf.sprintf "Clustering.procs_of_cluster: bad cluster %d" c);
-  let first = c * t.cluster_size in
-  let last = min (first + t.cluster_size) t.n_procs - 1 in
-  List.init (last - first + 1) (fun i -> first + i)
+    invalid_arg (Printf.sprintf "Clustering: bad cluster %d" c)
 
-let size_of_cluster t c = List.length (procs_of_cluster t c)
+(* Clusters are consecutive processor ranges, so membership is index
+   arithmetic — these sit on the RPC/homing hot path, where walking a
+   freshly built list was O(cluster size) per call. Only the last cluster
+   can be short. *)
+let size_of_cluster t c =
+  check_cluster t c;
+  min t.cluster_size (t.n_procs - (c * t.cluster_size))
+
+let procs_of_cluster t c =
+  let first = c * t.cluster_size in
+  List.init (size_of_cluster t c) (fun i -> first + i)
 
 (* The paper's load-balancing rule: an RPC from the i-th processor of the
    source cluster goes to the i-th processor of the target cluster. *)
 let rpc_target t ~from ~target_cluster =
   let i = index_in_cluster t from in
-  let procs = procs_of_cluster t target_cluster in
-  List.nth procs (i mod List.length procs)
+  (target_cluster * t.cluster_size) + (i mod size_of_cluster t target_cluster)
 
 (* A PMM within cluster [c] to home a structure on, spread round-robin by
-   [salt] so cluster data is distributed over the cluster's memory. *)
+   [salt] so cluster data is distributed over the cluster's memory. The
+   salt is arbitrary (hashes, negative deltas): reduce it with a Euclidean
+   modulus — [abs salt mod len] breaks on [min_int], whose [abs] is still
+   negative. *)
 let home_in_cluster t ~cluster ~salt =
-  let procs = procs_of_cluster t cluster in
-  List.nth procs (abs salt mod List.length procs)
+  let len = size_of_cluster t cluster in
+  let i = salt mod len in
+  let i = if i < 0 then i + len else i in
+  (cluster * t.cluster_size) + i
 
 let pp ppf t =
   Format.fprintf ppf "%d clusters of %d (over %d procs)" t.n_clusters

@@ -156,6 +156,8 @@ let call t ctx ~target service =
     post ();
     Locks.Vhook.on ctx (fun v ->
         Verify.rpc_started v ~proc:(Ctx.proc ctx) ~target ~now:(Ctx.now ctx));
+    Locks.Vhook.obs ctx (fun o ->
+        Obs.rpc_issue o ~proc:(Ctx.proc ctx) ~target ~now:(Ctx.now ctx));
     let rec wait () =
       let timeout =
         match t.fault with Some plan -> Fault.reply_timeout plan | None -> 0
@@ -168,6 +170,8 @@ let call t ctx ~target service =
           (* The reply is overdue: assume the request or reply was lost and
              resend the IPI. *)
           t.resends <- t.resends + 1;
+          Locks.Vhook.obs ctx (fun o ->
+              Obs.rpc_retry o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
           t.work ctx t.costs.Costs.rpc_send;
           Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
           post ();
@@ -178,6 +182,8 @@ let call t ctx ~target service =
     ignore (Ctx.read ctx reply_cell);
     Locks.Vhook.on ctx (fun v ->
         Verify.rpc_finished v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+    Locks.Vhook.obs ctx (fun o ->
+        Obs.rpc_reply o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
     | Ok _ | Absent | Gave_up -> ());
@@ -202,6 +208,8 @@ let call_until_resolved ?(before_retry = fun () -> ()) ?(max_attempts = 0) t
     match r with
     | Would_deadlock ->
       t.retries <- t.retries + 1;
+      Locks.Vhook.obs ctx (fun o ->
+          Obs.rpc_retry o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
       (* The backoff multiplier saturates at x8; attempts past that point
          no longer spread out and deserve a visible warning count. *)
       if attempt > 8 then t.backoff_cap_hits <- t.backoff_cap_hits + 1;

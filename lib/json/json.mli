@@ -1,0 +1,30 @@
+(** A minimal JSON tree, printer and parser — just enough for the
+    observability exports ([BENCH_results.json], Chrome trace files) and
+    the tests that read them back. No external dependency: the container
+    has no JSON package, and the subset we need is small. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialise. Floats are printed with ["%.17g"] (and a forced [.0] when
+    the result would read back as an integer), so a print/parse round trip
+    reproduces the exact value. [compact] drops all whitespace; the default
+    is 2-space-indented, one key per line — diff-friendly for committed
+    files. *)
+val to_string : ?compact:bool -> t -> string
+
+(** Parse. Numbers without [.], [e] or [E] become [Int]; everything else
+    [Float]. @raise Failure on malformed input, with an offset. *)
+val of_string : string -> t
+
+(** Object field lookup ([None] on a non-object or a missing key). *)
+val member : t -> string -> t option
+
+(** Like {!member}. @raise Failure when absent. *)
+val get : t -> string -> t

@@ -64,7 +64,7 @@ let clear_bits cell ctx mask =
    than solve. *)
 type 'a stack = {
   head : Cell.t; (* node id; 0 = empty *)
-  mutable nodes : (int * (int * 'a)) list; (* id -> (next id, value) *)
+  nodes : (int, int * 'a) Hashtbl.t; (* id -> (next id, value) *)
   mutable next_id : int;
   mutable pushes : int;
   mutable pops : int;
@@ -73,13 +73,17 @@ type 'a stack = {
 let make_stack machine ~home =
   {
     head = Machine.alloc machine ~label:"lf.stack" ~home 0;
-    nodes = [];
+    nodes = Hashtbl.create 64;
     next_id = 1;
     pushes = 0;
     pops = 0;
   }
 
-(* Model-level next pointers live alongside the payload. *)
+(* Model-level next pointers live alongside the payload. Popped nodes stay
+   in the table: a concurrent pop that read the old head before losing its
+   CAS still looks the node up during the retry window, exactly as the
+   never-shrinking assoc list behaved (node ids are never recycled, so the
+   stale entry can only be read, not resurrected). *)
 let push stack ctx v =
   let id = stack.next_id in
   stack.next_id <- id + 1;
@@ -87,7 +91,7 @@ let push stack ctx v =
     let head = Ctx.read ctx stack.head in
     Ctx.instr ctx ~reg:2 ~br:1 ();
     (* Record (id -> (next, value)) at model level, then swing the head. *)
-    stack.nodes <- (id, (head, v)) :: List.remove_assoc id stack.nodes;
+    Hashtbl.replace stack.nodes id (head, v);
     if not (Ctx.compare_and_swap ctx stack.head ~expect:head ~set:id) then
       loop ()
   in
@@ -100,7 +104,7 @@ let pop stack ctx =
     Ctx.instr ctx ~reg:2 ~br:1 ();
     if head = 0 then None
     else
-      let next, v = List.assoc head stack.nodes in
+      let next, v = Hashtbl.find stack.nodes head in
       if Ctx.compare_and_swap ctx stack.head ~expect:head ~set:next then begin
         stack.pops <- stack.pops + 1;
         Some v
@@ -116,7 +120,7 @@ let stack_size stack ctx =
   let rec count id acc =
     if id = 0 then acc
     else
-      let next, _ = List.assoc id stack.nodes in
+      let next, _ = Hashtbl.find stack.nodes id in
       count next (acc + 1)
   in
   count head 0

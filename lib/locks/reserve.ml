@@ -33,6 +33,9 @@ let reader_one = 2
 let vcheck ctx f =
   match Machine.verify (Ctx.machine ctx) with None -> () | Some v -> f v
 
+let ocheck ctx f =
+  match Machine.obs (Ctx.machine ctx) with None -> () | Some o -> f o
+
 let default_cls = Verify.lock_class "reserve"
 
 (* All operations below assume the caller holds the coarse lock, except
@@ -59,6 +62,9 @@ let try_reserve ?known ?(cls = default_cls) ctx status =
     vcheck ctx (fun vf ->
         Verify.reserve_set vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
           ~label:(Cell.label status) ~now:(Ctx.now ctx));
+    ocheck ctx (fun o ->
+        Obs.reserve_set o ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+          ~now:(Ctx.now ctx));
     true
   end
 
@@ -66,6 +72,9 @@ let clear ctx status =
   Ctx.write ctx status 0;
   vcheck ctx (fun vf ->
       Verify.reserve_clear vf ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
+        ~now:(Ctx.now ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_clear o ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
         ~now:(Ctx.now ctx))
 
 let try_reserve_read ?(cls = default_cls) ctx status =
@@ -77,6 +86,9 @@ let try_reserve_read ?(cls = default_cls) ctx status =
     vcheck ctx (fun vf ->
         Verify.reserve_read_set vf ~proc:(Ctx.proc ctx) ~cls
           ~word:(Cell.id status) ~label:(Cell.label status) ~now:(Ctx.now ctx));
+    ocheck ctx (fun o ->
+        Obs.reserve_read_set o ~proc:(Ctx.proc ctx) ~cls
+          ~word:(Cell.id status) ~now:(Ctx.now ctx));
     true
   end
 
@@ -87,6 +99,9 @@ let clear_read ctx status =
   Ctx.write ctx status (v - reader_one);
   vcheck ctx (fun vf ->
       Verify.reserve_read_clear vf ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
+        ~now:(Ctx.now ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_read_clear o ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
         ~now:(Ctx.now ctx))
 
 let readers status = Cell.peek status / reader_one
@@ -100,6 +115,9 @@ let spin_until_clear ?(cls = default_cls) ctx backoff status =
       Verify.reserve_wait vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
         ~label:(Cell.label status) ~now:(Ctx.now ctx)
         ~in_interrupt:(Ctx.in_interrupt ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_wait o ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+        ~now:(Ctx.now ctx));
   let rec loop delay =
     let v = Ctx.read ctx status in
     Ctx.instr ctx ~br:1 ();
@@ -110,7 +128,9 @@ let spin_until_clear ?(cls = default_cls) ctx backoff status =
   in
   loop (Backoff.initial backoff);
   vcheck ctx (fun vf ->
-      Verify.reserve_wait_done vf ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
+      Verify.reserve_wait_done vf ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_wait_done o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
 
 (* Bounded spin: gives up once [timeout] cycles pass with the bit still
    set, returning false so the caller can re-search — reserve another
@@ -120,6 +140,9 @@ let spin_until_clear_timeout ?(cls = default_cls) ctx backoff status ~timeout =
       Verify.reserve_wait vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
         ~label:(Cell.label status) ~now:(Ctx.now ctx)
         ~in_interrupt:(Ctx.in_interrupt ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_wait o ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
+        ~now:(Ctx.now ctx));
   let deadline = Ctx.now ctx + timeout in
   let rec loop delay =
     let v = Ctx.read ctx status in
@@ -134,4 +157,6 @@ let spin_until_clear_timeout ?(cls = default_cls) ctx backoff status ~timeout =
   let ok = loop (Backoff.initial backoff) in
   vcheck ctx (fun vf ->
       Verify.reserve_wait_done vf ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+  ocheck ctx (fun o ->
+      Obs.reserve_wait_done o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
   ok

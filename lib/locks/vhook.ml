@@ -1,28 +1,42 @@
-(* One-line verification hook sites for the lock implementations: each is a
-   single branch on the installed checker when verification is off, and pure
-   host-side bookkeeping (no simulated cycles) when it is on. *)
+(* One-line verification/observation hook sites for the lock
+   implementations: each is a single branch per installed subsystem when
+   both are off, and pure host-side bookkeeping (no simulated cycles) when
+   either is on. *)
 
 open Hector
 
 let on ctx f =
   match Machine.verify (Ctx.machine ctx) with None -> () | Some v -> f v
 
+let obs ctx f =
+  match Machine.obs (Ctx.machine ctx) with None -> () | Some o -> f o
+
 let wait_acquire ctx ~cls ~id =
   on ctx (fun v ->
-      Verify.wait_acquire v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+      Verify.wait_acquire v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_wait o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
 
 let acquired ctx ~cls ~id =
   on ctx (fun v ->
-      Verify.acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+      Verify.acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_acquired o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
 
 let try_acquired ctx ~cls ~id =
   on ctx (fun v ->
-      Verify.try_acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+      Verify.try_acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_try_acquired o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
 
 let wait_abandoned ctx =
   on ctx (fun v ->
-      Verify.wait_abandoned v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
+      Verify.wait_abandoned v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_wait_abandoned o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
 
 let released ctx ~cls ~id =
   on ctx (fun v ->
-      Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+      Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_released o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))

@@ -7,6 +7,10 @@ open Hector
 (** [on ctx f] applies [f] to the installed checker, if any. *)
 val on : Ctx.t -> (Verify.t -> unit) -> unit
 
+(** [obs ctx f] applies [f] to the installed contention observer, if
+    any. *)
+val obs : Ctx.t -> (Obs.t -> unit) -> unit
+
 (** A blocking acquisition is entering its wait (call before the first
     spin, even if the lock turns out free). *)
 val wait_acquire : Ctx.t -> cls:Verify.lock_class -> id:int -> unit

@@ -1,0 +1,458 @@
+(* Contention profiles and event tracing (see obs.mli for the contract).
+
+   Everything here is host-side bookkeeping driven by the same hook sites
+   as the lockdep checker: per-proc stacks of open waits, a holder table to
+   classify acquisitions as contended, per-word reserve ownership for hold
+   attribution, and a fixed-capacity ring of trace events. No call touches
+   the engine, so installed-vs-not cannot move simulated time. *)
+
+let rpc_class = Verify.lock_class "rpc"
+
+(* -- profile buckets ------------------------------------------------------ *)
+
+type bucket = {
+  mutable b_acqs : int;
+  mutable b_contended : int;
+  mutable b_wait : int;
+  mutable b_hold : int;
+  mutable b_handoffs : int;
+}
+
+let fresh_bucket () =
+  { b_acqs = 0; b_contended = 0; b_wait = 0; b_hold = 0; b_handoffs = 0 }
+
+type cells = {
+  acqs : int;
+  contended : int;
+  wait_cycles : int;
+  hold_cycles : int;
+  handoffs : int;
+}
+
+type row = {
+  row_class : string;
+  total : cells;
+  by_cluster : (int * cells) list;
+}
+
+(* -- trace ---------------------------------------------------------------- *)
+
+type kind =
+  | Lock_acquired
+  | Lock_released
+  | Lock_try
+  | Lock_abandoned
+  | Reserve_set
+  | Reserve_cleared
+  | Reserve_spin
+  | Rpc_issue
+  | Rpc_retry
+  | Rpc_reply
+
+let kind_name = function
+  | Lock_acquired -> "lock_acquired"
+  | Lock_released -> "lock_released"
+  | Lock_try -> "lock_try"
+  | Lock_abandoned -> "lock_abandoned"
+  | Reserve_set -> "reserve_set"
+  | Reserve_cleared -> "reserve_cleared"
+  | Reserve_spin -> "reserve_spin"
+  | Rpc_issue -> "rpc_issue"
+  | Rpc_retry -> "rpc_retry"
+  | Rpc_reply -> "rpc_reply"
+
+type event = {
+  kind : kind;
+  proc : int;
+  cls : Verify.lock_class;
+  time : int;
+  dur : int;
+}
+
+(* -- open-wait / ownership state ------------------------------------------ *)
+
+(* One entry per wait a processor currently has open, newest first. Waits
+   nest (a lock wait inside an RPC span, say) and are popped by kind — and
+   for locks/words by identity — so interleavings cannot mispair them. *)
+type frame =
+  | Flock of { id : int; cls : int; since : int; contended : bool }
+  | Fspin of { word : int; cls : int; since : int }
+  | Frpc of { since : int }
+
+type hold = { h_id : int; h_cls : int; h_since : int }
+
+type t = {
+  n_clusters : int;
+  cluster_of : int -> int;
+  mutable classes : bucket array option array; (* class id -> per-cluster *)
+  frames : frame list array; (* per proc, newest first *)
+  holds : hold list array; (* per proc, lock holds, newest first *)
+  lock_holder : (int, int) Hashtbl.t; (* instance id -> holding proc *)
+  lock_waiters : (int, int) Hashtbl.t; (* instance id -> waiter count *)
+  words : (int, int * int * int) Hashtbl.t; (* word -> proc, cls, since *)
+  read_words : (int * int, int * int) Hashtbl.t; (* word,proc -> cls,since *)
+  word_waiters : (int, int) Hashtbl.t; (* word -> spinner count *)
+  trace_cap : int;
+  ring : event array;
+  mutable recorded : int; (* monotonic; ring index = recorded mod cap *)
+}
+
+let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
+  if n_procs <= 0 then invalid_arg "Obs.create: n_procs must be positive";
+  if n_clusters <= 0 then invalid_arg "Obs.create: n_clusters must be positive";
+  if trace < 0 then invalid_arg "Obs.create: negative trace capacity";
+  let cluster_of =
+    match cluster_of with Some f -> f | None -> fun _ -> 0
+  in
+  let dummy =
+    { kind = Lock_try; proc = 0; cls = 0; time = 0; dur = 0 }
+  in
+  {
+    n_clusters;
+    cluster_of;
+    classes = Array.make 16 None;
+    frames = Array.make n_procs [];
+    holds = Array.make n_procs [];
+    lock_holder = Hashtbl.create 64;
+    lock_waiters = Hashtbl.create 64;
+    words = Hashtbl.create 64;
+    read_words = Hashtbl.create 64;
+    word_waiters = Hashtbl.create 64;
+    trace_cap = trace;
+    ring = Array.make (max trace 1) dummy;
+    recorded = 0;
+  }
+
+let cluster t proc =
+  let c = t.cluster_of proc in
+  if c < 0 || c >= t.n_clusters then 0 else c
+
+let bucket t ~cls ~proc =
+  let cap = Array.length t.classes in
+  if cls >= cap then begin
+    let bigger = Array.make (max (cls + 1) (2 * cap)) None in
+    Array.blit t.classes 0 bigger 0 cap;
+    t.classes <- bigger
+  end;
+  let per_cluster =
+    match t.classes.(cls) with
+    | Some bs -> bs
+    | None ->
+      let bs = Array.init t.n_clusters (fun _ -> fresh_bucket ()) in
+      t.classes.(cls) <- Some bs;
+      bs
+  in
+  per_cluster.(cluster t proc)
+
+let emit t kind ~proc ~cls ~time ~dur =
+  if t.trace_cap > 0 then begin
+    t.ring.(t.recorded mod t.trace_cap) <- { kind; proc; cls; time; dur };
+    t.recorded <- t.recorded + 1
+  end
+
+(* Pop the newest frame satisfying [pred]; [None] if there is none (the
+   observer was installed after the wait opened). *)
+let pop_frame t proc pred =
+  let rec go skipped = function
+    | [] -> None
+    | f :: rest when pred f ->
+      t.frames.(proc) <- List.rev_append skipped rest;
+      Some f
+    | f :: rest -> go (f :: skipped) rest
+  in
+  go [] t.frames.(proc)
+
+let bump tbl key delta =
+  let v = (match Hashtbl.find_opt tbl key with Some v -> v | None -> 0) + delta in
+  if v <= 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v
+
+let count tbl key =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+(* -- lock hooks ----------------------------------------------------------- *)
+
+let lock_wait t ~proc ~cls ~id ~now =
+  let contended = Hashtbl.mem t.lock_holder id in
+  t.frames.(proc) <- Flock { id; cls; since = now; contended } :: t.frames.(proc);
+  bump t.lock_waiters id 1
+
+let start_hold t ~proc ~cls ~id ~now =
+  Hashtbl.replace t.lock_holder id proc;
+  t.holds.(proc) <- { h_id = id; h_cls = cls; h_since = now } :: t.holds.(proc)
+
+let lock_acquired t ~proc ~cls ~id ~now =
+  (match pop_frame t proc (function Flock f -> f.id = id | _ -> false) with
+  | Some (Flock f) ->
+    bump t.lock_waiters id (-1);
+    let b = bucket t ~cls ~proc in
+    b.b_acqs <- b.b_acqs + 1;
+    if f.contended then b.b_contended <- b.b_contended + 1;
+    let dur = now - f.since in
+    b.b_wait <- b.b_wait + dur;
+    emit t Lock_acquired ~proc ~cls ~time:now ~dur
+  | _ ->
+    let b = bucket t ~cls ~proc in
+    b.b_acqs <- b.b_acqs + 1);
+  start_hold t ~proc ~cls ~id ~now
+
+let lock_try_acquired t ~proc ~cls ~id ~now =
+  let b = bucket t ~cls ~proc in
+  b.b_acqs <- b.b_acqs + 1;
+  emit t Lock_try ~proc ~cls ~time:now ~dur:0;
+  start_hold t ~proc ~cls ~id ~now
+
+let lock_wait_abandoned t ~proc ~now =
+  match pop_frame t proc (function Flock _ -> true | _ -> false) with
+  | Some (Flock f) ->
+    bump t.lock_waiters f.id (-1);
+    let b = bucket t ~cls:f.cls ~proc in
+    b.b_contended <- b.b_contended + 1;
+    let dur = now - f.since in
+    b.b_wait <- b.b_wait + dur;
+    emit t Lock_abandoned ~proc ~cls:f.cls ~time:now ~dur
+  | _ -> ()
+
+let lock_released t ~proc ~cls ~id ~now =
+  (let rec go skipped = function
+     | [] -> ()
+     | h :: rest when h.h_id = id ->
+       t.holds.(proc) <- List.rev_append skipped rest;
+       let b = bucket t ~cls:h.h_cls ~proc in
+       let dur = now - h.h_since in
+       b.b_hold <- b.b_hold + dur;
+       emit t Lock_released ~proc ~cls:h.h_cls ~time:now ~dur
+     | h :: rest -> go (h :: skipped) rest
+   in
+   go [] t.holds.(proc));
+  Hashtbl.remove t.lock_holder id;
+  if count t.lock_waiters id > 0 then begin
+    let b = bucket t ~cls ~proc in
+    b.b_handoffs <- b.b_handoffs + 1
+  end
+
+(* -- reserve hooks -------------------------------------------------------- *)
+
+let reserve_set t ~proc ~cls ~word ~now =
+  Hashtbl.replace t.words word (proc, cls, now);
+  let b = bucket t ~cls ~proc in
+  b.b_acqs <- b.b_acqs + 1;
+  emit t Reserve_set ~proc ~cls ~time:now ~dur:0
+
+let reserve_clear t ~proc ~word ~now =
+  match Hashtbl.find_opt t.words word with
+  | None -> ()
+  | Some (owner, cls, since) ->
+    Hashtbl.remove t.words word;
+    (* Attribute the hold to the setter: the clear may run elsewhere (an
+       RPC service clearing on the owner's behalf). *)
+    let b = bucket t ~cls ~proc:owner in
+    let dur = now - since in
+    b.b_hold <- b.b_hold + dur;
+    if count t.word_waiters word > 0 then b.b_handoffs <- b.b_handoffs + 1;
+    emit t Reserve_cleared ~proc ~cls ~time:now ~dur
+
+let reserve_read_set t ~proc ~cls ~word ~now =
+  Hashtbl.replace t.read_words (word, proc) (cls, now);
+  let b = bucket t ~cls ~proc in
+  b.b_acqs <- b.b_acqs + 1;
+  emit t Reserve_set ~proc ~cls ~time:now ~dur:0
+
+let reserve_read_clear t ~proc ~word ~now =
+  match Hashtbl.find_opt t.read_words (word, proc) with
+  | None -> ()
+  | Some (cls, since) ->
+    Hashtbl.remove t.read_words (word, proc);
+    let b = bucket t ~cls ~proc in
+    let dur = now - since in
+    b.b_hold <- b.b_hold + dur;
+    emit t Reserve_cleared ~proc ~cls ~time:now ~dur
+
+let reserve_wait t ~proc ~cls ~word ~now =
+  t.frames.(proc) <- Fspin { word; cls; since = now } :: t.frames.(proc);
+  bump t.word_waiters word 1
+
+let reserve_wait_done t ~proc ~now =
+  match pop_frame t proc (function Fspin _ -> true | _ -> false) with
+  | Some (Fspin f) ->
+    bump t.word_waiters f.word (-1);
+    let b = bucket t ~cls:f.cls ~proc in
+    b.b_contended <- b.b_contended + 1;
+    let dur = now - f.since in
+    b.b_wait <- b.b_wait + dur;
+    emit t Reserve_spin ~proc ~cls:f.cls ~time:now ~dur
+  | _ -> ()
+
+(* -- rpc hooks ------------------------------------------------------------ *)
+
+let rpc_issue t ~proc ~target:_ ~now =
+  t.frames.(proc) <- Frpc { since = now } :: t.frames.(proc);
+  let b = bucket t ~cls:rpc_class ~proc in
+  b.b_acqs <- b.b_acqs + 1;
+  emit t Rpc_issue ~proc ~cls:rpc_class ~time:now ~dur:0
+
+let rpc_retry t ~proc ~now =
+  let b = bucket t ~cls:rpc_class ~proc in
+  b.b_contended <- b.b_contended + 1;
+  emit t Rpc_retry ~proc ~cls:rpc_class ~time:now ~dur:0
+
+let rpc_reply t ~proc ~now =
+  match pop_frame t proc (function Frpc _ -> true | _ -> false) with
+  | Some (Frpc f) ->
+    let b = bucket t ~cls:rpc_class ~proc in
+    let dur = now - f.since in
+    b.b_wait <- b.b_wait + dur;
+    emit t Rpc_reply ~proc ~cls:rpc_class ~time:now ~dur
+  | _ -> ()
+
+(* -- profile -------------------------------------------------------------- *)
+
+let cells_of_bucket b =
+  {
+    acqs = b.b_acqs;
+    contended = b.b_contended;
+    wait_cycles = b.b_wait;
+    hold_cycles = b.b_hold;
+    handoffs = b.b_handoffs;
+  }
+
+let bucket_active b =
+  b.b_acqs <> 0 || b.b_contended <> 0 || b.b_wait <> 0 || b.b_hold <> 0
+  || b.b_handoffs <> 0
+
+let profile_rows t =
+  let rows = ref [] in
+  Array.iteri
+    (fun cls per_cluster ->
+      match per_cluster with
+      | None -> ()
+      | Some bs ->
+        let total = fresh_bucket () in
+        let by_cluster = ref [] in
+        Array.iteri
+          (fun c b ->
+            if bucket_active b then begin
+              total.b_acqs <- total.b_acqs + b.b_acqs;
+              total.b_contended <- total.b_contended + b.b_contended;
+              total.b_wait <- total.b_wait + b.b_wait;
+              total.b_hold <- total.b_hold + b.b_hold;
+              total.b_handoffs <- total.b_handoffs + b.b_handoffs;
+              by_cluster := (c, cells_of_bucket b) :: !by_cluster
+            end)
+          bs;
+        if bucket_active total then
+          rows :=
+            {
+              row_class = Verify.class_name cls;
+              total = cells_of_bucket total;
+              by_cluster = List.rev !by_cluster;
+            }
+            :: !rows)
+    t.classes;
+  List.stable_sort
+    (fun a b ->
+      match compare b.total.wait_cycles a.total.wait_cycles with
+      | 0 -> (
+        match compare b.total.hold_cycles a.total.hold_cycles with
+        | 0 -> compare a.row_class b.row_class
+        | c -> c)
+      | c -> c)
+    (List.rev !rows)
+
+(* -- trace export --------------------------------------------------------- *)
+
+let trace_capacity t = t.trace_cap
+let trace_recorded t = t.recorded
+let trace_dropped t = max 0 (t.recorded - t.trace_cap)
+
+let trace t =
+  let kept = min t.recorded t.trace_cap in
+  List.init kept (fun i ->
+      t.ring.((t.recorded - kept + i) mod t.trace_cap))
+
+let span_name e =
+  let cls = Verify.class_name e.cls in
+  match e.kind with
+  | Lock_acquired -> cls ^ " acquire"
+  | Lock_released -> cls ^ " hold"
+  | Lock_try -> cls ^ " try"
+  | Lock_abandoned -> cls ^ " abandon"
+  | Reserve_set -> cls ^ " set"
+  | Reserve_cleared -> cls ^ " held"
+  | Reserve_spin -> cls ^ " spin"
+  | Rpc_issue -> "rpc issue"
+  | Rpc_retry -> "rpc retry"
+  | Rpc_reply -> "rpc"
+
+let category = function
+  | Lock_acquired | Lock_released | Lock_try | Lock_abandoned -> "lock"
+  | Reserve_set | Reserve_cleared | Reserve_spin -> "reserve"
+  | Rpc_issue | Rpc_retry | Rpc_reply -> "rpc"
+
+let is_span e =
+  match e.kind with
+  | Lock_acquired | Lock_released | Lock_abandoned | Reserve_cleared
+  | Reserve_spin | Rpc_reply -> true
+  | Lock_try | Reserve_set | Rpc_issue | Rpc_retry -> false
+
+let trace_json t ~us_per_cycle =
+  let us c = float_of_int c *. us_per_cycle in
+  let events = trace t in
+  (* Name the processes (clusters) and threads (processors) that appear. *)
+  let procs = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace procs e.proc ()) events;
+  let meta =
+    Hashtbl.fold (fun p () acc -> p :: acc) procs []
+    |> List.sort compare
+    |> List.concat_map (fun p ->
+           let c = cluster t p in
+           [
+             Json.Obj
+               [
+                 ("name", Json.String "process_name");
+                 ("ph", Json.String "M");
+                 ("pid", Json.Int c);
+                 ("args",
+                  Json.Obj [ ("name", Json.String (Printf.sprintf "cluster %d" c)) ]);
+               ];
+             Json.Obj
+               [
+                 ("name", Json.String "thread_name");
+                 ("ph", Json.String "M");
+                 ("pid", Json.Int c);
+                 ("tid", Json.Int p);
+                 ("args",
+                  Json.Obj [ ("name", Json.String (Printf.sprintf "cpu%d" p)) ]);
+               ];
+           ])
+  in
+  let ev_json e =
+    let common =
+      [
+        ("name", Json.String (span_name e));
+        ("cat", Json.String (category e.kind));
+        ("pid", Json.Int (cluster t e.proc));
+        ("tid", Json.Int e.proc);
+      ]
+    in
+    if is_span e then
+      Json.Obj
+        (common
+        @ [
+            ("ph", Json.String "X");
+            ("ts", Json.Float (us (e.time - e.dur)));
+            ("dur", Json.Float (us e.dur));
+          ])
+    else
+      Json.Obj
+        (common
+        @ [
+            ("ph", Json.String "i");
+            ("s", Json.String "t");
+            ("ts", Json.Float (us e.time));
+          ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map ev_json events));
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -1,0 +1,130 @@
+(** Contention observability: per-lock-class profiles and a bounded event
+    trace, fed by the same hook sites as the {!Verify} checker.
+
+    The discipline matches [lib/verify]: nothing here touches the engine,
+    draws random numbers or charges simulated cycles. Uninstalled, every
+    hook site is a single branch on [Machine.obs]; installed, the hooks do
+    pure host-side bookkeeping, so an instrumented run is bit-identical in
+    simulated time to a plain one.
+
+    Lock classes are {!Verify}'s interned classes — the profile speaks the
+    same vocabulary as the checker and the [?vclass] arguments the locks
+    already take. Proc-to-cluster attribution is a caller-supplied mapping
+    (stations for a bare machine, {!Hkernel.Clustering} for clustered
+    workloads). *)
+
+type t
+
+(** The interned class RPC waits are accounted under. *)
+val rpc_class : Verify.lock_class
+
+(** [create ~n_procs ()] profiles only. [trace] > 0 additionally keeps the
+    last [trace] events in a ring (older events are dropped, counted in
+    {!trace_dropped}). [cluster_of]/[n_clusters] default to one cluster. *)
+val create :
+  ?trace:int ->
+  ?cluster_of:(int -> int) ->
+  ?n_clusters:int ->
+  n_procs:int ->
+  unit ->
+  t
+
+(** {2 Hook sites}
+
+    Mirrors of the {!Verify} reporting entry points; see [Vhook],
+    [Reserve], [Rpc] and [Khash] for the call sites. All tolerate events
+    with no matching start (an observer installed mid-run). *)
+
+val lock_wait :
+  t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
+
+val lock_acquired :
+  t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
+
+val lock_try_acquired :
+  t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
+
+val lock_wait_abandoned : t -> proc:int -> now:int -> unit
+
+val lock_released :
+  t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
+
+val reserve_set :
+  t -> proc:int -> cls:Verify.lock_class -> word:int -> now:int -> unit
+
+val reserve_clear : t -> proc:int -> word:int -> now:int -> unit
+
+val reserve_read_set :
+  t -> proc:int -> cls:Verify.lock_class -> word:int -> now:int -> unit
+
+val reserve_read_clear : t -> proc:int -> word:int -> now:int -> unit
+
+val reserve_wait :
+  t -> proc:int -> cls:Verify.lock_class -> word:int -> now:int -> unit
+
+val reserve_wait_done : t -> proc:int -> now:int -> unit
+
+val rpc_issue : t -> proc:int -> target:int -> now:int -> unit
+val rpc_retry : t -> proc:int -> now:int -> unit
+val rpc_reply : t -> proc:int -> now:int -> unit
+
+(** {2 Contention profile} *)
+
+type cells = {
+  acqs : int;  (** successful acquisitions (incl. try / reserve sets) *)
+  contended : int;
+      (** acquisitions that found the lock held / completed spin waits *)
+  wait_cycles : int;  (** cycles from wait start to acquisition (or abandon) *)
+  hold_cycles : int;  (** cycles from acquisition to release *)
+  handoffs : int;  (** releases made with at least one recorded waiter *)
+}
+
+type row = {
+  row_class : string;
+  total : cells;
+  by_cluster : (int * cells) list;
+      (** attribution by the waiting/holding processor's cluster; clusters
+          with no activity for the class are omitted *)
+}
+
+(** One row per lock class with any activity, heaviest wait first. *)
+val profile_rows : t -> row list
+
+(** {2 Event trace} *)
+
+type kind =
+  | Lock_acquired  (** span: wait start to acquisition *)
+  | Lock_released  (** span: acquisition to release *)
+  | Lock_try  (** instant: non-blocking acquisition *)
+  | Lock_abandoned  (** span: wait start to timeout *)
+  | Reserve_set  (** instant *)
+  | Reserve_cleared  (** span: set to clear *)
+  | Reserve_spin  (** span: spin-wait on a reserve bit *)
+  | Rpc_issue  (** instant *)
+  | Rpc_retry  (** instant: [Would_deadlock] resend/backoff *)
+  | Rpc_reply  (** span: issue to reply *)
+
+val kind_name : kind -> string
+
+type event = {
+  kind : kind;
+  proc : int;
+  cls : Verify.lock_class;
+  time : int;  (** cycle at which the span ended / the instant occurred *)
+  dur : int;  (** span length in cycles; 0 for instants *)
+}
+
+(** Oldest retained first. *)
+val trace : t -> event list
+
+val trace_capacity : t -> int
+val trace_recorded : t -> int
+
+(** Events evicted from the ring. *)
+val trace_dropped : t -> int
+
+(** Chrome trace-event document (the JSON object format Perfetto and
+    [chrome://tracing] load): clusters as processes, processors as
+    threads, spans as ["X"] complete events, instants as ["i"].
+    [us_per_cycle] converts simulated cycles to trace microseconds. *)
+val trace_json : t -> us_per_cycle:float -> Json.t

@@ -54,7 +54,7 @@ open Eventsim
 type lock_class = int
 
 let class_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
-let class_names : string list ref = ref [] (* reversed; index = id *)
+let class_names : string array ref = ref (Array.make 64 "") (* index = id *)
 let n_classes = ref 0
 
 let lock_class name =
@@ -63,11 +63,20 @@ let lock_class name =
   | None ->
     let id = !n_classes in
     n_classes := id + 1;
-    class_names := name :: !class_names;
+    let cap = Array.length !class_names in
+    if id >= cap then begin
+      let bigger = Array.make (2 * cap) "" in
+      Array.blit !class_names 0 bigger 0 cap;
+      class_names := bigger
+    end;
+    !class_names.(id) <- name;
     Hashtbl.replace class_tbl name id;
     id
 
-let class_name id = List.nth !class_names (!n_classes - 1 - id)
+let class_name id =
+  if id < 0 || id >= !n_classes then
+    invalid_arg (Printf.sprintf "Verify.class_name: unknown class %d" id);
+  !class_names.(id)
 
 let instance_counter = ref 0
 

@@ -127,7 +127,8 @@ let recovery_stat ~label stalls entries =
     stalls;
   stat
 
-let run ?(cfg = Config.hector) ?(config = default_config) ?verify mechanism =
+let run ?(cfg = Config.hector) ?(config = default_config) ?verify ?obs
+    mechanism =
   let eng = Engine.create () in
   let machine = Machine.create eng cfg in
   let n = Config.n_procs cfg in
@@ -150,6 +151,9 @@ let run ?(cfg = Config.hector) ?(config = default_config) ?verify mechanism =
   | Some v ->
     Machine.set_verify machine (Some v);
     Verify.watchdog v eng);
+  (* Contention observer: same hook sites, pure host-side profiling — with
+     or without it the storm's simulated timing is identical. *)
+  (match obs with None -> () | Some o -> Machine.set_obs machine (Some o));
   (* [s] independent structures — separate coarse locks, separate element
      arrays — like per-cluster instances of one kernel structure. A worker
      whose timed acquire expires moves to another structure instead of

@@ -59,6 +59,15 @@ type result = {
     bits are reported. The hooks are host-side only: results are identical
     with and without a checker. Pair [verify] with a drop-free fault plan —
     reply-drop recovery re-executes services at-least-once, which the
-    ownership checker rightly flags as a double clear. *)
+    ownership checker rightly flags as a double clear.
+
+    With [obs] a contention observer ({!Obs}) is installed before any lock
+    traffic; like the checker its hooks are host-side only, so profiling or
+    tracing a storm cannot move its simulated timing. *)
 val run :
-  ?cfg:Config.t -> ?config:config -> ?verify:Verify.t -> mechanism -> result
+  ?cfg:Config.t ->
+  ?config:config ->
+  ?verify:Verify.t ->
+  ?obs:Obs.t ->
+  mechanism ->
+  result

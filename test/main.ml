@@ -31,4 +31,5 @@ let () =
       ("kernel", Test_kernel.suite);
       ("integration", Test_integration.suite);
       ("verify", Test_verify.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -64,6 +64,39 @@ let test_home_in_cluster () =
   Alcotest.(check int) "salt 5 wraps" 5
     (Clustering.home_in_cluster c ~cluster:1 ~salt:5)
 
+let test_rpc_target_uneven_tail () =
+  (* 16 procs in clusters of 3: five full clusters plus a singleton tail. *)
+  let c = Clustering.create ~n_procs:16 ~cluster_size:3 in
+  (* Processor 5 is index 2 of cluster 1; the tail {15} absorbs any index. *)
+  Alcotest.(check int) "wraps into the singleton tail" 15
+    (Clustering.rpc_target c ~from:5 ~target_cluster:5);
+  (* Index 1 fits in the full cluster 4 = {12; 13; 14}. *)
+  Alcotest.(check int) "index preserved when it fits" 13
+    (Clustering.rpc_target c ~from:4 ~target_cluster:4);
+  (* From the tail itself: index 0 everywhere. *)
+  Alcotest.(check int) "tail maps to index 0" 0
+    (Clustering.rpc_target c ~from:15 ~target_cluster:0)
+
+let test_home_in_cluster_negative_salt () =
+  let c = Clustering.create ~n_procs:16 ~cluster_size:4 in
+  (* Euclidean wrap: a negative salt can never index outside the cluster. *)
+  Alcotest.(check int) "salt -1" 7
+    (Clustering.home_in_cluster c ~cluster:1 ~salt:(-1));
+  Alcotest.(check int) "salt -4" 4
+    (Clustering.home_in_cluster c ~cluster:1 ~salt:(-4));
+  (* [abs min_int] is negative, so the old [abs salt mod len] produced a
+     negative index here; min_int is a multiple of 4, so index 0. *)
+  Alcotest.(check int) "salt min_int" 4
+    (Clustering.home_in_cluster c ~cluster:1 ~salt:min_int)
+
+let test_home_in_cluster_uneven_tail () =
+  let c = Clustering.create ~n_procs:16 ~cluster_size:5 in
+  List.iter
+    (fun salt ->
+      Alcotest.(check int) "singleton tail homes everything" 15
+        (Clustering.home_in_cluster c ~cluster:3 ~salt))
+    [ 0; 1; -1; 7; min_int; max_int ]
+
 let test_bad_arguments () =
   Alcotest.(check bool) "size 0" true
     (match Clustering.create ~n_procs:16 ~cluster_size:0 with
@@ -87,6 +120,17 @@ let prop_cluster_of_proc_consistent =
       let cl = Clustering.cluster_of_proc c p in
       List.mem p (Clustering.procs_of_cluster c cl))
 
+let prop_home_in_cluster_total =
+  QCheck.Test.make ~name:"home_in_cluster lands in its cluster for any salt"
+    ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 0 15) int)
+    (fun (size, cl, salt) ->
+      let c = Clustering.create ~n_procs:16 ~cluster_size:size in
+      let cl = cl mod Clustering.n_clusters c in
+      List.mem
+        (Clustering.home_in_cluster c ~cluster:cl ~salt)
+        (Clustering.procs_of_cluster c cl))
+
 let suite =
   [
     Alcotest.test_case "even partition" `Quick test_even_partition;
@@ -100,6 +144,13 @@ let suite =
     Alcotest.test_case "RPC target wraps on small clusters" `Quick
       test_rpc_target_wraps_on_smaller_cluster;
     Alcotest.test_case "home_in_cluster" `Quick test_home_in_cluster;
+    Alcotest.test_case "RPC target with uneven tail cluster" `Quick
+      test_rpc_target_uneven_tail;
+    Alcotest.test_case "home_in_cluster negative and min_int salt" `Quick
+      test_home_in_cluster_negative_salt;
+    Alcotest.test_case "home_in_cluster uneven tail" `Quick
+      test_home_in_cluster_uneven_tail;
     Alcotest.test_case "bad arguments rejected" `Quick test_bad_arguments;
     QCheck_alcotest.to_alcotest prop_cluster_of_proc_consistent;
+    QCheck_alcotest.to_alcotest prop_home_in_cluster_total;
   ]

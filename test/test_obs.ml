@@ -1,0 +1,372 @@
+(* Tests for the contention-observability subsystem: the Json codec, the
+   profile accounting, the bounded trace ring, the no-perturbation identity
+   on a real storm, and the BENCH_results.json schema. *)
+
+open Eventsim
+open Hector
+open Workloads
+open Hurricane
+
+(* -- Json codec ------------------------------------------------------------ *)
+
+let roundtrip v = Json.of_string (Json.to_string v)
+let roundtrip_compact v = Json.of_string (Json.to_string ~compact:true v)
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Int min_int;
+      Json.Float 0.0;
+      Json.Float 0.1;
+      Json.Float (-1.5e-7);
+      Json.Float 1e300;
+      Json.Float 16.0625;
+      Json.String "";
+      Json.String "plain";
+      Json.String "quote \" slash \\ newline \n tab \t";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+          ("nested", Json.Obj [ ("b", Json.String "x") ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "pretty round trip" true (roundtrip v = v);
+      Alcotest.(check bool) "compact round trip" true (roundtrip_compact v = v))
+    values
+
+let test_json_parse () =
+  Alcotest.(check bool) "ints stay ints" true
+    (Json.of_string "[1, -2, 0]" = Json.List [ Json.Int 1; Json.Int (-2); Json.Int 0 ]);
+  Alcotest.(check bool) "floats stay floats" true
+    (Json.of_string "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent is a float" true
+    (Json.of_string "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Json.of_string "  { \"a\" : [ ] }\n" = Json.Obj [ ("a", Json.List []) ]);
+  Alcotest.(check bool) "unicode escape" true
+    (Json.of_string "\"\\u0041\\u00e9\"" = Json.String "A\xc3\xa9");
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" s)
+        true
+        (match Json.of_string s with
+        | exception Failure _ -> true
+        | _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* -- profile accounting ----------------------------------------------------- *)
+
+let cls_lock = Verify.lock_class "obs.test.lock"
+let cls_res = Verify.lock_class "obs.test.reserve"
+
+let find_row rows name =
+  match List.find_opt (fun (r : Obs.row) -> r.Obs.row_class = name) rows with
+  | Some r -> r
+  | None -> Alcotest.failf "no profile row for %s" name
+
+let test_lock_accounting () =
+  (* Two procs per cluster. p0 acquires free, p1 waits through p0's hold
+     (contended + handoff), p2 (cluster 1) try-acquires. *)
+  let o = Obs.create ~cluster_of:(fun p -> p / 2) ~n_clusters:2 ~n_procs:4 () in
+  Obs.lock_wait o ~proc:0 ~cls:cls_lock ~id:1 ~now:0;
+  Obs.lock_acquired o ~proc:0 ~cls:cls_lock ~id:1 ~now:10;
+  Obs.lock_wait o ~proc:1 ~cls:cls_lock ~id:1 ~now:20;
+  Obs.lock_released o ~proc:0 ~cls:cls_lock ~id:1 ~now:50;
+  Obs.lock_acquired o ~proc:1 ~cls:cls_lock ~id:1 ~now:60;
+  Obs.lock_released o ~proc:1 ~cls:cls_lock ~id:1 ~now:90;
+  Obs.lock_try_acquired o ~proc:2 ~cls:cls_lock ~id:2 ~now:0;
+  Obs.lock_released o ~proc:2 ~cls:cls_lock ~id:2 ~now:5;
+  let r = find_row (Obs.profile_rows o) "obs.test.lock" in
+  Alcotest.(check int) "acqs" 3 r.Obs.total.Obs.acqs;
+  Alcotest.(check int) "contended" 1 r.Obs.total.Obs.contended;
+  Alcotest.(check int) "wait cycles" 50 r.Obs.total.Obs.wait_cycles;
+  Alcotest.(check int) "hold cycles" 75 r.Obs.total.Obs.hold_cycles;
+  Alcotest.(check int) "handoffs" 1 r.Obs.total.Obs.handoffs;
+  (* Attribution splits by the acting processor's cluster. *)
+  let c0 = List.assoc 0 r.Obs.by_cluster and c1 = List.assoc 1 r.Obs.by_cluster in
+  Alcotest.(check int) "cluster 0 acqs" 2 c0.Obs.acqs;
+  Alcotest.(check int) "cluster 0 wait" 50 c0.Obs.wait_cycles;
+  Alcotest.(check int) "cluster 1 acqs" 1 c1.Obs.acqs;
+  Alcotest.(check int) "cluster 1 hold" 5 c1.Obs.hold_cycles
+
+let test_reserve_accounting () =
+  let o = Obs.create ~cluster_of:(fun p -> p / 2) ~n_clusters:2 ~n_procs:4 () in
+  (* p2 (cluster 1) sets word 7; p3 spins on it; p2 clears mid-spin. *)
+  Obs.reserve_set o ~proc:2 ~cls:cls_res ~word:7 ~now:0;
+  Obs.reserve_wait o ~proc:3 ~cls:cls_res ~word:7 ~now:5;
+  Obs.reserve_clear o ~proc:2 ~word:7 ~now:40;
+  Obs.reserve_wait_done o ~proc:3 ~now:45;
+  let r = find_row (Obs.profile_rows o) "obs.test.reserve" in
+  Alcotest.(check int) "acqs" 1 r.Obs.total.Obs.acqs;
+  Alcotest.(check int) "contended (completed spins)" 1 r.Obs.total.Obs.contended;
+  Alcotest.(check int) "spin cycles" 40 r.Obs.total.Obs.wait_cycles;
+  Alcotest.(check int) "hold cycles" 40 r.Obs.total.Obs.hold_cycles;
+  Alcotest.(check int) "cleared over a spinner = handoff" 1
+    r.Obs.total.Obs.handoffs
+
+let test_rpc_accounting () =
+  let o = Obs.create ~n_procs:2 () in
+  Obs.rpc_issue o ~proc:0 ~target:1 ~now:0;
+  Obs.rpc_retry o ~proc:0 ~now:10;
+  Obs.rpc_reply o ~proc:0 ~now:30;
+  let r = find_row (Obs.profile_rows o) "rpc" in
+  Alcotest.(check int) "issues" 1 r.Obs.total.Obs.acqs;
+  Alcotest.(check int) "retries" 1 r.Obs.total.Obs.contended;
+  Alcotest.(check int) "call cycles" 30 r.Obs.total.Obs.wait_cycles
+
+let test_unmatched_events_tolerated () =
+  (* An observer installed mid-run sees completions with no start; nothing
+     may be counted for them and nothing may raise. *)
+  let o = Obs.create ~n_procs:2 () in
+  Obs.lock_released o ~proc:0 ~cls:cls_lock ~id:9 ~now:10;
+  Obs.lock_wait_abandoned o ~proc:0 ~now:10;
+  Obs.reserve_clear o ~proc:0 ~word:3 ~now:10;
+  Obs.reserve_wait_done o ~proc:0 ~now:10;
+  Obs.rpc_reply o ~proc:0 ~now:10;
+  let rows = Obs.profile_rows o in
+  Alcotest.(check bool) "only silent rows" true
+    (List.for_all (fun (r : Obs.row) -> r.Obs.total.Obs.wait_cycles = 0) rows)
+
+(* -- trace ring ------------------------------------------------------------ *)
+
+let test_trace_ring_bounded () =
+  let o = Obs.create ~trace:4 ~n_procs:1 () in
+  for i = 1 to 10 do
+    Obs.lock_try_acquired o ~proc:0 ~cls:cls_lock ~id:1 ~now:i
+  done;
+  Alcotest.(check int) "recorded" 10 (Obs.trace_recorded o);
+  Alcotest.(check int) "dropped" 6 (Obs.trace_dropped o);
+  let evs = Obs.trace o in
+  Alcotest.(check int) "retained = capacity" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest-first tail" [ 7; 8; 9; 10 ]
+    (List.map (fun (e : Obs.event) -> e.Obs.time) evs)
+
+let test_trace_off_records_nothing () =
+  let o = Obs.create ~n_procs:1 () in
+  Obs.lock_try_acquired o ~proc:0 ~cls:cls_lock ~id:1 ~now:1;
+  Alcotest.(check int) "no ring" 0 (Obs.trace_recorded o);
+  Alcotest.(check (list int)) "empty" []
+    (List.map (fun (e : Obs.event) -> e.Obs.time) (Obs.trace o))
+
+let test_trace_json_shape () =
+  let o = Obs.create ~trace:64 ~cluster_of:(fun p -> p / 2) ~n_clusters:2
+      ~n_procs:4 ()
+  in
+  Obs.lock_wait o ~proc:1 ~cls:cls_lock ~id:1 ~now:0;
+  Obs.lock_acquired o ~proc:1 ~cls:cls_lock ~id:1 ~now:400;
+  Obs.lock_released o ~proc:1 ~cls:cls_lock ~id:1 ~now:720;
+  Obs.rpc_issue o ~proc:3 ~target:0 ~now:100;
+  let doc = Obs.trace_json o ~us_per_cycle:(1.0 /. 16.0) in
+  (* The export must itself be valid JSON. *)
+  let parsed = Json.of_string (Json.to_string ~compact:true doc) in
+  Alcotest.(check bool) "round trips" true (parsed = doc);
+  match Json.get doc "traceEvents" with
+  | Json.List evs ->
+    let phase e =
+      match Json.get e "ph" with Json.String s -> s | _ -> "?"
+    in
+    let spans = List.filter (fun e -> phase e = "X") evs in
+    let instants = List.filter (fun e -> phase e = "i") evs in
+    let meta = List.filter (fun e -> phase e = "M") evs in
+    Alcotest.(check int) "two spans (acquire + hold)" 2 (List.length spans);
+    Alcotest.(check int) "one instant (rpc issue)" 1 (List.length instants);
+    (* 2 procs appear -> process_name + thread_name each. *)
+    Alcotest.(check int) "metadata per proc" 4 (List.length meta);
+    List.iter
+      (fun e ->
+        (match Json.get e "ts" with
+        | Json.Float ts -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+        | _ -> Alcotest.fail "ts not a float");
+        match Json.get e "dur" with
+        | Json.Float d -> Alcotest.(check bool) "dur >= 0" true (d >= 0.0)
+        | _ -> Alcotest.fail "dur not a float")
+      spans;
+    (* Complete events convert cycles to microseconds: the 400-cycle wait
+       at 16 cycles/us is 25 us starting at ts 0. *)
+    let acquire =
+      List.find
+        (fun e -> Json.get e "name" = Json.String "obs.test.lock acquire")
+        spans
+    in
+    Alcotest.(check bool) "acquire ts" true (Json.get acquire "ts" = Json.Float 0.0);
+    Alcotest.(check bool) "acquire dur" true
+      (Json.get acquire "dur" = Json.Float 25.0)
+  | _ -> Alcotest.fail "traceEvents not a list"
+
+(* -- storms: no perturbation, real attribution ------------------------------ *)
+
+(* Mirror of test_verify's checker identity: a dosed storm must return
+   structurally identical results with profiling + tracing installed. *)
+let test_observer_identity () =
+  let cycles us = Config.cycles_of_us Config.hector us in
+  let fault =
+    {
+      Fault.disabled with
+      seed = 42;
+      stall_every = cycles 1000.0;
+      stall_cycles = cycles 1000.0;
+    }
+  in
+  let config =
+    { Fault_storm.default_config with window_us = 8_000.0; fault = Some fault }
+  in
+  let plain = Fault_storm.run ~config Fault_storm.Timeout in
+  let o =
+    Obs.create ~trace:4096
+      ~cluster_of:(Config.station_of_proc Config.hector)
+      ~n_clusters:Config.hector.Config.stations
+      ~n_procs:(Config.n_procs Config.hector) ()
+  in
+  let observed = Fault_storm.run ~config ~obs:o Fault_storm.Timeout in
+  Alcotest.(check bool) "identical results" true (plain = observed);
+  Alcotest.(check bool) "and the profile is non-trivial" true
+    (Obs.profile_rows o <> []);
+  Alcotest.(check bool) "and the trace recorded events" true
+    (Obs.trace_recorded o > 0)
+
+let test_storm_attribution () =
+  let r = Experiments.obs_profile () in
+  let rows = r.Experiments.obs_rows in
+  (* The storm's coarse locks, reserve bits and RPCs must all appear, with
+     waiting attributed to the lock classes... *)
+  let mcs = find_row rows "mcs" in
+  let reserve = find_row rows "reserve" in
+  let rpc = find_row rows "rpc" in
+  Alcotest.(check bool) "mcs waits" true (mcs.Obs.total.Obs.wait_cycles > 0);
+  Alcotest.(check bool) "mcs contended" true (mcs.Obs.total.Obs.contended > 0);
+  Alcotest.(check bool) "reserve holds" true
+    (reserve.Obs.total.Obs.hold_cycles > 0);
+  Alcotest.(check bool) "rpc waits" true (rpc.Obs.total.Obs.wait_cycles > 0);
+  (* ... and per cluster (station): the 8 workers span 2 stations. *)
+  Alcotest.(check bool) "mcs split across clusters" true
+    (List.length mcs.Obs.by_cluster >= 2);
+  List.iter
+    (fun (row : Obs.row) ->
+      let sum f = List.fold_left (fun a (_, c) -> a + f c) 0 row.Obs.by_cluster in
+      Alcotest.(check int)
+        (row.Obs.row_class ^ " wait sums")
+        row.Obs.total.Obs.wait_cycles
+        (sum (fun c -> c.Obs.wait_cycles));
+      Alcotest.(check int)
+        (row.Obs.row_class ^ " acqs sum")
+        row.Obs.total.Obs.acqs
+        (sum (fun c -> c.Obs.acqs)))
+    rows
+
+(* -- BENCH_results.json ----------------------------------------------------- *)
+
+let get_float doc key =
+  match Json.get doc key with
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> Alcotest.failf "%s is not a number" key
+
+(* The acceptance set, on reduced knobs, through the same code path as the
+   full export: schema fields present, document round-trips, and the
+   numbers equal what the in-process runners return. *)
+let test_bench_json_schema () =
+  let names =
+    [ "fig4"; "uncontended"; "fig5a"; "fig5b"; "fig7a"; "fig7b"; "fig7c"; "fig7d" ]
+  in
+  let doc =
+    Bench_json.document ~procs:[ 2 ] ~sizes:[ 4 ] ~iters:5 ~rounds:2 ~names ()
+  in
+  Alcotest.(check bool) "document round trips" true
+    (Json.of_string (Json.to_string doc) = doc);
+  Alcotest.(check bool) "schema_version" true
+    (Json.get doc "schema_version" = Json.Int Bench_json.schema_version);
+  Alcotest.(check bool) "latency unit" true
+    (Json.get (Json.get doc "units") "latency" = Json.String "us");
+  let exps = Json.get doc "experiments" in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (Json.member exps n <> None))
+    names;
+  (* fig4: rows equal the in-process model (which is deterministic). *)
+  (match Json.get exps "fig4" with
+  | Json.List rows ->
+    let direct = Experiments.fig4 () in
+    Alcotest.(check int) "fig4 rows" (List.length direct) (List.length rows);
+    List.iter2
+      (fun row (d : Experiments.fig4_row) ->
+        Alcotest.(check bool) "fig4 algo" true
+          (Json.get row "algo"
+          = Json.String (Locks.Instr_model.algo_name d.Experiments.algo));
+        Alcotest.(check (float 0.0)) "fig4 predicted"
+          d.Experiments.predicted_us
+          (get_float row "predicted_us");
+        Alcotest.(check bool) "fig4 atomic count" true
+          (Json.get (Json.get row "ours") "atomic"
+          = Json.Int d.Experiments.ours.Locks.Instr_model.atomic))
+      rows direct
+  | _ -> Alcotest.fail "fig4 not a list");
+  (* uncontended: measured latencies equal a direct deterministic rerun. *)
+  (match Json.get exps "uncontended" with
+  | Json.List rows ->
+    let direct = Experiments.uncontended () in
+    List.iter2
+      (fun row (d : Uncontended.result) ->
+        Alcotest.(check bool) "unc algo" true
+          (Json.get row "algo"
+          = Json.String (Locks.Lock.algo_name d.Uncontended.algo));
+        Alcotest.(check (float 0.0)) "unc pair_us" d.Uncontended.pair_us
+          (get_float row "pair_us"))
+      rows direct
+  | _ -> Alcotest.fail "uncontended not a list");
+  (* fig5a on the same knobs: series values equal the in-process sweep. *)
+  let direct5 = Experiments.fig5a ~procs:[ 2 ] () in
+  match Json.get (Json.get exps "fig5a") "series" with
+  | Json.List series ->
+    Alcotest.(check int) "fig5a series count" (List.length direct5)
+      (List.length series);
+    List.iter2
+      (fun s (d : Experiments.fig5_series) ->
+        match (Json.get s "points", d.Experiments.points) with
+        | Json.List [ point ], [ (p, r) ] ->
+          Alcotest.(check bool) "fig5a p" true (Json.get point "p" = Json.Int p);
+          Alcotest.(check (float 0.0)) "fig5a mean"
+            r.Lock_stress.summary.Measure.mean_us
+            (get_float point "mean_us")
+        | _ -> Alcotest.fail "fig5a point shape")
+      series direct5
+  | _ -> Alcotest.fail "fig5a series not a list"
+
+let test_bench_json_rejects_unknown () =
+  Alcotest.(check bool) "unknown name raises" true
+    (match Bench_json.document ~names:[ "fig9000" ] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parser" `Quick test_json_parse;
+    Alcotest.test_case "lock accounting" `Quick test_lock_accounting;
+    Alcotest.test_case "reserve accounting" `Quick test_reserve_accounting;
+    Alcotest.test_case "rpc accounting" `Quick test_rpc_accounting;
+    Alcotest.test_case "unmatched events tolerated" `Quick
+      test_unmatched_events_tolerated;
+    Alcotest.test_case "trace ring bounded" `Quick test_trace_ring_bounded;
+    Alcotest.test_case "trace off records nothing" `Quick
+      test_trace_off_records_nothing;
+    Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
+    Alcotest.test_case "observer on/off identity" `Quick test_observer_identity;
+    Alcotest.test_case "storm attribution per class and cluster" `Quick
+      test_storm_attribution;
+    Alcotest.test_case "bench json schema and values" `Quick
+      test_bench_json_schema;
+    Alcotest.test_case "bench json rejects unknown names" `Quick
+      test_bench_json_rejects_unknown;
+  ]

@@ -41,6 +41,24 @@ let test_percentile_after_more_adds () =
   Alcotest.(check int) "median updated" 3 (Stat.median s);
   Alcotest.(check int) "max" 5 (Stat.max_value s)
 
+let test_percentile_empty () =
+  let s = Stat.create "t" in
+  Alcotest.(check int) "q=0" 0 (Stat.percentile s 0.0);
+  Alcotest.(check int) "q=0.5" 0 (Stat.percentile s 0.5);
+  Alcotest.(check int) "q=1" 0 (Stat.percentile s 1.0)
+
+let test_single_sample () =
+  let s = with_samples [ 42 ] in
+  Alcotest.(check int) "q=0" 42 (Stat.percentile s 0.0);
+  Alcotest.(check int) "q=0.5" 42 (Stat.percentile s 0.5);
+  Alcotest.(check int) "q=1" 42 (Stat.percentile s 1.0);
+  Alcotest.(check int) "min" 42 (Stat.min_value s);
+  Alcotest.(check int) "max" 42 (Stat.max_value s);
+  Alcotest.(check (float 0.0)) "mean" 42.0 (Stat.mean s);
+  Alcotest.(check (float 0.0)) "strictly above below it" 1.0
+    (Stat.fraction_above s 41);
+  Alcotest.(check (float 0.0)) "not above itself" 0.0 (Stat.fraction_above s 42)
+
 let test_fraction_above () =
   let s = with_samples [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
   Alcotest.(check (float 0.001)) "above 8" 0.2 (Stat.fraction_above s 8);
@@ -86,6 +104,8 @@ let suite =
     Alcotest.test_case "percentiles" `Quick test_percentiles;
     Alcotest.test_case "percentile after later adds" `Quick
       test_percentile_after_more_adds;
+    Alcotest.test_case "percentile of empty stat" `Quick test_percentile_empty;
+    Alcotest.test_case "single sample edges" `Quick test_single_sample;
     Alcotest.test_case "fraction above threshold" `Quick test_fraction_above;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "to_list keeps order" `Quick test_to_list;
