@@ -89,6 +89,7 @@ let run_fs () = Report.fs ppf (Experiments.fs ())
 let run_fault_matrix () = Report.fault_matrix ppf (Experiments.fault_matrix ())
 let run_verify () = Report.verify ppf (Experiments.verify_suite ())
 let run_obs () = Report.obs ppf (Experiments.obs_profile ())
+let run_numa () = Report.numa_locks ppf (Experiments.numa_locks ())
 
 let experiments =
   [
@@ -119,6 +120,7 @@ let experiments =
     ("fault-matrix", run_fault_matrix);
     ("verify", run_verify);
     ("obs", run_obs);
+    ("numa", run_numa);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

@@ -21,6 +21,9 @@ let algo_conv =
     | "h1" | "h1-mcs" -> Ok Locks.Lock.Mcs_h1
     | "h2" | "h2-mcs" -> Ok Locks.Lock.Mcs_h2
     | "cas" | "h2-cas" -> Ok Locks.Lock.Mcs_cas
+    | "cohort" | "c-mcs-mcs" -> Ok Locks.Lock.c_mcs_mcs
+    | "hmcs" -> Ok Locks.Lock.hmcs
+    | "cna" -> Ok Locks.Lock.cna
     | s -> (
       match Scanf.sscanf_opt s "spin:%f" (fun v -> v) with
       | Some us -> Ok (Locks.Lock.Spin { max_backoff_us = us })
@@ -28,7 +31,8 @@ let algo_conv =
         Error
           (`Msg
             (Printf.sprintf
-               "unknown lock algorithm %S (mcs | h1 | h2 | cas | spin:<us>)" s)))
+               "unknown lock algorithm %S (mcs | h1 | h2 | cas | cohort | hmcs \
+                | cna | spin:<us>)" s)))
   in
   let print ppf a = Format.pp_print_string ppf (Locks.Lock.algo_name a) in
   Arg.conv (parse, print)
@@ -38,7 +42,9 @@ let algo_arg =
     value
     & opt algo_conv Locks.Lock.Mcs_h2
     & info [ "l"; "lock" ] ~docv:"ALGO"
-        ~doc:"Lock algorithm: mcs, h1, h2, cas or spin:<max-backoff-us>.")
+        ~doc:
+          "Lock algorithm: mcs, h1, h2, cas, cohort, hmcs, cna or \
+           spin:<max-backoff-us>.")
 
 let procs_arg =
   Arg.(
@@ -477,6 +483,55 @@ let trace_cmd =
     Term.(
       const run $ out $ workers $ window $ stall_every $ capacity $ seed)
 
+(* -- numa subcommand --------------------------------------------------------- *)
+
+let numa_cmd =
+  let run algo clusters hold_us window_us =
+    let r =
+      Numa_stress.run
+        ~config:
+          {
+            Numa_stress.default_config with
+            n_clusters = clusters;
+            hold_us;
+            window_us;
+          }
+        algo
+    in
+    Format.fprintf ppf "%a@." Measure.pp r.Numa_stress.summary;
+    let total = r.Numa_stress.local_handoffs + r.Numa_stress.remote_handoffs in
+    Format.fprintf ppf
+      "acquisitions=%d handoffs=%d/%d local/remote (remote %.0f%%) \
+       max-wait=%.1fus atomics=%d@."
+      r.Numa_stress.acquisitions r.Numa_stress.local_handoffs
+      r.Numa_stress.remote_handoffs
+      (if total = 0 then 0.0
+       else 100.0 *. float_of_int r.Numa_stress.remote_handoffs /. float_of_int total)
+      r.Numa_stress.max_wait_us r.Numa_stress.atomics
+  in
+  let clusters =
+    Arg.(
+      value & opt int 4
+      & info [ "clusters" ] ~docv:"C" ~doc:"Number of clusters (p=16 split).")
+  in
+  let hold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hold" ] ~docv:"US" ~doc:"Critical-section length in us.")
+  in
+  let window =
+    Arg.(
+      value & opt float 20000.0
+      & info [ "window" ] ~docv:"US" ~doc:"Measurement window in us.")
+  in
+  Cmd.v
+    (Cmd.info "numa"
+       ~doc:
+         "Cross-cluster lock stress: measures hand-off locality (local vs \
+          remote) and worst-case waits for one lock algorithm. Compare \
+          cohort/hmcs/cna against h2.")
+    Term.(const run $ algo_arg $ clusters $ hold $ window)
+
 (* -- figure subcommand -------------------------------------------------------- *)
 
 let figure_cmd =
@@ -508,6 +563,7 @@ let figure_cmd =
     | "fault-matrix" -> Report.fault_matrix ppf (Experiments.fault_matrix ())
     | "verify" -> Report.verify ppf (Experiments.verify_suite ())
     | "obs" -> Report.obs ppf (Experiments.obs_profile ())
+    | "numa" -> Report.numa_locks ppf (Experiments.numa_locks ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -535,6 +591,7 @@ let main_cmd =
       storm_cmd;
       verify_cmd;
       trace_cmd;
+      numa_cmd;
       figure_cmd;
     ]
 

@@ -5,7 +5,9 @@
 open Locks
 open Workloads
 
-let schema_version = 1
+(* Version 2: added the "numa_locks" experiment (cross-cluster contention
+   with local/remote hand-off counts and worst-case waits). *)
+let schema_version = 2
 
 let default_names =
   [
@@ -19,6 +21,7 @@ let default_names =
     "fig7c";
     "fig7d";
     "constants";
+    "numa_locks";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -128,6 +131,25 @@ let fig7_json ~xlabel (series : Experiments.fig7_series list) =
             series));
     ]
 
+let numa_locks_json (rows : Experiments.numa_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.numa_point) ->
+         Json.Obj
+           [
+             ("algo", Json.String (Lock.algo_name r.Experiments.nalgo));
+             ("clusters", Json.Int r.Experiments.nclusters);
+             ("hold_us", Json.Float r.Experiments.nhold_us);
+             ("mean_us", Json.Float r.Experiments.nmean_us);
+             ("p99_us", Json.Float r.Experiments.np99_us);
+             ("acquisitions", Json.Int r.Experiments.nacqs);
+             ("local_handoffs", Json.Int r.Experiments.nlocal);
+             ("remote_handoffs", Json.Int r.Experiments.nremote);
+             ("remote_frac", Json.Float r.Experiments.nremote_frac);
+             ("max_wait_us", Json.Float r.Experiments.nmax_wait_us);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -158,6 +180,7 @@ let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
     | "fig7d" ->
       fig7_json ~xlabel:"cluster_size" (Experiments.fig7d ?cfg ?sizes ?rounds ())
     | "constants" -> constants_json (Experiments.constants ?cfg ())
+    | "numa_locks" -> numa_locks_json (Experiments.numa_locks ?cfg ())
     | other ->
       invalid_arg
         (Printf.sprintf "Bench_json.document: unknown experiment %S" other)

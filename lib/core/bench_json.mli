@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -22,9 +22,14 @@
         "fig7a".."fig7d": { xlabel,
                             series: [ {algo, points: [ {x, mean_us,
                               p99_us, retries, rpcs} ]} ] },
-        "constants":   {soft_fault_us, lockless_fault_us, ...}
+        "constants":   {soft_fault_us, lockless_fault_us, ...},
+        "numa_locks":  [ {algo, clusters, hold_us, mean_us, p99_us,
+                          acquisitions, local_handoffs, remote_handoffs,
+                          remote_frac, max_wait_us} ]
       } }
     v}
+    Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
+    composites vs flat MCS, with hand-off locality and worst-case waits).
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -34,7 +39,7 @@ open Hector
 val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
-    "constants"] — what a bare [--json] exports. *)
+    "constants"; "numa_locks"] — what a bare [--json] exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

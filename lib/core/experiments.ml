@@ -513,6 +513,63 @@ let verify_suite () =
       })
     (Verify_probes.run_all ())
 
+(* -- NUMA-LOCKS: cross-cluster contention, composites vs flat MCS ---------- *)
+
+type numa_point = {
+  nalgo : Lock.algo;
+  nclusters : int;
+  nhold_us : float;
+  nmean_us : float;
+  np99_us : float;
+  nacqs : int;
+  nlocal : int; (* contended hand-offs inside a cluster *)
+  nremote : int; (* contended hand-offs across clusters *)
+  nremote_frac : float; (* nremote / (nlocal + nremote); 0 if none *)
+  nmax_wait_us : float;
+}
+
+let numa_algos = Lock.Mcs_h2 :: Lock.all_numa_algos
+
+(* Flat MCS against the three NUMA composites, sweeping how finely 16
+   processors are clustered and how long the lock is held. The composites
+   must show a lower cross-cluster hand-off fraction whenever there is
+   more than one cluster; at hold > 0 the locality should also buy back
+   latency (the protected data stops migrating every hand-off). *)
+let numa_locks ?(cfg = Config.hector) ?(clusters = [ 1; 2; 4 ])
+    ?(holds_us = [ 0.0; 10.0 ]) () =
+  List.concat_map
+    (fun nalgo ->
+      List.concat_map
+        (fun n_clusters ->
+          List.map
+            (fun hold_us ->
+              let r =
+                Numa_stress.run ~cfg
+                  ~config:
+                    { Numa_stress.default_config with n_clusters; hold_us }
+                  nalgo
+              in
+              let local = r.Numa_stress.local_handoffs in
+              let remote = r.Numa_stress.remote_handoffs in
+              let total = local + remote in
+              {
+                nalgo;
+                nclusters = n_clusters;
+                nhold_us = hold_us;
+                nmean_us = r.Numa_stress.summary.Measure.mean_us;
+                np99_us = r.Numa_stress.summary.Measure.p99_us;
+                nacqs = r.Numa_stress.acquisitions;
+                nlocal = local;
+                nremote = remote;
+                nremote_frac =
+                  (if total = 0 then 0.0
+                   else float_of_int remote /. float_of_int total);
+                nmax_wait_us = r.Numa_stress.max_wait_us;
+              })
+            holds_us)
+        clusters)
+    numa_algos
+
 (* -- OBS: contention profile of the fault storm ---------------------------- *)
 
 type obs_result = { obs_rows : Obs.row list; obs_storm : Fault_storm.result }

@@ -199,6 +199,35 @@ type verify_row = {
 
 val verify_suite : unit -> verify_row list
 
+(** NUMA-LOCKS — cross-cluster contention: flat MCS against the NUMA-aware
+    composites (C-MCS-MCS cohort, HMCS, CNA), sweeping cluster count and
+    hold time on 16 processors. [nremote_frac] is the fraction of
+    contended hand-offs that crossed a cluster boundary — the composites'
+    figure of merit. *)
+
+type numa_point = {
+  nalgo : Lock.algo;
+  nclusters : int;
+  nhold_us : float;
+  nmean_us : float;
+  np99_us : float;
+  nacqs : int;
+  nlocal : int;  (** contended hand-offs inside a cluster *)
+  nremote : int;  (** contended hand-offs across clusters *)
+  nremote_frac : float;  (** nremote / (nlocal + nremote); 0 if none *)
+  nmax_wait_us : float;
+}
+
+(** The algorithms NUMA-LOCKS compares: flat H2-MCS plus the composites. *)
+val numa_algos : Lock.algo list
+
+val numa_locks :
+  ?cfg:Config.t ->
+  ?clusters:int list ->
+  ?holds_us:float list ->
+  unit ->
+  numa_point list
+
 (** OBS — the contention profile ({!Obs}) of a dosed fault storm: which
     lock class, on which cluster (station), burned the waiting cycles. *)
 

@@ -339,21 +339,44 @@ let verify ppf rows =
           r.Experiments.vfirst)
     rows
 
+let numa_locks ppf (rows : Experiments.numa_point list) =
+  section ppf "NUMA-LOCKS - cross-cluster contention (cohort/HMCS/CNA vs MCS)"
+    "16 processors hammer one lock, partitioned into clusters; NUMA-aware \
+     locks hand off within a cluster when they can, so the fraction of \
+     hand-offs crossing a cluster boundary - and with it the data's \
+     migration traffic - drops against flat MCS";
+  Format.fprintf ppf "%-15s %8s %9s %10s %9s %9s %9s %8s %10s@." "lock"
+    "clusters" "hold(us)" "mean(us)" "p99(us)" "local" "remote" "rem%"
+    "maxw(us)";
+  List.iter
+    (fun (r : Experiments.numa_point) ->
+      Format.fprintf ppf "%-15s %8d %9.0f %10.2f %9.1f %9d %9d %7.1f%% %10.1f@."
+        (Lock.algo_name r.Experiments.nalgo)
+        r.Experiments.nclusters r.Experiments.nhold_us r.Experiments.nmean_us
+        r.Experiments.np99_us r.Experiments.nlocal r.Experiments.nremote
+        (100.0 *. r.Experiments.nremote_frac)
+        r.Experiments.nmax_wait_us)
+    rows
+
 let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
   section ppf "OBS - where did the cycles go (dosed fault storm)"
     "the argument of Figures 5/7 is made by attributing waiting time to \
      specific locks; here every wait/hold cycle is charged to its lock \
      class and the waiting processor's cluster";
   let us c = Hector.Config.us_of_cycles cfg c in
-  Format.fprintf ppf "%-16s %-8s %9s %9s %12s %10s %12s %9s@." "class"
-    "cluster" "acqs" "cont" "wait(us)" "avg(us)" "hold(us)" "handoff";
+  Format.fprintf ppf "%-16s %-8s %9s %9s %12s %10s %10s %12s %9s %11s@."
+    "class" "cluster" "acqs" "cont" "wait(us)" "avg(us)" "maxw(us)" "hold(us)"
+    "handoff" "local/rem";
   let line name cluster (c : Obs.cells) =
-    Format.fprintf ppf "%-16s %-8s %9d %9d %12.1f %10.2f %12.1f %9d@." name
+    Format.fprintf ppf
+      "%-16s %-8s %9d %9d %12.1f %10.2f %10.1f %12.1f %9d %5d/%-5d@." name
       cluster c.Obs.acqs c.Obs.contended
       (us c.Obs.wait_cycles)
       (if c.Obs.acqs + c.Obs.contended = 0 then 0.0
        else us c.Obs.wait_cycles /. float_of_int (max c.Obs.acqs c.Obs.contended))
-      (us c.Obs.hold_cycles) c.Obs.handoffs
+      (us c.Obs.max_wait_cycles)
+      (us c.Obs.hold_cycles) c.Obs.handoffs c.Obs.handoffs_local
+      c.Obs.handoffs_remote
   in
   List.iter
     (fun (row : Obs.row) ->

@@ -65,5 +65,7 @@ val fault_matrix : Format.formatter -> Experiments.fault_row list -> unit
 
 val verify : Format.formatter -> Experiments.verify_row list -> unit
 
+val numa_locks : Format.formatter -> Experiments.numa_point list -> unit
+
 val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit

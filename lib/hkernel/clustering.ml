@@ -63,6 +63,12 @@ let home_in_cluster t ~cluster ~salt =
   let i = if i < 0 then i + len else i in
   (cluster * t.cluster_size) + i
 
+(* This clustering as the topology a NUMA-aware lock is built against
+   ([Lock.make ~topo]), so the lock's hand-off locality follows the
+   kernel's cluster boundaries rather than the hardware stations. *)
+let topo t =
+  Locks.Lock_core.topo ~n_clusters:t.n_clusters ~cluster_of:(cluster_of_proc t)
+
 let pp ppf t =
   Format.fprintf ppf "%d clusters of %d (over %d procs)" t.n_clusters
     t.cluster_size t.n_procs

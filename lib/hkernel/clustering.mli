@@ -29,4 +29,9 @@ val rpc_target : t -> from:int -> target_cluster:int -> int
     cluster's structures spread over its memory. *)
 val home_in_cluster : t -> cluster:int -> salt:int -> int
 
+(** This clustering as a lock topology: pass to [Lock.make ~topo] so a
+    NUMA-aware lock's hand-off locality follows the kernel's cluster
+    boundaries rather than the hardware stations. *)
+val topo : t -> Locks.Lock_core.topo
+
 val pp : Format.formatter -> t -> unit

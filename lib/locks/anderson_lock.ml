@@ -88,3 +88,32 @@ let release t ctx =
   Ctx.write ctx t.slots.((slot + 1) mod n) 1;
   Ctx.instr ctx ~br:1 ();
   Vhook.released ctx ~cls:t.vcls ~id:t.vid
+
+(* Core-interface view; [try_acquire] takes a slot and waits (slots cannot
+   be handed back). *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "Anderson"
+  let name _ = algo
+
+  let create ?(home = 0) ?(vclass = "anderson") machine = create ~home ~vclass machine
+  let acquire = acquire
+  let release = release
+
+  let try_acquire t ctx =
+    acquire t ctx;
+    true
+
+  let is_free = is_free
+
+  (* Slots issued past the holder's mean queued waiters. The tail counter is
+     monotonic, so compare against the holder's issue number modulo P. *)
+  let waiters t =
+    t.holder_slot >= 0
+    && Cell.peek t.tail mod Array.length t.slots
+       <> (t.holder_slot + 1) mod Array.length t.slots
+
+  let acquisitions = acquisitions
+  let vclass t = t.vcls
+end

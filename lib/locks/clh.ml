@@ -92,3 +92,28 @@ let release t ctx =
   t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
   t.pred_of_proc.(proc) <- -1;
   Vhook.released ctx ~cls:t.vcls ~id:t.vid
+
+(* Core-interface view. CLH has no cheap TryLock (the queue admits no
+   removal), so [try_acquire] enqueues and waits. *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "CLH"
+  let name _ = algo
+
+  let create ?(home = 0) ?(vclass = "clh") machine = create ~home ~vclass machine
+  let acquire = acquire
+  let release = release
+
+  let try_acquire t ctx =
+    acquire t ctx;
+    true
+
+  let is_free = is_free
+
+  (* The tail still pointing at a node other than the holder's means a
+     waiter enqueued behind it. *)
+  let waiters t = t.holder >= 0 && Cell.peek t.tail <> t.node_of_proc.(t.holder)
+  let acquisitions = acquisitions
+  let vclass t = t.vcls
+end

@@ -21,3 +21,7 @@ val is_free : t -> bool
 
 val acquire : t -> Ctx.t -> unit
 val release : t -> Ctx.t -> unit
+
+(** The {!Lock_core.S} view; [try_acquire] enqueues and waits (CLH has no
+    cheap TryLock). *)
+module Core : Lock_core.S with type t = t

@@ -1,0 +1,303 @@
+(* CNA (Compact NUMA-Aware lock, Dice & Kogan): a flat MCS queue whose
+   *release* is NUMA-aware. Instead of restructuring the lock into a tree
+   (HMCS) or stacking two locks (Cohort), the releaser scans the main queue
+   for the first waiter of its own cluster, hands the lock to it, and moves
+   the skipped remote-cluster prefix onto a secondary queue. Waiters spin
+   exactly as in MCS and need no extra per-lock state — the NUMA policy
+   lives entirely in the release path, which is why the lock stays
+   "compact": 3 words of lock state plus the usual per-processor nodes.
+
+   Starvation bound (the escape hatch): [passes] counts consecutive
+   same-cluster hand-offs. Once it reaches [threshold] while the secondary
+   queue is non-empty, the secondary chain is spliced back *in front of*
+   the main queue and the lock goes to its head — so a moved waiter is
+   overtaken by at most [threshold] + 1 critical sections. The secondary
+   queue is also flushed whenever the lock leaves the cluster anyway (no
+   same-cluster waiter found) and when the main queue drains; both keep the
+   invariant that every secondary node is remote to the cluster currently
+   holding the lock.
+
+   Only the lock holder ever touches the secondary queue and the pass
+   counter, so they are plain host-side fields here; every queue-link
+   mutation is a timed cell write, and the scan pays a timed read per
+   examined node — the traffic a real CNA release generates.
+
+   Fetch&store only: the empty-queue paths reuse the MCS repair protocol
+   (victims re-installed, grafting behind usurpers), including when
+   re-installing the secondary chain as the new main queue. *)
+
+open Hector
+
+let default_threshold = 16
+
+type qnode = {
+  next : Cell.t; (* successor qnode id; 0 = nil *)
+  locked : Cell.t; (* 1 = wait, 0 = go *)
+  owner : int;
+  cluster : int;
+}
+
+type t = {
+  threshold : int;
+  cluster_of : int -> int;
+  tail : Cell.t; (* the lock word: id of the queue tail, 0 = free *)
+  nodes : qnode array; (* one per processor *)
+  machine : Machine.t;
+  mutable sec_head : int; (* secondary queue of skipped remote waiters *)
+  mutable sec_tail : int;
+  mutable passes : int; (* consecutive same-cluster hand-offs *)
+  mutable holder : int; (* processor in the critical section; -1 = none *)
+  mutable acquisitions : int;
+  mutable local_handoffs : int; (* hand-offs to a same-cluster waiter *)
+  mutable remote_handoffs : int; (* hand-offs that left the cluster *)
+  mutable moved : int; (* waiters moved onto the secondary queue *)
+  mutable flushes : int; (* secondary-queue splices back into service *)
+  mutable repairs : int;
+  mutable grafts : int;
+  vcls : Verify.lock_class;
+  vid : int;
+}
+
+let nil = 0
+
+let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "cna")
+    ~(topo : Lock_core.topo) machine =
+  if threshold < 1 then invalid_arg "Cna.create: threshold must be >= 1";
+  let n = Machine.n_procs machine in
+  let cluster_of = topo.Lock_core.cluster_of in
+  {
+    threshold;
+    cluster_of;
+    tail = Machine.alloc machine ~label:"cna.tail" ~home nil;
+    nodes =
+      Array.init n (fun p ->
+          let c = cluster_of p in
+          if c < 0 || c >= topo.Lock_core.n_clusters then
+            invalid_arg "Cna.create: cluster_of out of range";
+          {
+            next =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "cna.qn%d.next" p)
+                ~home:p nil;
+            locked =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "cna.qn%d.locked" p)
+                ~home:p 1;
+            owner = p;
+            cluster = c;
+          });
+    machine;
+    sec_head = nil;
+    sec_tail = nil;
+    passes = 0;
+    holder = -1;
+    acquisitions = 0;
+    local_handoffs = 0;
+    remote_handoffs = 0;
+    moved = 0;
+    flushes = 0;
+    repairs = 0;
+    grafts = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
+  }
+
+let name _ = "CNA"
+let vclass t = t.vcls
+let acquisitions t = t.acquisitions
+let local_handoffs t = t.local_handoffs
+let remote_handoffs t = t.remote_handoffs
+let moved t = t.moved
+let flushes t = t.flushes
+let repairs t = t.repairs
+let grafts t = t.grafts
+
+let qid p = p + 1
+let qnode t id = t.nodes.(id - 1)
+
+let is_free t = t.holder = -1 && Cell.peek t.tail = nil && t.sec_head = nil
+
+let waiters t =
+  t.holder >= 0 && (Cell.peek t.tail <> qid t.holder || t.sec_head <> nil)
+
+let got_lock t ctx =
+  assert (t.holder = -1);
+  t.holder <- Ctx.proc ctx;
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+
+(* The acquire side is stock MCS — that is CNA's point. *)
+let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
+  let p = Ctx.proc ctx in
+  let me = t.nodes.(p) in
+  Ctx.write ctx me.next nil;
+  let pred = Ctx.fetch_and_store ctx t.tail (qid p) in
+  Ctx.instr ctx ~reg:2 ~br:2 ();
+  if pred <> nil then begin
+    Ctx.write ctx me.locked 1;
+    Ctx.write ctx (qnode t pred).next (qid p);
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    let rec spin () =
+      let v = Ctx.read ctx me.locked in
+      Ctx.instr ctx ~br:1 ();
+      if v <> 0 then spin ()
+    in
+    spin ()
+  end;
+  got_lock t ctx
+
+let hand_off t ctx succ_id = Ctx.write ctx (qnode t succ_id).locked 0
+
+(* Append the already-linked chain [first .. last] to the secondary
+   queue. The chain's links are live cells; only the join is written. *)
+let append_secondary t ctx ~first ~last =
+  if t.sec_head = nil then t.sec_head <- first
+  else Ctx.write ctx (qnode t t.sec_tail).next first;
+  t.sec_tail <- last
+
+(* Splice the secondary queue in front of [head_id] (the main-queue head)
+   and hand the lock to the secondary's own head. Used by the escape hatch
+   and by hand-offs that leave the cluster anyway. *)
+let flush_secondary_before t ctx head_id =
+  let h = t.sec_head in
+  Ctx.write ctx (qnode t t.sec_tail).next head_id;
+  t.sec_head <- nil;
+  t.sec_tail <- nil;
+  t.flushes <- t.flushes + 1;
+  t.passes <- 0;
+  t.remote_handoffs <- t.remote_handoffs + 1;
+  hand_off t ctx h
+
+(* Hand the lock onward given the main-queue head [succ_id], applying the
+   NUMA policy: prefer a same-cluster waiter, move the skipped prefix to
+   the secondary queue, respect the starvation bound. [my_cluster] is the
+   releasing processor's cluster. *)
+let dispatch t ctx ~my_cluster succ_id =
+  Ctx.instr ctx ~br:1 ();
+  if t.sec_head <> nil && t.passes >= t.threshold then
+    (* Escape hatch: the moved waiters have been overtaken [threshold]
+       times; put them first. *)
+    flush_secondary_before t ctx succ_id
+  else begin
+    (* Scan the linked part of the queue for the first same-cluster
+       waiter. [prev] trails [cur]; the prefix [succ_id .. prev] is remote
+       when a local waiter is found at [cur]. *)
+    let rec scan prev cur n_skipped =
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      if (qnode t cur).cluster = my_cluster then begin
+        if prev <> nil then begin
+          (* Cut the remote prefix out of the main queue and bank it. *)
+          t.moved <- t.moved + n_skipped;
+          Ctx.write ctx (qnode t prev).next nil;
+          append_secondary t ctx ~first:succ_id ~last:prev
+        end;
+        t.passes <- t.passes + 1;
+        t.local_handoffs <- t.local_handoffs + 1;
+        hand_off t ctx cur
+      end
+      else begin
+        let nxt = Ctx.read ctx (qnode t cur).next in
+        Ctx.instr ctx ~br:1 ();
+        if nxt = nil then begin
+          (* No same-cluster waiter in the linked chain (the true tail may
+             still be mid-enqueue; skipping it would be unsafe). The lock
+             leaves the cluster: flush the secondary queue ahead of the
+             untouched main queue, or hand to the head directly. *)
+          if t.sec_head <> nil then flush_secondary_before t ctx succ_id
+          else begin
+            t.passes <- 0;
+            t.remote_handoffs <- t.remote_handoffs + 1;
+            hand_off t ctx succ_id
+          end
+        end
+        else scan cur nxt (n_skipped + 1)
+      end
+    in
+    scan nil succ_id 1
+  end
+
+let release t ctx =
+  let p = Ctx.proc ctx in
+  let me = t.nodes.(p) in
+  let my_cluster = me.cluster in
+  assert (t.holder = p);
+  t.holder <- -1;
+  let succ = Ctx.read ctx me.next in
+  Ctx.instr ctx ~br:1 ();
+  (* Hook after the successor read but before anything that can transfer
+     the lock, so an observer orders our release before the successor's
+     acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
+  if succ <> nil then dispatch t ctx ~my_cluster succ
+  else begin
+    let old_tail = Ctx.fetch_and_store ctx t.tail nil in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if old_tail = qid p then begin
+      (* Main queue drained. If skipped waiters are banked, re-install
+         their chain as the new main queue and wake its head; a usurper
+         that enqueued on the momentarily-empty queue holds the lock, so
+         graft the chain behind it instead. *)
+      if t.sec_head <> nil then begin
+        let h = t.sec_head and last = t.sec_tail in
+        t.sec_head <- nil;
+        t.sec_tail <- nil;
+        t.flushes <- t.flushes + 1;
+        t.passes <- 0;
+        let usurper = Ctx.fetch_and_store ctx t.tail last in
+        Ctx.instr ctx ~br:1 ();
+        if usurper <> nil then begin
+          t.grafts <- t.grafts + 1;
+          Ctx.write ctx (qnode t usurper).next h
+        end
+        else begin
+          t.remote_handoffs <- t.remote_handoffs + 1;
+          hand_off t ctx h
+        end
+      end
+      else t.passes <- 0
+    end
+    else begin
+      (* The fetch&store removed waiters: standard MCS repair, then apply
+         the NUMA policy to the re-installed head. *)
+      t.repairs <- t.repairs + 1;
+      let usurper = Ctx.fetch_and_store ctx t.tail old_tail in
+      Ctx.instr ctx ~br:1 ();
+      let rec wait_next () =
+        let v = Ctx.read ctx me.next in
+        Ctx.instr ctx ~br:1 ();
+        if v = nil then wait_next () else v
+      in
+      let victim = wait_next () in
+      if usurper <> nil then begin
+        t.grafts <- t.grafts + 1;
+        Ctx.write ctx (qnode t usurper).next victim
+      end
+      else dispatch t ctx ~my_cluster victim
+    end
+  end
+
+(* Core-interface view; [create] clusters by hardware station and
+   [try_acquire] enqueues and waits (an abandonment protocol would have to
+   reach into the secondary queue too). *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "CNA"
+  let name = name
+
+  let create ?(home = 0) ?(vclass = "cna") machine =
+    create ~home ~vclass ~topo:(Lock_core.topo_of_machine machine) machine
+
+  let acquire = acquire
+  let release = release
+
+  let try_acquire t ctx =
+    acquire t ctx;
+    true
+
+  let is_free = is_free
+  let waiters = waiters
+  let acquisitions = acquisitions
+  let vclass = vclass
+end

@@ -1,0 +1,50 @@
+(** CNA (Compact NUMA-Aware lock, Dice & Kogan): MCS with a NUMA-aware
+    release — the releaser hands the lock to the first waiter of its own
+    cluster and moves the skipped remote waiters onto a secondary queue,
+    spliced back in after [threshold] consecutive local hand-offs (the
+    starvation bound), when the lock leaves the cluster, or when the main
+    queue drains. The acquire path and the per-processor spin are stock
+    MCS; the lock itself stays three words. *)
+
+open Hector
+
+type t
+
+(** Raises [Invalid_argument] if [threshold < 1] or [topo] does not cover
+    the machine's processors. *)
+val create :
+  ?home:int ->
+  ?threshold:int ->
+  ?vclass:string ->
+  topo:Lock_core.topo ->
+  Machine.t ->
+  t
+
+val default_threshold : int
+
+val name : t -> string
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit
+val is_free : t -> bool
+val waiters : t -> bool
+val acquisitions : t -> int
+
+(** Hand-offs to a same-cluster waiter. *)
+val local_handoffs : t -> int
+
+(** Hand-offs that left the cluster (including secondary-queue flushes). *)
+val remote_handoffs : t -> int
+
+(** Waiters moved onto the secondary queue. *)
+val moved : t -> int
+
+(** Secondary-queue splices back into service. *)
+val flushes : t -> int
+
+val repairs : t -> int
+val grafts : t -> int
+val vclass : t -> Verify.lock_class
+
+(** The {!Lock_core.S} view; [create] clusters by hardware station and
+    [try_acquire] enqueues and waits. *)
+module Core : Lock_core.S with type t = t

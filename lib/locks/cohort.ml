@@ -1,0 +1,249 @@
+(* Lock cohorting (Dice, Marathe & Shavit): a generic combinator that
+   turns any per-cluster local lock plus any global lock into a NUMA-aware
+   lock.
+
+   The composite's invariant: a processor is in the critical section iff it
+   holds its cluster's local lock AND its cluster owns the global lock.
+   Ownership of the global lock is a *cluster* property ([owned]): a
+   releaser that sees local waiters hands the local lock over without
+   touching the global one, so the lock — and the data it protects — stay
+   in the cluster's memory across consecutive critical sections. That is
+   the paper's hierarchical-clustering insight pushed into the lock itself:
+   hand-offs are cluster-local until either the cohort drains or the
+   [max_handoffs] fairness bound trips, and only then does the global lock
+   change hands (one cross-cluster transfer per cohort session instead of
+   one per critical section).
+
+   The combinator works over {!Lock_core.packed}, so the constituent
+   algorithms can be chosen at runtime ([Lock.make]); the {!Make} functor
+   is the statically-typed face over the same engine. Requirements on the
+   constituents (the cohorting paper's terms):
+   - the global lock must be *thread-oblivious* — acquired by one processor
+     of a cluster, released by another. Every lock in this library
+     qualifies: their release paths work from the releasing context, not a
+     remembered owner. (Their [holder] bookkeeping is assertion-only and
+     updated on every hand-off.)
+   - the local lock must answer "is anyone behind me?" ([waiters]); a
+     conservative [false] (spin locks) degrades locality, never safety.
+
+   One hazard is specific to this simulator's MCS TryLock: a failed
+   composite [try_acquire] can leave an abandoned node in the local queue,
+   so a pass-release may hand the local lock to a node whose owner already
+   left; the local release then GC-collects it and the local lock comes out
+   *free* while the cluster still owns the global lock. The pass therefore
+   uses an explicit handshake: the releaser raises [pass_pending] before
+   releasing the local lock, and whoever completes a local acquire lowers
+   it (host-side, in the same step its acquire returns). A pass that comes
+   back with the flag still raised *and* the local lock free reached
+   nobody, and is demoted to a full release. Checking [is_free] alone
+   would be wrong: the local release's own trailing timed operations (the
+   H1/H2 deferred re-initialisation) let the successor run — it can take
+   the pass, do a full release of its own and leave the local lock free,
+   and the demote would then release the global lock a second time. The
+   flag distinguishes "nobody took it" from "taken and already gone". *)
+
+open Hector
+
+let default_max_handoffs = 16
+
+type t = {
+  cname : string;
+  locals : Lock_core.packed array; (* one per cluster *)
+  global : Lock_core.packed;
+  owned : bool array; (* cluster currently owns the global lock *)
+  passes : int array; (* consecutive local hand-offs this cohort session *)
+  pass_pending : bool array; (* a local hand-off is in flight, not yet taken *)
+  max_handoffs : int;
+  cluster_of : int -> int;
+  mutable acquisitions : int;
+  mutable local_handoffs : int; (* pass-releases: global stayed put *)
+  mutable global_releases : int; (* full releases: global changed hands *)
+  vcls : Verify.lock_class;
+  vid : int;
+}
+
+(* The lowest processor of each cluster, for homing that cluster's local
+   lock in cluster-local memory. *)
+let cluster_homes machine (topo : Lock_core.topo) =
+  let n = Machine.n_procs machine in
+  let homes = Array.make topo.Lock_core.n_clusters (-1) in
+  for p = n - 1 downto 0 do
+    let c = topo.Lock_core.cluster_of p in
+    if c >= 0 && c < Array.length homes then homes.(c) <- p
+  done;
+  Array.iteri
+    (fun c h ->
+      if h < 0 then
+        invalid_arg (Printf.sprintf "Cohort: cluster %d has no processors" c))
+    homes;
+  homes
+
+let create_packed ?(vclass = "cohort") ?(max_handoffs = default_max_handoffs)
+    ~name ~topo ~local ~global machine =
+  if max_handoffs < 1 then
+    invalid_arg "Cohort: max_handoffs must be at least 1";
+  let homes = cluster_homes machine topo in
+  {
+    cname = name;
+    locals =
+      Array.init topo.Lock_core.n_clusters (fun c ->
+          local ~cluster:c ~home:homes.(c) ~vclass:(vclass ^ ".local"));
+    global = global ~vclass:(vclass ^ ".global");
+    owned = Array.make topo.Lock_core.n_clusters false;
+    passes = Array.make topo.Lock_core.n_clusters 0;
+    pass_pending = Array.make topo.Lock_core.n_clusters false;
+    max_handoffs;
+    cluster_of = topo.Lock_core.cluster_of;
+    acquisitions = 0;
+    local_handoffs = 0;
+    global_releases = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
+  }
+
+let name t = t.cname
+let acquisitions t = t.acquisitions
+let local_handoffs t = t.local_handoffs
+let global_releases t = t.global_releases
+let vclass t = t.vcls
+
+let is_free t =
+  Lock_core.p_is_free t.global
+  && Array.for_all Lock_core.p_is_free t.locals
+  && not (Array.exists Fun.id t.owned)
+
+let waiters t =
+  Array.exists Lock_core.p_waiters t.locals
+  || Lock_core.p_waiters t.global
+
+let cluster t ctx = t.cluster_of (Ctx.proc ctx)
+
+let got_lock t ctx =
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+
+let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
+  let c = cluster t ctx in
+  Lock_core.p_acquire t.locals.(c) ctx;
+  (* Accept any in-flight pass before the next timed operation: the
+     releaser's demote check must see either the flag lowered or the local
+     lock still occupied (see the header). *)
+  t.pass_pending.(c) <- false;
+  (* [owned] is only ever read or written by the holder of cluster [c]'s
+     local lock, so this host-side check cannot race. *)
+  Ctx.instr ctx ~br:1 ();
+  if not t.owned.(c) then begin
+    Lock_core.p_acquire t.global ctx;
+    t.owned.(c) <- true;
+    t.passes.(c) <- 0
+  end;
+  got_lock t ctx
+
+let try_acquire t ctx =
+  let c = cluster t ctx in
+  if not (Lock_core.p_try_acquire t.locals.(c) ctx) then false
+  else begin
+    t.pass_pending.(c) <- false;
+    Ctx.instr ctx ~br:1 ();
+    if t.owned.(c) then begin
+      got_lock t ctx;
+      true
+    end
+    else if Lock_core.p_try_acquire t.global ctx then begin
+      t.owned.(c) <- true;
+      t.passes.(c) <- 0;
+      got_lock t ctx;
+      true
+    end
+    else begin
+      (* Could not take the global lock: give the local one back. *)
+      Lock_core.p_release t.locals.(c) ctx;
+      false
+    end
+  end
+
+(* Full release: the cohort session ends, the global lock changes hands.
+   [owned] goes false before the global release's first timed operation, so
+   a cluster-mate that acquires the local lock mid-release already sees it
+   down and competes for the global lock itself. *)
+let release_global_then_local t ctx c =
+  t.owned.(c) <- false;
+  t.passes.(c) <- 0;
+  t.global_releases <- t.global_releases + 1;
+  Lock_core.p_release t.global ctx;
+  Lock_core.p_release t.locals.(c) ctx
+
+let release t ctx =
+  let c = cluster t ctx in
+  let may_pass =
+    t.passes.(c) < t.max_handoffs && Lock_core.p_waiters t.locals.(c)
+  in
+  Ctx.instr ctx ~br:1 ();
+  (* The released hook runs just before whichever constituent release can
+     transfer the lock, so an observer sees our release before the
+     successor's acquisition — and never the reverse. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
+  if may_pass then begin
+    (* Local hand-off: keep the global lock with the cluster. *)
+    t.passes.(c) <- t.passes.(c) + 1;
+    t.pass_pending.(c) <- true;
+    Lock_core.p_release t.locals.(c) ctx;
+    (* The waiter the hint saw may have been an abandoned TryLock node the
+       release just collected. If nobody accepted the pass ([pass_pending]
+       still raised) and the local lock came out free, the cohort session
+       is over: demote to a full release of the global lock. An acquirer
+       that slips in after this check finds [owned] already false. *)
+    if t.pass_pending.(c) && Lock_core.p_is_free t.locals.(c) then begin
+      t.pass_pending.(c) <- false;
+      t.owned.(c) <- false;
+      t.passes.(c) <- 0;
+      t.global_releases <- t.global_releases + 1;
+      Lock_core.p_release t.global ctx
+    end
+    else t.local_handoffs <- t.local_handoffs + 1
+  end
+  else release_global_then_local t ctx c
+
+(* The statically-typed face: one functor application per (local, global)
+   algorithm pair, each yielding a full {!Lock_core.S} — so cohorts
+   compose (a cohort can be the local or global side of another). *)
+module Make (Local : Lock_core.S) (Global : Lock_core.S) = struct
+  type nonrec t = t
+
+  let algo = Printf.sprintf "C-%s-%s" Local.algo Global.algo
+
+  let create_with ?(home = 0) ?vclass ?max_handoffs ~topo machine =
+    ignore home;
+    create_packed ?vclass ?max_handoffs ~name:algo ~topo
+      ~local:(fun ~cluster:_ ~home ~vclass ->
+        Lock_core.pack (module Local) (Local.create ~home ~vclass machine))
+      ~global:(fun ~vclass ->
+        Lock_core.pack (module Global) (Global.create ~home:0 ~vclass machine))
+      machine
+
+  let create ?home ?vclass machine =
+    create_with ?home ?vclass ~topo:(Lock_core.topo_of_machine machine) machine
+
+  let name = name
+  let acquire = acquire
+  let release = release
+  let try_acquire = try_acquire
+  let is_free = is_free
+  let waiters = waiters
+  let acquisitions = acquisitions
+  let vclass = vclass
+  let local_handoffs = local_handoffs
+  let global_releases = global_releases
+end
+
+(* The paper-faithful instance: MCS at both levels (C-MCS-MCS), the
+   configuration the cohorting paper benchmarks against flat MCS. The
+   constituents are the H1 variant: H2's always-fetch&store release opens a
+   repair window on every local hand-off, and under the cohort's longer
+   release path (the global hand-off's fixed-length stretch) that window
+   resonates with re-enqueue timing — a recently served processor usurps
+   the local queue every session and the queued cluster-mates starve. H1
+   hands off directly whenever the successor link is visible, so a deep
+   local queue never opens the window. *)
+module C_mcs_mcs = Make (Mcs.Core_h1) (Mcs.Core_h1)

@@ -1,0 +1,75 @@
+(** Lock cohorting (Dice, Marathe & Shavit): compose any per-cluster local
+    lock with any global lock into a NUMA-aware lock. A releaser that sees
+    same-cluster waiters hands over only the local lock, so the global lock
+    — and the protected data — migrate across clusters once per cohort
+    session instead of once per critical section. [max_handoffs] bounds
+    consecutive local hand-offs so remote clusters are not starved. *)
+
+open Hector
+
+type t
+
+(** Runtime-composed constructor used by [Lock.make]: [local] builds one
+    constituent per cluster (homed at the cluster's lowest processor),
+    [global] builds the top-level lock. Raises [Invalid_argument] if
+    [max_handoffs < 1] or some cluster has no processors. *)
+val create_packed :
+  ?vclass:string ->
+  ?max_handoffs:int ->
+  name:string ->
+  topo:Lock_core.topo ->
+  local:(cluster:int -> home:int -> vclass:string -> Lock_core.packed) ->
+  global:(vclass:string -> Lock_core.packed) ->
+  Machine.t ->
+  t
+
+val default_max_handoffs : int
+
+val name : t -> string
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit
+val try_acquire : t -> Ctx.t -> bool
+val is_free : t -> bool
+val waiters : t -> bool
+val acquisitions : t -> int
+
+(** Pass-releases where the global lock stayed with the cluster. *)
+val local_handoffs : t -> int
+
+(** Full releases where the global lock changed hands. *)
+val global_releases : t -> int
+
+val vclass : t -> Verify.lock_class
+
+(** Statically-typed instances: [Make (Local) (Global)] is a full
+    {!Lock_core.S} (so cohorts compose), plus cohort-specific extras. *)
+module Make (_ : Lock_core.S) (_ : Lock_core.S) : sig
+  include Lock_core.S with type t = t
+
+  val create_with :
+    ?home:int ->
+    ?vclass:string ->
+    ?max_handoffs:int ->
+    topo:Lock_core.topo ->
+    Machine.t ->
+    t
+
+  val local_handoffs : t -> int
+  val global_releases : t -> int
+end
+
+(** The paper-faithful instance: MCS at both levels (C-MCS-MCS). *)
+module C_mcs_mcs : sig
+  include Lock_core.S with type t = t
+
+  val create_with :
+    ?home:int ->
+    ?vclass:string ->
+    ?max_handoffs:int ->
+    topo:Lock_core.topo ->
+    Machine.t ->
+    t
+
+  val local_handoffs : t -> int
+  val global_releases : t -> int
+end

@@ -1,0 +1,320 @@
+(* HMCS (Chabbi, Fagan & Mellor-Crummey): a hierarchical MCS lock built as
+   a two-level tree of MCS queues — one local queue per cluster plus one
+   root queue whose nodes represent whole clusters.
+
+   Where {!Cohort} composes two opaque locks and needs a side flag
+   ([owned]) plus a waiter hint, HMCS fuses the levels: the word a local
+   waiter spins on *is* the hand-off channel, and its value carries the
+   protocol state. A waiter is released with
+   - a value in [1, threshold]: the lock arrives with the root already
+     held by this cluster; the value is the running count of consecutive
+     local hand-offs (the paper's curcount), so the fairness bound needs
+     no extra word or host-side state;
+   - [acquire_parent] (= threshold + 1): the previous local head exhausted
+     the budget or the root must change hands; the waiter becomes the new
+     local head and must acquire the root queue itself.
+
+   The root level is a plain MCS queue over per-cluster nodes: only a
+   cluster's current local head ever touches its cluster's root node, so
+   one node per cluster suffices. Both levels use the fetch&store-only
+   repair protocol of {!Mcs} (HECTOR has no compare&swap): a release that
+   dequeued waiters by accident re-installs them, grafting them behind any
+   usurper that slipped in.
+
+   Space: 1 (root tail) + 3 per cluster (root node + local tail)
+   + 2 per processor (local node). *)
+
+open Hector
+
+let default_threshold = 16
+
+type qnode = {
+  next : Cell.t; (* successor qnode id; 0 = nil *)
+  locked : Cell.t; (* 0 = wait; 1..threshold = go, root held, pass count;
+                      threshold + 1 = go, acquire the root yourself *)
+  owner : int;
+}
+
+type cnode = {
+  cnext : Cell.t; (* successor cnode id; 0 = nil *)
+  clocked : Cell.t; (* 1 = wait, 0 = go *)
+}
+
+type t = {
+  threshold : int;
+  n_clusters : int;
+  cluster_of : int -> int;
+  root_tail : Cell.t; (* cnode id of the root-queue tail; 0 = free *)
+  cnodes : cnode array; (* one per cluster *)
+  local_tails : Cell.t array; (* qnode id of each cluster's tail; 0 = free *)
+  nodes : qnode array; (* one per processor *)
+  machine : Machine.t;
+  mutable holder : int; (* processor in the critical section; -1 = none *)
+  mutable acquisitions : int;
+  mutable local_passes : int; (* hand-offs that kept the root in-cluster *)
+  mutable global_releases : int; (* releases that gave up the root *)
+  mutable repairs : int; (* fetch&store removed waiters; queue re-installed *)
+  mutable grafts : int; (* repairs that found a usurper *)
+  vcls : Verify.lock_class;
+  vid : int;
+}
+
+let nil = 0
+let w_wait = 0
+
+let acquire_parent t = t.threshold + 1
+
+let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "hmcs")
+    ~(topo : Lock_core.topo) machine =
+  if threshold < 1 then invalid_arg "Hmcs.create: threshold must be >= 1";
+  let n = Machine.n_procs machine in
+  let n_clusters = topo.Lock_core.n_clusters in
+  let cluster_of = topo.Lock_core.cluster_of in
+  (* Home each cluster's root node and tail at its lowest processor, each
+     processor's queue node in its own memory (local spinning). *)
+  let cluster_home = Array.make n_clusters home in
+  for p = n - 1 downto 0 do
+    let c = cluster_of p in
+    if c < 0 || c >= n_clusters then
+      invalid_arg "Hmcs.create: cluster_of out of range";
+    cluster_home.(c) <- p
+  done;
+  {
+    threshold;
+    n_clusters;
+    cluster_of;
+    root_tail = Machine.alloc machine ~label:"hmcs.root" ~home nil;
+    cnodes =
+      Array.init n_clusters (fun c ->
+          {
+            cnext =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "hmcs.cn%d.next" c)
+                ~home:cluster_home.(c) nil;
+            clocked =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "hmcs.cn%d.locked" c)
+                ~home:cluster_home.(c) 1;
+          })
+      ;
+    local_tails =
+      Array.init n_clusters (fun c ->
+          Machine.alloc machine
+            ~label:(Printf.sprintf "hmcs.tail%d" c)
+            ~home:cluster_home.(c) nil);
+    nodes =
+      Array.init n (fun p ->
+          {
+            next =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "hmcs.qn%d.next" p)
+                ~home:p nil;
+            locked =
+              Machine.alloc machine
+                ~label:(Printf.sprintf "hmcs.qn%d.locked" p)
+                ~home:p w_wait;
+            owner = p;
+          });
+    machine;
+    holder = -1;
+    acquisitions = 0;
+    local_passes = 0;
+    global_releases = 0;
+    repairs = 0;
+    grafts = 0;
+    vcls = Verify.lock_class vclass;
+    vid = Verify.fresh_id ();
+  }
+
+let name _ = "HMCS"
+let vclass t = t.vcls
+let acquisitions t = t.acquisitions
+let local_passes t = t.local_passes
+let global_releases t = t.global_releases
+let repairs t = t.repairs
+let grafts t = t.grafts
+
+(* Qnode ids are 1-based processor numbers; cnode ids 1-based cluster
+   numbers. *)
+let qid p = p + 1
+let qnode t id = t.nodes.(id - 1)
+let cid c = c + 1
+let cnode t id = t.cnodes.(id - 1)
+
+let is_free t =
+  t.holder = -1
+  && Cell.peek t.root_tail = nil
+  && Array.for_all (fun tl -> Cell.peek tl = nil) t.local_tails
+
+let waiters t =
+  t.holder >= 0
+  &&
+  let hc = t.cluster_of t.holder in
+  let expected c = if c = hc then qid t.holder else nil in
+  let found = ref false in
+  Array.iteri
+    (fun c tl -> if Cell.peek tl <> expected c then found := true)
+    t.local_tails;
+  !found
+
+let got_lock t ctx =
+  assert (t.holder = -1);
+  t.holder <- Ctx.proc ctx;
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+
+(* Plain MCS acquire on the root queue, entered by cluster [c]'s current
+   local head. *)
+let acquire_root t ctx c =
+  let cn = t.cnodes.(c) in
+  Ctx.write ctx cn.cnext nil;
+  Ctx.write ctx cn.clocked 1;
+  let pred = Ctx.fetch_and_store ctx t.root_tail (cid c) in
+  Ctx.instr ctx ~reg:1 ~br:1 ();
+  if pred <> nil then begin
+    Ctx.write ctx (cnode t pred).cnext (cid c);
+    let rec spin () =
+      let v = Ctx.read ctx cn.clocked in
+      Ctx.instr ctx ~br:1 ();
+      if v <> 0 then spin ()
+    in
+    spin ()
+  end
+
+(* Plain MCS release on the root queue, with the fetch&store repair. *)
+let release_root t ctx c =
+  let cn = t.cnodes.(c) in
+  let succ = Ctx.read ctx cn.cnext in
+  Ctx.instr ctx ~br:1 ();
+  if succ <> nil then Ctx.write ctx (cnode t succ).clocked 0
+  else begin
+    let old_tail = Ctx.fetch_and_store ctx t.root_tail nil in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if old_tail <> cid c then begin
+      t.repairs <- t.repairs + 1;
+      let usurper = Ctx.fetch_and_store ctx t.root_tail old_tail in
+      Ctx.instr ctx ~br:1 ();
+      let rec wait_next () =
+        let v = Ctx.read ctx cn.cnext in
+        Ctx.instr ctx ~br:1 ();
+        if v = nil then wait_next () else v
+      in
+      let victim = wait_next () in
+      if usurper <> nil then begin
+        t.grafts <- t.grafts + 1;
+        Ctx.write ctx (cnode t usurper).cnext victim
+      end
+      else Ctx.write ctx (cnode t victim).clocked 0
+    end
+  end
+
+let acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
+  let p = Ctx.proc ctx in
+  let c = t.cluster_of p in
+  let me = t.nodes.(p) in
+  Ctx.write ctx me.next nil;
+  Ctx.write ctx me.locked w_wait;
+  let pred = Ctx.fetch_and_store ctx t.local_tails.(c) (qid p) in
+  Ctx.instr ctx ~reg:2 ~br:2 ();
+  if pred = nil then begin
+    (* Local head of a fresh cohort: pass count starts at 1, then compete
+       for the root on the cluster's behalf. *)
+    Ctx.write ctx me.locked 1;
+    acquire_root t ctx c
+  end
+  else begin
+    Ctx.write ctx (qnode t pred).next (qid p);
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    let rec spin () =
+      let v = Ctx.read ctx me.locked in
+      Ctx.instr ctx ~br:1 ();
+      if v = w_wait then spin () else v
+    in
+    let v = spin () in
+    if v = acquire_parent t then begin
+      (* The previous head gave up the root (budget exhausted or cohort
+         drained elsewhere): we are the new local head. *)
+      Ctx.write ctx me.locked 1;
+      acquire_root t ctx c
+    end
+    (* else v in [1, threshold]: the root came with the hand-off. *)
+  end;
+  got_lock t ctx
+
+let release t ctx =
+  let p = Ctx.proc ctx in
+  let c = t.cluster_of p in
+  let me = t.nodes.(p) in
+  assert (t.holder = p);
+  t.holder <- -1;
+  let curcount = Ctx.read ctx me.locked in
+  let succ = Ctx.read ctx me.next in
+  Ctx.instr ctx ~reg:1 ~br:2 ();
+  (* Hook after the protocol reads but before anything that can transfer
+     the lock (the local pass write, or the root release waking another
+     cluster), so an observer orders our release before the successor's
+     acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
+  if succ <> nil && curcount < t.threshold then begin
+    (* Pass within the cluster: the root stays put, the successor inherits
+       the incremented pass count. *)
+    t.local_passes <- t.local_passes + 1;
+    Ctx.write ctx (qnode t succ).locked (curcount + 1)
+  end
+  else begin
+    (* Give up the root first, then hand local headship over (the paper's
+       order: the next head re-acquires the root, possibly behind other
+       clusters that were waiting). *)
+    release_root t ctx c;
+    t.global_releases <- t.global_releases + 1;
+    if succ <> nil then Ctx.write ctx (qnode t succ).locked (acquire_parent t)
+    else begin
+      let old_tail = Ctx.fetch_and_store ctx t.local_tails.(c) nil in
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      if old_tail <> qid p then begin
+        (* The fetch&store removed waiters: re-install them, grafting
+           behind any usurper (who, having seen an empty queue, made itself
+           local head and is acquiring the root). *)
+        t.repairs <- t.repairs + 1;
+        let usurper = Ctx.fetch_and_store ctx t.local_tails.(c) old_tail in
+        Ctx.instr ctx ~br:1 ();
+        let rec wait_next () =
+          let v = Ctx.read ctx me.next in
+          Ctx.instr ctx ~br:1 ();
+          if v = nil then wait_next () else v
+        in
+        let victim = wait_next () in
+        if usurper <> nil then begin
+          t.grafts <- t.grafts + 1;
+          Ctx.write ctx (qnode t usurper).next victim
+        end
+        else Ctx.write ctx (qnode t victim).locked (acquire_parent t)
+      end
+    end
+  end
+
+(* Core-interface view. [try_acquire] enqueues and waits: a true TryLock
+   would need the abandonment protocol at both levels. [create] uses the
+   machine's hardware stations as the cluster topology. *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "HMCS"
+  let name = name
+
+  let create ?(home = 0) ?(vclass = "hmcs") machine =
+    create ~home ~vclass ~topo:(Lock_core.topo_of_machine machine) machine
+
+  let acquire = acquire
+  let release = release
+
+  let try_acquire t ctx =
+    acquire t ctx;
+    true
+
+  let is_free = is_free
+  let waiters = waiters
+  let acquisitions = acquisitions
+  let vclass = vclass
+end

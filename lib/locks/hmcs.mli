@@ -1,0 +1,44 @@
+(** HMCS (Chabbi, Fagan & Mellor-Crummey): a hierarchical MCS lock — one
+    MCS queue per cluster plus a root MCS queue over clusters. The word a
+    local waiter spins on doubles as the protocol channel: release writes
+    the running pass count (root comes with the lock) or a sentinel telling
+    the waiter to acquire the root itself. [threshold] bounds consecutive
+    in-cluster hand-offs. Both levels use the fetch&store-only repair
+    protocol (no compare&swap needed). *)
+
+open Hector
+
+type t
+
+(** Raises [Invalid_argument] if [threshold < 1] or [topo] does not cover
+    the machine's processors. *)
+val create :
+  ?home:int ->
+  ?threshold:int ->
+  ?vclass:string ->
+  topo:Lock_core.topo ->
+  Machine.t ->
+  t
+
+val default_threshold : int
+
+val name : t -> string
+val acquire : t -> Ctx.t -> unit
+val release : t -> Ctx.t -> unit
+val is_free : t -> bool
+val waiters : t -> bool
+val acquisitions : t -> int
+
+(** Hand-offs that kept the root lock within the cluster. *)
+val local_passes : t -> int
+
+(** Releases that gave the root lock up. *)
+val global_releases : t -> int
+
+val repairs : t -> int
+val grafts : t -> int
+val vclass : t -> Verify.lock_class
+
+(** The {!Lock_core.S} view; [create] clusters by hardware station and
+    [try_acquire] enqueues and waits. *)
+module Core : Lock_core.S with type t = t

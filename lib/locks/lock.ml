@@ -27,8 +27,12 @@ type algo =
   | Anderson (* array-based queue lock; CAS machines only *)
   | Spin_then_block of { spin_us : float } (* Section 5.3, TORNADO *)
   | Null (* no-op lock: calibration probes measuring lock overhead *)
+  | Cohort of { local : algo; global : algo; max_handoffs : int }
+    (* lock cohorting: [local] per cluster under one [global] *)
+  | Hmcs of { threshold : int } (* hierarchical MCS: two-level MCS tree *)
+  | Cna of { threshold : int } (* compact NUMA-aware MCS: secondary queue *)
 
-let algo_name = function
+let rec algo_name = function
   | Spin { max_backoff_us } ->
     if max_backoff_us >= 1000.0 then
       Printf.sprintf "Spin(%.0fms)" (max_backoff_us /. 1000.0)
@@ -42,6 +46,10 @@ let algo_name = function
   | Anderson -> "Anderson"
   | Spin_then_block { spin_us } -> Printf.sprintf "STB(%.0fus)" spin_us
   | Null -> "none"
+  | Cohort { local; global; _ } ->
+    Printf.sprintf "C-%s-%s" (algo_name local) (algo_name global)
+  | Hmcs _ -> "HMCS"
+  | Cna _ -> "CNA"
 
 (* A lock that does nothing: lets calibration probes measure a kernel path
    with its locking subtracted. *)
@@ -59,6 +67,22 @@ let null =
 let all_paper_algos =
   [ Mcs_original; Mcs_h1; Mcs_h2; Spin { max_backoff_us = 35.0 };
     Spin { max_backoff_us = 2000.0 } ]
+
+(* H1 constituents, not H2: H2's successor-check-free release opens a
+   fetch&store repair window on every hand-off, and stacked under the
+   cohort's release path that window resonates with re-enqueue timing and
+   starves the local queue behind a repeating usurper (see {!Cohort}). *)
+let c_mcs_mcs =
+  Cohort
+    {
+      local = Mcs_h1;
+      global = Mcs_h1;
+      max_handoffs = Cohort.default_max_handoffs;
+    }
+
+let hmcs = Hmcs { threshold = Hmcs.default_threshold }
+let cna = Cna { threshold = Cna.default_threshold }
+let all_numa_algos = [ c_mcs_mcs; hmcs; cna ]
 
 (* Wrap an acquire with wall-clock accounting (virtual cycles spent from
    call to lock entry). *)
@@ -86,8 +110,54 @@ let of_mcs lock =
     ~try_acquire:(fun ctx -> Mcs.try_acquire_v2 lock ctx)
     ~is_free:(fun () -> Mcs.is_free lock)
 
-let make machine ?(home = 0) ?vclass algo =
+(* A base algorithm as a {!Lock_core.packed} instance — the constituents a
+   runtime-composed [Cohort] is assembled from. Only algorithms exposing a
+   [Core] module qualify; nesting composites (or [Null] / STB) inside a
+   cohort is rejected. *)
+let packed_of_algo machine ~home ~vclass algo : Lock_core.packed =
   let cfg = Machine.config machine in
+  match algo with
+  | Spin { max_backoff_us } ->
+    let backoff = Backoff.of_us cfg ~max_us:max_backoff_us () in
+    Lock_core.pack
+      (module Spin_lock.Core)
+      (Spin_lock.create machine ~home ~vclass backoff)
+  | Mcs_original ->
+    Lock_core.pack (module Mcs.Core)
+      (Mcs.create ~variant:Mcs.Original ~home ~vclass machine)
+  | Mcs_h1 ->
+    Lock_core.pack (module Mcs.Core)
+      (Mcs.create ~variant:Mcs.H1 ~home ~vclass machine)
+  | Mcs_h2 ->
+    Lock_core.pack (module Mcs.Core)
+      (Mcs.create ~variant:Mcs.H2 ~home ~vclass machine)
+  | Mcs_cas ->
+    if not cfg.Config.has_cas then
+      invalid_arg "Lock.make: Mcs_cas needs a machine with compare&swap";
+    Lock_core.pack (module Mcs.Core)
+      (Mcs.create ~variant:Mcs.H2 ~home ~use_cas_release:true ~vclass machine)
+  | Clh -> Lock_core.pack (module Clh.Core) (Clh.create ~home ~vclass machine)
+  | Ticket ->
+    Lock_core.pack
+      (module Ticket_lock.Core)
+      (Ticket_lock.create ~home ~vclass machine)
+  | Anderson ->
+    Lock_core.pack
+      (module Anderson_lock.Core)
+      (Anderson_lock.create ~home ~vclass machine)
+  | Spin_then_block _ | Null | Cohort _ | Hmcs _ | Cna _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Lock.make: %s cannot be a cohort constituent (base algorithms only)"
+         (algo_name algo))
+
+let make machine ?(home = 0) ?vclass ?topo algo =
+  let cfg = Machine.config machine in
+  let topo =
+    match topo with
+    | Some t -> t
+    | None -> Lock_core.topo_of_machine machine
+  in
   match algo with
   | Null -> null
   | Spin { max_backoff_us } ->
@@ -139,6 +209,39 @@ let make machine ?(home = 0) ?vclass algo =
       ~release:(fun ctx -> Stb_lock.release lock ctx)
       ~try_acquire:(fun ctx -> Stb_lock.try_acquire lock ctx)
       ~is_free:(fun () -> not (Stb_lock.is_held lock))
+  | Cohort { local; global; max_handoffs } ->
+    let name = algo_name algo in
+    let vcls = Option.value vclass ~default:"cohort" in
+    let lock =
+      Cohort.create_packed ~vclass:vcls ~max_handoffs ~name ~topo
+        ~local:(fun ~cluster:_ ~home ~vclass ->
+          packed_of_algo machine ~home ~vclass local)
+        ~global:(fun ~vclass -> packed_of_algo machine ~home ~vclass global)
+        machine
+    in
+    instrumented ~name
+      ~acquire:(fun ctx -> Cohort.acquire lock ctx)
+      ~release:(fun ctx -> Cohort.release lock ctx)
+      ~try_acquire:(fun ctx -> Cohort.try_acquire lock ctx)
+      ~is_free:(fun () -> Cohort.is_free lock)
+  | Hmcs { threshold } ->
+    let lock = Hmcs.create ~home ~threshold ?vclass ~topo machine in
+    instrumented ~name:(algo_name algo)
+      ~acquire:(fun ctx -> Hmcs.acquire lock ctx)
+      ~release:(fun ctx -> Hmcs.release lock ctx)
+      ~try_acquire:(fun ctx ->
+        Hmcs.acquire lock ctx;
+        true)
+      ~is_free:(fun () -> Hmcs.is_free lock)
+  | Cna { threshold } ->
+    let lock = Cna.create ~home ~threshold ?vclass ~topo machine in
+    instrumented ~name:(algo_name algo)
+      ~acquire:(fun ctx -> Cna.acquire lock ctx)
+      ~release:(fun ctx -> Cna.release lock ctx)
+      ~try_acquire:(fun ctx ->
+        Cna.acquire lock ctx;
+        true)
+      ~is_free:(fun () -> Cna.is_free lock)
 
 (* Acquire with the processor's soft mask set, so inter-processor interrupts
    that could deadlock with this lock are deferred until release (Section
@@ -156,13 +259,14 @@ let with_lock t ctx f =
   t.acquire ctx;
   Fun.protect ~finally:(fun () -> t.release ctx) f
 
-(* Space cost of one lock instance, in words, for [n_procs] processors.
-   MCS queue nodes are per-processor but *shared across all locks* on real
-   systems; here we charge the per-lock view the paper uses when comparing
-   strategies ("an additional two words per actively spinning processor"
-   for distributed locks, one word for a spin lock, a P-entry array for
-   Anderson). *)
-let space_words ~n_procs = function
+(* Space cost of one lock instance, in words, for [n_procs] processors and
+   [n_clusters] clusters. MCS queue nodes are per-processor but *shared
+   across all locks* on real systems; here we charge the per-lock view the
+   paper uses when comparing strategies ("an additional two words per
+   actively spinning processor" for distributed locks, one word for a spin
+   lock, a P-entry array for Anderson). The NUMA composites follow the same
+   convention (see lock.mli for the full accounting). *)
+let rec space_words ?(n_clusters = 1) ~n_procs = function
   | Spin _ -> 1
   | Ticket -> 2
   | Anderson -> 1 + n_procs
@@ -170,3 +274,18 @@ let space_words ~n_procs = function
   | Mcs_original | Mcs_h1 | Mcs_h2 | Mcs_cas -> 1 + (2 * n_procs)
   | Spin_then_block _ -> 1 (* plus the scheduler's wait list, not memory *)
   | Null -> 0
+  | Cohort { local; global; _ } ->
+    (* One [local] instance per cluster, one [global], plus the per-cluster
+       [owned] flag and pass counter. *)
+    space_words ~n_clusters ~n_procs global
+    + (n_clusters * space_words ~n_clusters ~n_procs local)
+    + (2 * n_clusters)
+  | Hmcs _ ->
+    (* Root tail; root node (next + locked) and local tail per cluster;
+       queue node (next + locked) per processor. *)
+    1 + (3 * n_clusters) + (2 * n_procs)
+  | Cna _ ->
+    (* Tail + secondary head/tail, and a 3-word node per processor (next,
+       locked, cluster). Independent of the cluster count — CNA's "compact"
+       claim. *)
+    3 + (3 * n_procs)

@@ -26,6 +26,18 @@ type algo =
   | Anderson
   | Spin_then_block of { spin_us : float }
   | Null
+  | Cohort of { local : algo; global : algo; max_handoffs : int }
+      (** Lock cohorting: one [local] lock per cluster under one [global]
+          lock; at most [max_handoffs] consecutive in-cluster hand-offs.
+          Constituents must be base algorithms (not [Null], STB, or another
+          composite) — [make] raises [Invalid_argument] otherwise. *)
+  | Hmcs of { threshold : int }
+      (** Hierarchical MCS: a two-level MCS tree, local queue per cluster
+          plus a root queue over clusters. *)
+  | Cna of { threshold : int }
+      (** Compact NUMA-aware MCS: release shunts remote-cluster waiters
+          onto a secondary queue, spliced back after [threshold]
+          consecutive local hand-offs. *)
 
 val algo_name : algo -> string
 
@@ -33,9 +45,23 @@ val algo_name : algo -> string
     cap, spin with 2 ms cap. *)
 val all_paper_algos : algo list
 
+(** The paper-faithful cohort instance: MCS at both levels, default
+    hand-off bound. *)
+val c_mcs_mcs : algo
+
+val hmcs : algo
+val cna : algo
+
+(** The three NUMA-aware composites at default thresholds. *)
+val all_numa_algos : algo list
+
 (** [vclass] names the lock-order class reported to an installed
-    {!Verify.t} checker; defaults to a per-algorithm class name. *)
-val make : Machine.t -> ?home:int -> ?vclass:string -> algo -> t
+    {!Verify.t} checker; defaults to a per-algorithm class name. [topo] is
+    the cluster topology the NUMA-aware composites ([Cohort], [Hmcs],
+    [Cna]) are built against, defaulting to the machine's hardware
+    stations; base algorithms ignore it. *)
+val make :
+  Machine.t -> ?home:int -> ?vclass:string -> ?topo:Lock_core.topo -> algo -> t
 
 (** A lock that does nothing; calibration probes use it to measure a path
     with locking subtracted. *)
@@ -53,5 +79,20 @@ val with_lock_masked : t -> Ctx.t -> (unit -> 'a) -> 'a
 val with_lock : t -> Ctx.t -> (unit -> 'a) -> 'a
 
 (** Space cost of one lock instance in words, for the paper's strategy
-    comparisons (Section 2.1 / 5.2). *)
-val space_words : n_procs:int -> algo -> int
+    comparisons (Section 2.1 / 5.2).
+
+    Counting convention: every word of lock state is charged to the lock
+    that allocates it — the lock word(s), per-processor queue nodes (two
+    words for MCS/CLH, three for CNA, which also records the waiter's
+    cluster), and per-cluster control state. Per-processor nodes are
+    charged at the full machine width even for a cohort's per-cluster
+    local locks (nodes are per-processor arrays here, as on a real system
+    where they are shared across locks). Formulas for the composites, with
+    P processors and C clusters ([n_clusters], default 1):
+    - [Cohort]: space(global) + C * space(local) + 2C (owned flag and pass
+      counter per cluster);
+    - [Hmcs]: 1 + 3C + 2P (root tail; root node and local tail per
+      cluster; queue node per processor);
+    - [Cna]: 3 + 3P regardless of C — CNA's "compact" claim (lock word,
+      secondary-queue head/tail, three-word nodes). *)
+val space_words : ?n_clusters:int -> n_procs:int -> algo -> int

@@ -1,0 +1,76 @@
+(** The core lock-algorithm signature, as a first-class-module interface.
+
+    Every base algorithm in [lib/locks] ([Spin_lock], [Mcs], [Clh],
+    [Ticket_lock], [Anderson_lock]) exposes a [Core] module implementing
+    {!S}; the NUMA-aware composites ({!Cohort}, and — natively — [Hmcs]
+    and [Cna]) are built against {!OPS}/{!S} rather than any concrete
+    lock, so any local lock can be paired with any global lock. *)
+
+open Hector
+
+(** Cluster topology a NUMA-aware lock is constructed against: which of
+    [n_clusters] clusters each processor belongs to. [cluster_of] must be
+    total over the machine's processors and return values in
+    [0, n_clusters). *)
+type topo = { n_clusters : int; cluster_of : int -> int }
+
+(** The machine's own hardware stations as a topology — the default when a
+    lock is built without an explicit [Clustering]. *)
+val topo_of_machine : Machine.t -> topo
+
+(** [cluster_topo] with explicit values; validates the bounds. *)
+val topo : n_clusters:int -> cluster_of:(int -> int) -> topo
+
+(** Operations on an already-created lock instance: the algorithm-agnostic
+    surface the composites and the uniform {!Lock.t} record need. *)
+module type OPS = sig
+  type t
+
+  val name : t -> string
+
+  val acquire : t -> Ctx.t -> unit
+  val release : t -> Ctx.t -> unit
+
+  (** Non-blocking where the algorithm supports one; algorithms without a
+      cheap TryLock (CLH, ticket, Anderson) acquire and return [true]. *)
+  val try_acquire : t -> Ctx.t -> bool
+
+  (** Untimed, for assertions. *)
+  val is_free : t -> bool
+
+  (** Untimed hint: is some processor queued or spinning behind the current
+      holder? Used by cohort-style releases to decide whether a cluster-local
+      hand-off is possible; a conservative [false] only costs locality, never
+      correctness. *)
+  val waiters : t -> bool
+
+  (** Completed acquisitions (blocking and successful non-blocking). *)
+  val acquisitions : t -> int
+
+  (** The lock-order class this instance reports to {!Verify}. *)
+  val vclass : t -> Verify.lock_class
+end
+
+(** A full algorithm: instance operations plus construction. *)
+module type S = sig
+  include OPS
+
+  (** Algorithm name, as shown in reports ("MCS", "CLH", ...). *)
+  val algo : string
+
+  val create : ?home:int -> ?vclass:string -> Machine.t -> t
+end
+
+(** A lock instance packed with its operations — the dynamic counterpart
+    of {!S}, letting [Lock.make] compose algorithms chosen at runtime. *)
+type packed = Packed : (module OPS with type t = 'a) * 'a -> packed
+
+val pack : (module OPS with type t = 'a) -> 'a -> packed
+
+val p_name : packed -> string
+val p_acquire : packed -> Ctx.t -> unit
+val p_release : packed -> Ctx.t -> unit
+val p_try_acquire : packed -> Ctx.t -> bool
+val p_is_free : packed -> bool
+val p_waiters : packed -> bool
+val p_acquisitions : packed -> int

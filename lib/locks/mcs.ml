@@ -122,6 +122,7 @@ let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
 
 let variant t = t.variant
 let name t = variant_name t.variant
+let vclass t = t.vcls
 let acquisitions t = t.acquisitions
 let repairs t = t.repairs
 let grafts t = t.grafts
@@ -378,6 +379,50 @@ let try_acquire_v2 t ctx =
       false
     end
   end
+
+(* Core-interface view (H2 variant, the kernel's default). [waiters] is the
+   untimed queue-non-empty hint a cohort release consults: the tail trailing
+   the holder's node means someone enqueued behind it (an abandoned TryLock
+   node also counts — the hint may overshoot, never deadlock, since the
+   passed-to local head re-checks nothing: local passing only needs the
+   global lock to stay held, which it does). *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "MCS"
+  let name = name
+
+  let create ?(home = 0) ?(vclass = "mcs") machine =
+    create ~variant:H2 ~home ~vclass machine
+
+  let acquire = acquire
+  let release = release
+  let try_acquire = try_acquire_v2
+  let is_free = is_free
+  let waiters t = t.holder <> nil && Cell.peek t.tail <> t.holder
+  let acquisitions = acquisitions
+  let vclass = vclass
+end
+
+(* The H1 face, for compositions. H2's removed successor check means every
+   contended release runs the fetch&store repair, opening a short window in
+   which the tail reads nil and a re-enqueuing processor usurps the lock
+   past the whole queue. Stacked under a combinator whose release path has
+   a long deterministic stretch (a cohort's global hand-off), that window
+   resonates with the re-enqueue cadence and the usurped queue can starve.
+   H1 keeps the fetch&store-only discipline but hands off directly whenever
+   the successor link is visible, so a deep queue never opens the window. *)
+let create_h1 ?(home = 0) ?(vclass = "mcs") machine =
+  create ~variant:H1 ~home ~vclass machine
+
+module Core_h1 = struct
+  include Core
+
+  let algo = "H1-MCS"
+
+  (* [include Core] shadowed the variant-taking [create] above. *)
+  let create = create_h1
+end
 
 (* Timeout-capable acquire, on the interrupt node (Chabbi et al.'s MCS-try
    family, adapted to the fetch&store-only queue): enqueue and spin like a

@@ -64,6 +64,8 @@ let release t ctx =
   Ctx.instr ctx ~br:1 ();
   Vhook.released ctx ~cls:t.vcls ~id:t.vid
 
+let vclass t = t.vcls
+
 (* Single attempt; used where a TryLock is meaningful for comparison. *)
 let try_acquire t ctx =
   let old = Ctx.test_and_set ctx t.flag in
@@ -77,3 +79,26 @@ let try_acquire t ctx =
     t.failed_attempts <- t.failed_attempts + 1;
     false
   end
+
+(* Core-interface view: the 35 us capped backoff the paper uses for its
+   kernel spin locks. A test&set lock cannot tell whether anyone is backing
+   off against it, so [waiters] is conservatively false — a cohort built
+   over a spin local lock simply never passes locally. *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "Spin(35us)"
+  let name _ = algo
+
+  let create ?(home = 0) ?(vclass = "spinlock") machine =
+    let cfg = Machine.config machine in
+    create machine ~home ~vclass (Backoff.of_us cfg ~max_us:35.0 ())
+
+  let acquire = acquire
+  let release = release
+  let try_acquire = try_acquire
+  let is_free t = not (is_held t)
+  let waiters _ = false
+  let acquisitions = acquisitions
+  let vclass = vclass
+end

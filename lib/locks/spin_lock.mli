@@ -30,3 +30,8 @@ val release : t -> Ctx.t -> unit
 
 (** Single test&set attempt; true if the lock was obtained. *)
 val try_acquire : t -> Ctx.t -> bool
+
+(** The {!Lock_core.S} view: creation defaults to the paper's 35 us capped
+    backoff. [waiters] is conservatively false (a test&set lock cannot see
+    its backers-off), so cohorts over a spin local never pass locally. *)
+module Core : Lock_core.S with type t = t

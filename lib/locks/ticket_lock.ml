@@ -78,3 +78,27 @@ let release t ctx =
   Ctx.write ctx t.owner (my + 1);
   Ctx.instr ctx ~br:1 ();
   Vhook.released ctx ~cls:t.vcls ~id:t.vid
+
+(* Core-interface view; [try_acquire] takes a ticket and waits (a true
+   TryLock would need fetch&decrement to give the ticket back). *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "Ticket"
+  let name _ = algo
+
+  let create ?(home = 0) ?(vclass = "ticket") machine = create ~home ~vclass machine
+  let acquire = acquire
+  let release = release
+
+  let try_acquire t ctx =
+    acquire t ctx;
+    true
+
+  let is_free = is_free
+
+  (* More than one ticket outstanding past the one being served. *)
+  let waiters t = t.holder >= 0 && Cell.peek t.next > t.holder + 1
+  let acquisitions = acquisitions
+  let vclass t = t.vcls
+end

@@ -13,3 +13,6 @@ val is_free : t -> bool
 
 val acquire : t -> Ctx.t -> unit
 val release : t -> Ctx.t -> unit
+
+(** The {!Lock_core.S} view; [try_acquire] takes a ticket and waits. *)
+module Core : Lock_core.S with type t = t

@@ -14,19 +14,34 @@ type bucket = {
   mutable b_acqs : int;
   mutable b_contended : int;
   mutable b_wait : int;
+  mutable b_max_wait : int;
   mutable b_hold : int;
   mutable b_handoffs : int;
+  mutable b_handoffs_local : int;
+  mutable b_handoffs_remote : int;
 }
 
 let fresh_bucket () =
-  { b_acqs = 0; b_contended = 0; b_wait = 0; b_hold = 0; b_handoffs = 0 }
+  {
+    b_acqs = 0;
+    b_contended = 0;
+    b_wait = 0;
+    b_max_wait = 0;
+    b_hold = 0;
+    b_handoffs = 0;
+    b_handoffs_local = 0;
+    b_handoffs_remote = 0;
+  }
 
 type cells = {
   acqs : int;
   contended : int;
   wait_cycles : int;
+  max_wait_cycles : int;
   hold_cycles : int;
   handoffs : int;
+  handoffs_local : int;
+  handoffs_remote : int;
 }
 
 type row = {
@@ -89,6 +104,7 @@ type t = {
   holds : hold list array; (* per proc, lock holds, newest first *)
   lock_holder : (int, int) Hashtbl.t; (* instance id -> holding proc *)
   lock_waiters : (int, int) Hashtbl.t; (* instance id -> waiter count *)
+  last_releaser : (int, int) Hashtbl.t; (* instance id -> last releasing proc *)
   words : (int, int * int * int) Hashtbl.t; (* word -> proc, cls, since *)
   read_words : (int * int, int * int) Hashtbl.t; (* word,proc -> cls,since *)
   word_waiters : (int, int) Hashtbl.t; (* word -> spinner count *)
@@ -115,6 +131,7 @@ let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
     holds = Array.make n_procs [];
     lock_holder = Hashtbl.create 64;
     lock_waiters = Hashtbl.create 64;
+    last_releaser = Hashtbl.create 64;
     words = Hashtbl.create 64;
     read_words = Hashtbl.create 64;
     word_waiters = Hashtbl.create 64;
@@ -172,7 +189,12 @@ let count tbl key =
 (* -- lock hooks ----------------------------------------------------------- *)
 
 let lock_wait t ~proc ~cls ~id ~now =
-  let contended = Hashtbl.mem t.lock_holder id in
+  (* Contended if someone holds the lock — or if waiters are queued while
+     it is in flight between holders (a queue lock mid-hand-off): either
+     way this acquisition will receive the lock from a releaser. *)
+  let contended =
+    Hashtbl.mem t.lock_holder id || count t.lock_waiters id > 0
+  in
   t.frames.(proc) <- Flock { id; cls; since = now; contended } :: t.frames.(proc);
   bump t.lock_waiters id 1
 
@@ -186,9 +208,22 @@ let lock_acquired t ~proc ~cls ~id ~now =
     bump t.lock_waiters id (-1);
     let b = bucket t ~cls ~proc in
     b.b_acqs <- b.b_acqs + 1;
-    if f.contended then b.b_contended <- b.b_contended + 1;
+    if f.contended then begin
+      b.b_contended <- b.b_contended + 1;
+      (* A contended acquisition received the lock from whoever released it
+         last: classify the hand-off by whether it crossed a cluster
+         boundary — the locality a NUMA-aware lock exists to improve.
+         Attributed to the *receiving* processor's cluster row. *)
+      match Hashtbl.find_opt t.last_releaser id with
+      | Some r ->
+        if cluster t r = cluster t proc then
+          b.b_handoffs_local <- b.b_handoffs_local + 1
+        else b.b_handoffs_remote <- b.b_handoffs_remote + 1
+      | None -> ()
+    end;
     let dur = now - f.since in
     b.b_wait <- b.b_wait + dur;
+    if dur > b.b_max_wait then b.b_max_wait <- dur;
     emit t Lock_acquired ~proc ~cls ~time:now ~dur
   | _ ->
     let b = bucket t ~cls ~proc in
@@ -209,6 +244,7 @@ let lock_wait_abandoned t ~proc ~now =
     b.b_contended <- b.b_contended + 1;
     let dur = now - f.since in
     b.b_wait <- b.b_wait + dur;
+    if dur > b.b_max_wait then b.b_max_wait <- dur;
     emit t Lock_abandoned ~proc ~cls:f.cls ~time:now ~dur
   | _ -> ()
 
@@ -225,6 +261,7 @@ let lock_released t ~proc ~cls ~id ~now =
    in
    go [] t.holds.(proc));
   Hashtbl.remove t.lock_holder id;
+  Hashtbl.replace t.last_releaser id proc;
   if count t.lock_waiters id > 0 then begin
     let b = bucket t ~cls ~proc in
     b.b_handoffs <- b.b_handoffs + 1
@@ -279,6 +316,7 @@ let reserve_wait_done t ~proc ~now =
     b.b_contended <- b.b_contended + 1;
     let dur = now - f.since in
     b.b_wait <- b.b_wait + dur;
+    if dur > b.b_max_wait then b.b_max_wait <- dur;
     emit t Reserve_spin ~proc ~cls:f.cls ~time:now ~dur
   | _ -> ()
 
@@ -301,6 +339,7 @@ let rpc_reply t ~proc ~now =
     let b = bucket t ~cls:rpc_class ~proc in
     let dur = now - f.since in
     b.b_wait <- b.b_wait + dur;
+    if dur > b.b_max_wait then b.b_max_wait <- dur;
     emit t Rpc_reply ~proc ~cls:rpc_class ~time:now ~dur
   | _ -> ()
 
@@ -311,8 +350,11 @@ let cells_of_bucket b =
     acqs = b.b_acqs;
     contended = b.b_contended;
     wait_cycles = b.b_wait;
+    max_wait_cycles = b.b_max_wait;
     hold_cycles = b.b_hold;
     handoffs = b.b_handoffs;
+    handoffs_local = b.b_handoffs_local;
+    handoffs_remote = b.b_handoffs_remote;
   }
 
 let bucket_active b =
@@ -334,8 +376,14 @@ let profile_rows t =
               total.b_acqs <- total.b_acqs + b.b_acqs;
               total.b_contended <- total.b_contended + b.b_contended;
               total.b_wait <- total.b_wait + b.b_wait;
+              if b.b_max_wait > total.b_max_wait then
+                total.b_max_wait <- b.b_max_wait;
               total.b_hold <- total.b_hold + b.b_hold;
               total.b_handoffs <- total.b_handoffs + b.b_handoffs;
+              total.b_handoffs_local <-
+                total.b_handoffs_local + b.b_handoffs_local;
+              total.b_handoffs_remote <-
+                total.b_handoffs_remote + b.b_handoffs_remote;
               by_cluster := (c, cells_of_bucket b) :: !by_cluster
             end)
           bs;

@@ -75,8 +75,15 @@ type cells = {
   contended : int;
       (** acquisitions that found the lock held / completed spin waits *)
   wait_cycles : int;  (** cycles from wait start to acquisition (or abandon) *)
+  max_wait_cycles : int;  (** worst single wait (lock, spin or RPC) *)
   hold_cycles : int;  (** cycles from acquisition to release *)
   handoffs : int;  (** releases made with at least one recorded waiter *)
+  handoffs_local : int;
+      (** contended acquisitions whose previous releaser was in the
+          receiving processor's cluster *)
+  handoffs_remote : int;
+      (** contended acquisitions that pulled the lock across a cluster
+          boundary — the transfers a NUMA-aware lock minimises *)
 }
 
 type row = {

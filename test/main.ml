@@ -25,6 +25,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
       ("lock_family", Test_lock_family.suite);
+      ("numa_locks", Test_numa_locks.suite);
       ("cow", Test_cow.suite);
       ("report", Test_report.suite);
       ("fserver", Test_fserver.suite);

@@ -101,7 +101,17 @@ let test_space_accounting () =
   Alcotest.(check int) "anderson" 17 (w Lock.Anderson);
   (* "an additional two words per actively spinning processor" *)
   Alcotest.(check int) "mcs" 33 (w Lock.Mcs_h2);
-  Alcotest.(check bool) "clh comparable to mcs" true (w Lock.Clh <= w Lock.Mcs_h2)
+  Alcotest.(check bool) "clh comparable to mcs" true (w Lock.Clh <= w Lock.Mcs_h2);
+  (* The NUMA composites at P = 16, C = 4 (the numachine clustering); the
+     formulas are documented in lock.mli. *)
+  let w4 a = Lock.space_words ~n_clusters:4 ~n_procs:16 a in
+  Alcotest.(check int) "cohort = global + C*local + 2C" 173 (w4 Lock.c_mcs_mcs);
+  Alcotest.(check int) "hmcs = 1 + 3C + 2P" 45 (w4 Lock.hmcs);
+  Alcotest.(check int) "cna = 3 + 3P" 51 (w4 Lock.cna);
+  (* CNA's "compact" claim: its footprint does not grow with the cluster
+     count. *)
+  Alcotest.(check int) "cna is cluster-independent" (w4 Lock.cna)
+    (Lock.space_words ~n_clusters:1 ~n_procs:16 Lock.cna)
 
 let test_lock_family_via_uniform_interface () =
   let eng, machine, ctx = make_numa () in
@@ -115,7 +125,7 @@ let test_lock_family_via_uniform_interface () =
           Alcotest.(check bool)
             (Lock.algo_name algo ^ " free after")
             true (lock.Lock.is_free ())))
-    [ Lock.Ticket; Lock.Anderson ];
+    ([ Lock.Ticket; Lock.Anderson ] @ Lock.all_numa_algos);
   Engine.run eng
 
 let test_four_classes_shape () =
@@ -164,7 +174,7 @@ let suite =
       test_anderson_mutual_exclusion;
     Alcotest.test_case "Anderson FIFO" `Quick test_anderson_fifo;
     Alcotest.test_case "lock space accounting" `Quick test_space_accounting;
-    Alcotest.test_case "ticket/Anderson via Lock.make" `Quick
+    Alcotest.test_case "ticket/Anderson/composites via Lock.make" `Quick
       test_lock_family_via_uniform_interface;
     Alcotest.test_case "CLASSES: four access classes" `Slow
       test_four_classes_shape;
