@@ -90,6 +90,7 @@ let run_fault_matrix () = Report.fault_matrix ppf (Experiments.fault_matrix ())
 let run_verify () = Report.verify ppf (Experiments.verify_suite ())
 let run_obs () = Report.obs ppf (Experiments.obs_profile ())
 let run_numa () = Report.numa_locks ppf (Experiments.numa_locks ())
+let run_hash () = Report.hash_scaling ppf (Experiments.hash_scaling ())
 
 let experiments =
   [
@@ -121,6 +122,7 @@ let experiments =
     ("verify", run_verify);
     ("obs", run_obs);
     ("numa", run_numa);
+    ("hash", run_hash);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

@@ -532,6 +532,96 @@ let numa_cmd =
           cohort/hmcs/cna against h2.")
     Term.(const run $ algo_arg $ clusters $ hold $ window)
 
+(* -- hash subcommand --------------------------------------------------------- *)
+
+let hash_cmd =
+  let run algo granularity_name p shards read_ratio locked churn seed =
+    let granularity =
+      match String.lowercase_ascii granularity_name with
+      | "hybrid" -> Hkernel.Khash.Hybrid
+      | "coarse" -> Hkernel.Khash.Coarse
+      | "fine" -> Hkernel.Khash.Fine
+      | "sharded" -> Hkernel.Khash.Sharded
+      | other ->
+        Format.eprintf
+          "unknown granularity %S (hybrid | coarse | fine | sharded)@." other;
+        exit 2
+    in
+    let r =
+      Hash_scaling.run
+        ~config:
+          {
+            Hash_scaling.default_config with
+            p;
+            shards;
+            read_ratio;
+            churn_fraction = churn;
+            granularity;
+            optimistic = not locked;
+            lock_algo = algo;
+            seed;
+          }
+        ()
+    in
+    Format.fprintf ppf "reads:   %a@." Measure.pp r.Hash_scaling.read_summary;
+    Format.fprintf ppf "updates: %a@." Measure.pp r.Hash_scaling.update_summary;
+    Format.fprintf ppf
+      "%s shards=%d optimistic=%b: throughput=%.1f ops/ms makespan=%.0fus \
+       opt-hits=%d opt-fallbacks=%d reserve-conflicts=%d atomics=%d@."
+      (Hkernel.Khash.granularity_name r.Hash_scaling.granularity)
+      r.Hash_scaling.shards r.Hash_scaling.optimistic
+      r.Hash_scaling.throughput_ops_ms r.Hash_scaling.makespan_us
+      r.Hash_scaling.optimistic_hits r.Hash_scaling.optimistic_fallbacks
+      r.Hash_scaling.reserve_conflicts r.Hash_scaling.atomics
+  in
+  let granularity =
+    Arg.(
+      value & opt string "sharded"
+      & info [ "g"; "granularity" ] ~docv:"G"
+          ~doc:"Table granularity: hybrid, coarse, fine or sharded.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 8
+      & info [ "p"; "procs" ] ~docv:"P" ~doc:"Contending processors.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"S" ~doc:"Shard count (sharded granularity).")
+  in
+  let read_ratio =
+    Arg.(
+      value & opt float 0.9
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of operations that are read-only lookups.")
+  in
+  let locked =
+    Arg.(
+      value & flag
+      & info [ "locked" ]
+          ~doc:
+            "Force lookups through the locked path (disable the seqlock \
+             optimistic reads).")
+  in
+  let churn =
+    Arg.(
+      value & opt float 0.3
+      & info [ "churn" ] ~docv:"F"
+          ~doc:
+            "Fraction of non-read operations that delete and re-insert \
+             their key (chain mutations).")
+  in
+  Cmd.v
+    (Cmd.info "hash"
+       ~doc:
+         "Read/update mix over one hash table: sharded granularity and the \
+          seqlock optimistic read path against the single-lock hybrid \
+          (experiment HASH-SCALING).")
+    Term.(
+      const run $ algo_arg $ granularity $ procs $ shards $ read_ratio
+      $ locked $ churn $ seed_arg)
+
 (* -- figure subcommand -------------------------------------------------------- *)
 
 let figure_cmd =
@@ -564,6 +654,7 @@ let figure_cmd =
     | "verify" -> Report.verify ppf (Experiments.verify_suite ())
     | "obs" -> Report.obs ppf (Experiments.obs_profile ())
     | "numa" -> Report.numa_locks ppf (Experiments.numa_locks ())
+    | "hash" -> Report.hash_scaling ppf (Experiments.hash_scaling ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -592,6 +683,7 @@ let main_cmd =
       verify_cmd;
       trace_cmd;
       numa_cmd;
+      hash_cmd;
       figure_cmd;
     ]
 

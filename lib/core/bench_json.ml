@@ -6,8 +6,11 @@ open Locks
 open Workloads
 
 (* Version 2: added the "numa_locks" experiment (cross-cluster contention
-   with local/remote hand-off counts and worst-case waits). *)
-let schema_version = 2
+   with local/remote hand-off counts and worst-case waits).
+   Version 3: added the "hash_scaling" experiment (sharded hash table +
+   seqlock optimistic reads: throughput and read/update latency per
+   granularity x shard count x read ratio x p). *)
+let schema_version = 3
 
 let default_names =
   [
@@ -22,6 +25,7 @@ let default_names =
     "fig7d";
     "constants";
     "numa_locks";
+    "hash_scaling";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -150,6 +154,29 @@ let numa_locks_json (rows : Experiments.numa_point list) =
            ])
        rows)
 
+let hash_scaling_json (rows : Experiments.hash_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.hash_point) ->
+         Json.Obj
+           [
+             ("granularity",
+              Json.String
+                (Hkernel.Khash.granularity_name r.Experiments.hgran));
+             ("shards", Json.Int r.Experiments.hshards);
+             ("optimistic", Json.Bool r.Experiments.hoptimistic);
+             ("p", Json.Int r.Experiments.hp);
+             ("read_ratio", Json.Float r.Experiments.hread_ratio);
+             ("read_mean_us", Json.Float r.Experiments.hread_mean_us);
+             ("read_p99_us", Json.Float r.Experiments.hread_p99_us);
+             ("update_mean_us", Json.Float r.Experiments.hupdate_mean_us);
+             ("throughput_ops_ms", Json.Float r.Experiments.hthroughput);
+             ("optimistic_hits", Json.Int r.Experiments.hopt_hits);
+             ("optimistic_fallbacks", Json.Int r.Experiments.hopt_fallbacks);
+             ("atomics", Json.Int r.Experiments.hatomics);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -181,6 +208,7 @@ let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
       fig7_json ~xlabel:"cluster_size" (Experiments.fig7d ?cfg ?sizes ?rounds ())
     | "constants" -> constants_json (Experiments.constants ?cfg ())
     | "numa_locks" -> numa_locks_json (Experiments.numa_locks ?cfg ())
+    | "hash_scaling" -> hash_scaling_json (Experiments.hash_scaling ?cfg ())
     | other ->
       invalid_arg
         (Printf.sprintf "Bench_json.document: unknown experiment %S" other)

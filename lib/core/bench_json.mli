@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -25,11 +25,18 @@
         "constants":   {soft_fault_us, lockless_fault_us, ...},
         "numa_locks":  [ {algo, clusters, hold_us, mean_us, p99_us,
                           acquisitions, local_handoffs, remote_handoffs,
-                          remote_frac, max_wait_us} ]
+                          remote_frac, max_wait_us} ],
+        "hash_scaling": [ {granularity, shards, optimistic, p, read_ratio,
+                           read_mean_us, read_p99_us, update_mean_us,
+                           throughput_ops_ms, optimistic_hits,
+                           optimistic_fallbacks, atomics} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
     composites vs flat MCS, with hand-off locality and worst-case waits).
+    Version 3 added "hash_scaling" (sharded hash table + seqlock
+    optimistic reads: throughput and read/update latency per granularity x
+    shard count x read ratio x p).
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -39,7 +46,8 @@ open Hector
 val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
-    "constants"; "numa_locks"] — what a bare [--json] exports. *)
+    "constants"; "numa_locks"; "hash_scaling"] — what a bare [--json]
+    exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

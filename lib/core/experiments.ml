@@ -570,6 +570,77 @@ let numa_locks ?(cfg = Config.hector) ?(clusters = [ 1; 2; 4 ])
         clusters)
     numa_algos
 
+(* -- HASH-SCALING: sharded table + optimistic reads ------------------------- *)
+
+type hash_point = {
+  hgran : Hkernel.Khash.granularity;
+  hshards : int; (* 1 for Hybrid *)
+  hoptimistic : bool;
+  hp : int;
+  hread_ratio : float;
+  hread_mean_us : float; (* lookup latency *)
+  hread_p99_us : float;
+  hupdate_mean_us : float; (* with_element latency, element work excluded *)
+  hthroughput : float; (* completed ops per virtual millisecond *)
+  hopt_hits : int;
+  hopt_fallbacks : int;
+  hatomics : int;
+}
+
+(* The single-lock hybrid against the sharded table at several shard
+   counts, with the seqlock read path off and on, sweeping concurrency and
+   read mix. The claims (asserted by the regression tests and exported as
+   HASH-SCALING): throughput scales with the shard count once the single
+   lock saturates, and at read-heavy mixes the optimistic path serves
+   lookups for a pair of loads instead of a lock round-trip. *)
+let hash_scaling ?(cfg = Config.hector) ?(procs = [ 4; 8; 16 ])
+    ?(read_ratios = [ 0.5; 0.9 ]) ?(shard_counts = [ 2; 4; 8 ]) () =
+  let point ~p ~read_ratio ~granularity ~shards ~optimistic =
+    let r =
+      Hash_scaling.run ~cfg
+        ~config:
+          {
+            Hash_scaling.default_config with
+            p;
+            read_ratio;
+            granularity;
+            shards;
+            optimistic;
+          }
+        ()
+    in
+    {
+      hgran = granularity;
+      hshards = r.Hash_scaling.shards;
+      hoptimistic = optimistic;
+      hp = p;
+      hread_ratio = read_ratio;
+      hread_mean_us = r.Hash_scaling.read_summary.Measure.mean_us;
+      hread_p99_us = r.Hash_scaling.read_summary.Measure.p99_us;
+      hupdate_mean_us = r.Hash_scaling.update_summary.Measure.mean_us;
+      hthroughput = r.Hash_scaling.throughput_ops_ms;
+      hopt_hits = r.Hash_scaling.optimistic_hits;
+      hopt_fallbacks = r.Hash_scaling.optimistic_fallbacks;
+      hatomics = r.Hash_scaling.atomics;
+    }
+  in
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun read_ratio ->
+          point ~p ~read_ratio ~granularity:Hkernel.Khash.Hybrid ~shards:1
+            ~optimistic:false
+          :: List.concat_map
+               (fun shards ->
+                 List.map
+                   (fun optimistic ->
+                     point ~p ~read_ratio ~granularity:Hkernel.Khash.Sharded
+                       ~shards ~optimistic)
+                   [ false; true ])
+               shard_counts)
+        read_ratios)
+    procs
+
 (* -- OBS: contention profile of the fault storm ---------------------------- *)
 
 type obs_result = { obs_rows : Obs.row list; obs_storm : Fault_storm.result }

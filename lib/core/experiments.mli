@@ -228,6 +228,33 @@ val numa_locks :
   unit ->
   numa_point list
 
+(** HASH-SCALING — the sharded hash table: single-lock Hybrid against
+    [Sharded] at several shard counts, optimistic seqlock reads off/on,
+    sweeping concurrency and read mix. *)
+
+type hash_point = {
+  hgran : Hkernel.Khash.granularity;
+  hshards : int;  (** 1 for Hybrid *)
+  hoptimistic : bool;
+  hp : int;
+  hread_ratio : float;
+  hread_mean_us : float;  (** lookup latency *)
+  hread_p99_us : float;
+  hupdate_mean_us : float;  (** update latency, element work excluded *)
+  hthroughput : float;  (** completed ops per virtual millisecond *)
+  hopt_hits : int;
+  hopt_fallbacks : int;
+  hatomics : int;
+}
+
+val hash_scaling :
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?read_ratios:float list ->
+  ?shard_counts:int list ->
+  unit ->
+  hash_point list
+
 (** OBS — the contention profile ({!Obs}) of a dosed fault storm: which
     lock class, on which cluster (station), burned the waiting cycles. *)
 

@@ -358,6 +358,30 @@ let numa_locks ppf (rows : Experiments.numa_point list) =
         r.Experiments.nmax_wait_us)
     rows
 
+let hash_scaling ppf (rows : Experiments.hash_point list) =
+  section ppf "HASH-SCALING - sharded table + seqlock optimistic reads"
+    "the hybrid table's single coarse lock is the ceiling within a \
+     cluster; splitting the bins over per-shard locks homed on distinct \
+     PMMs restores scaling, and a per-shard sequence word lets read-only \
+     lookups skip the lock entirely (a pair of loads instead of an \
+     acquire/release round-trip)";
+  Format.fprintf ppf "%-8s %6s %4s %5s %5s %10s %9s %10s %9s %6s %5s@."
+    "mode" "shards" "opt" "p" "read" "read(us)" "p99(us)" "upd(us)"
+    "thr/ms" "hits" "fb";
+  List.iter
+    (fun (r : Experiments.hash_point) ->
+      Format.fprintf ppf
+        "%-8s %6d %4s %5d %4.0f%% %10.2f %9.1f %10.2f %9.1f %6d %5d@."
+        (Hkernel.Khash.granularity_name r.Experiments.hgran)
+        r.Experiments.hshards
+        (if r.Experiments.hoptimistic then "yes" else "no")
+        r.Experiments.hp
+        (100.0 *. r.Experiments.hread_ratio)
+        r.Experiments.hread_mean_us r.Experiments.hread_p99_us
+        r.Experiments.hupdate_mean_us r.Experiments.hthroughput
+        r.Experiments.hopt_hits r.Experiments.hopt_fallbacks)
+    rows
+
 let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
   section ppf "OBS - where did the cycles go (dosed fault storm)"
     "the argument of Figures 5/7 is made by attributing waiting time to \

@@ -67,5 +67,7 @@ val verify : Format.formatter -> Experiments.verify_row list -> unit
 
 val numa_locks : Format.formatter -> Experiments.numa_point list -> unit
 
+val hash_scaling : Format.formatter -> Experiments.hash_point list -> unit
+
 val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit

@@ -52,16 +52,22 @@ let rpc_target t ~from ~target_cluster =
   let i = index_in_cluster t from in
   (target_cluster * t.cluster_size) + (i mod size_of_cluster t target_cluster)
 
+(* Euclidean modulus: total for every int (including [min_int]) and always
+   in [0, len).  [abs salt mod len] is NOT — [abs min_int] is still
+   negative — which bit this module's salts once and [Khash.bin_of_key]'s
+   multiplicative hash after it; both now reduce through this one
+   function so the fix cannot diverge again. *)
+let positive_mod salt len =
+  let i = salt mod len in
+  if i < 0 then i + len else i
+
 (* A PMM within cluster [c] to home a structure on, spread round-robin by
    [salt] so cluster data is distributed over the cluster's memory. The
-   salt is arbitrary (hashes, negative deltas): reduce it with a Euclidean
-   modulus — [abs salt mod len] breaks on [min_int], whose [abs] is still
-   negative. *)
+   salt is arbitrary (hashes, negative deltas), hence the Euclidean
+   reduction. *)
 let home_in_cluster t ~cluster ~salt =
   let len = size_of_cluster t cluster in
-  let i = salt mod len in
-  let i = if i < 0 then i + len else i in
-  (cluster * t.cluster_size) + i
+  (cluster * t.cluster_size) + positive_mod salt len
 
 (* This clustering as the topology a NUMA-aware lock is built against
    ([Lock.make ~topo]), so the lock's hand-off locality follows the

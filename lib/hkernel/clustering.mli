@@ -25,6 +25,12 @@ val size_of_cluster : t -> int -> int
     source cluster go to the i-th processor of the target cluster. *)
 val rpc_target : t -> from:int -> target_cluster:int -> int
 
+(** Euclidean modulus: [positive_mod salt len] is in [0, len) for every
+    [salt], including [min_int] (where [abs salt mod len] stays negative).
+    The one shared reduction for arbitrary salts/hashes — used by
+    {!home_in_cluster} and {!Khash}'s bin hash. *)
+val positive_mod : int -> int -> int
+
 (** A PMM within [cluster] to home a structure on, chosen by [salt] so a
     cluster's structures spread over its memory. *)
 val home_in_cluster : t -> cluster:int -> salt:int -> int

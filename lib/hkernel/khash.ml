@@ -14,6 +14,15 @@
    - [Fine]:   per-bin spin locks plus a per-element spin lock (Figure 1a),
                with bin-then-element ordering.
 
+   [Sharded] scales the hybrid: the bin array is split into [shards] groups,
+   each protected by its own coarse lock homed on a distinct PMM — the
+   paper's clustering idea applied *within* one table, so reserve-bit dances
+   on different shards never touch the same lock word or memory module. On
+   top of each shard sits a {!Locks.Seqlock}: chain-mutating writers bump it
+   inside the shard lock, and read-only lookups ({!lookup}) probe the chain
+   with plain loads, validating the sequence afterwards and falling back to
+   the locked path on conflict.
+
    Chain traversal charges one timed read per element examined (the header
    word holding key and status), so long chains and remote bins cost what
    they should. *)
@@ -21,12 +30,13 @@
 open Hector
 open Locks
 
-type granularity = Hybrid | Coarse | Fine
+type granularity = Hybrid | Coarse | Fine | Sharded
 
 let granularity_name = function
   | Hybrid -> "hybrid"
   | Coarse -> "coarse"
   | Fine -> "fine"
+  | Sharded -> "sharded"
 
 type 'a elem = {
   key : int;
@@ -40,9 +50,12 @@ type 'a t = {
   machine : Machine.t;
   granularity : granularity;
   nbins : int;
+  nshards : int; (* 1 unless [Sharded] *)
   bins : 'a elem list array;
   bin_heads : Cell.t array; (* chain-head words, co-located with the lock *)
   lock : Lock.t; (* coarse table lock (Hybrid / Coarse) *)
+  shard_locks : Lock.t array; (* Sharded: one coarse lock per shard *)
+  seqlocks : Seqlock.t array; (* Sharded: per-shard sequence words *)
   bin_locks : Spin_lock.t array; (* Fine mode *)
   backoff : Backoff.t; (* for reserve-bit waiters *)
   homes : int array; (* the cluster's PMMs (for Fine-mode bin locks) *)
@@ -52,6 +65,8 @@ type 'a t = {
   mutable searches : int;
   mutable probes : int;
   mutable reserve_conflicts : int; (* found element reserved, had to wait *)
+  mutable optimistic_hits : int; (* lookups served by the unlocked path *)
+  mutable optimistic_fallbacks : int; (* lookups that fell back to the lock *)
   rcls : Verify.lock_class; (* lock-order class of this table's reserve bits *)
   elem_vclass : string; (* class name for Fine-mode element locks *)
 }
@@ -59,17 +74,32 @@ type 'a t = {
 let fine_backoff machine =
   Backoff.of_us (Machine.config machine) ~max_us:35.0 ()
 
-let create ?(granularity = Hybrid) ?(nbins = 64) ?(vname = "khash") ~lock_algo
-    ~homes machine =
+(* Multiplicative hash, reduced with the shared Euclidean modulus: [abs
+   (key * knuth) mod nbins] overflows to [min_int] for adversarial keys,
+   where [abs] is a no-op and the "bin" goes negative — the same pathology
+   {!Clustering.positive_mod} was introduced for. *)
+let bin_of_key t key = Clustering.positive_mod (key * 2654435761) t.nbins
+
+let create ?(granularity = Hybrid) ?(nbins = 64) ?(shards = 4)
+    ?(vname = "khash") ~lock_algo ~homes machine =
   if homes = [] then invalid_arg "Khash.create: empty home list";
   if nbins <= 0 then invalid_arg "Khash.create: nbins must be positive";
+  let nshards = match granularity with Sharded -> shards | _ -> 1 in
+  if nshards <= 0 || nshards > nbins then
+    invalid_arg
+      (Printf.sprintf "Khash.create: bad shard count %d (nbins %d)" nshards
+         nbins);
   let homes = Array.of_list homes in
   (* The table is a unit (Figure 2): its lock word, bin heads and elements
      live together in the cluster's memory, on the PMM mid-cluster and its
      neighbour. Holders therefore walk the same modules that waiters'
      lock-word traffic loads — the coupling behind the paper's second-order
-     effects. *)
+     effects. In [Sharded] mode each shard group (lock, sequence word and
+     bin heads) is instead homed on its own PMM, so shards load distinct
+     memory modules. *)
   let lock_home = homes.(Array.length homes / 2) in
+  let shard_home s = homes.(s mod Array.length homes) in
+  let shard_of_bin b = b mod nshards in
   let elem_homes =
     let n = Array.length homes in
     if n = 1 then [| lock_home |]
@@ -79,12 +109,33 @@ let create ?(granularity = Hybrid) ?(nbins = 64) ?(vname = "khash") ~lock_algo
     machine;
     granularity;
     nbins;
+    nshards;
     bins = Array.make nbins [];
     bin_heads =
       Array.init nbins (fun i ->
-          Machine.alloc machine ~label:(Printf.sprintf "binhead%d" i)
-            ~home:lock_home 0);
+          let home =
+            match granularity with
+            | Sharded -> shard_home (shard_of_bin i)
+            | Hybrid | Coarse | Fine -> lock_home
+          in
+          Machine.alloc machine ~label:(Printf.sprintf "binhead%d" i) ~home 0);
     lock = Lock.make machine ~home:lock_home ~vclass:(vname ^ ".lock") lock_algo;
+    shard_locks =
+      (match granularity with
+      | Sharded ->
+        Array.init nshards (fun s ->
+            Lock.make machine ~home:(shard_home s)
+              ~vclass:(Printf.sprintf "%s.shard%d" vname s)
+              lock_algo)
+      | Hybrid | Coarse | Fine -> [||]);
+    seqlocks =
+      (match granularity with
+      | Sharded ->
+        Array.init nshards (fun s ->
+            Seqlock.create machine ~home:(shard_home s)
+              ~vclass:(Printf.sprintf "%s.seq%d" vname s)
+              ())
+      | Hybrid | Coarse | Fine -> [||]);
     bin_locks =
       (match granularity with
       | Fine ->
@@ -93,7 +144,7 @@ let create ?(granularity = Hybrid) ?(nbins = 64) ?(vname = "khash") ~lock_algo
               ~home:homes.(i mod Array.length homes)
               ~vclass:(vname ^ ".bin")
               (fine_backoff machine))
-      | Hybrid | Coarse -> [||]);
+      | Hybrid | Coarse | Sharded -> [||]);
     backoff = fine_backoff machine;
     homes;
     elem_homes;
@@ -102,6 +153,8 @@ let create ?(granularity = Hybrid) ?(nbins = 64) ?(vname = "khash") ~lock_algo
     searches = 0;
     probes = 0;
     reserve_conflicts = 0;
+    optimistic_hits = 0;
+    optimistic_fallbacks = 0;
     rcls = Verify.lock_class (vname ^ ".reserve");
     elem_vclass = vname ^ ".elem";
   }
@@ -111,9 +164,13 @@ let size t = t.n_elems
 let searches t = t.searches
 let probes t = t.probes
 let reserve_conflicts t = t.reserve_conflicts
+let optimistic_hits t = t.optimistic_hits
+let optimistic_fallbacks t = t.optimistic_fallbacks
 let coarse_lock t = t.lock
-
-let bin_of_key t key = abs (key * 2654435761) mod t.nbins
+let shards t = t.nshards
+let shard_of_key t key = bin_of_key t key mod t.nshards
+let shard_lock t s = t.shard_locks.(s)
+let seqlock t s = t.seqlocks.(s)
 
 let pick_home t =
   let h = t.elem_homes.(t.next_home mod Array.length t.elem_homes) in
@@ -145,6 +202,24 @@ let search_locked_status ctx t key =
 let search_locked ctx t key =
   Option.map fst (search_locked_status ctx t key)
 
+(* The seqlock covering [key]'s shard, when the granularity has one. Chain
+   mutations bump it inside the shard lock so unlocked readers can detect
+   overlap. *)
+let seq_of_key t key =
+  match t.granularity with
+  | Sharded -> Some t.seqlocks.(shard_of_key t key)
+  | Hybrid | Coarse | Fine -> None
+
+let seq_write_begin t ctx key =
+  match seq_of_key t key with
+  | Some sq -> Seqlock.write_begin sq ctx
+  | None -> ()
+
+let seq_write_end t ctx key =
+  match seq_of_key t key with
+  | Some sq -> Seqlock.write_end sq ctx
+  | None -> ()
+
 (* Insert a fresh element; [status0] seeds the status word (e.g. already
    reserved, for placeholder descriptors — the combining-tree trick).
    [make] builds the payload given the element's home PMM, so payload cells
@@ -162,16 +237,18 @@ let insert_locked ctx t key ~status0 ~make =
           Some
             (Spin_lock.create t.machine ~home ~vclass:t.elem_vclass
                (fine_backoff t.machine))
-        | Hybrid | Coarse -> None);
+        | Hybrid | Coarse | Sharded -> None);
       home;
       payload;
     }
   in
   let b = bin_of_key t key in
+  seq_write_begin t ctx key;
   t.bins.(b) <- elem :: t.bins.(b);
   t.n_elems <- t.n_elems + 1;
   (* Link the element into the chain: one header write. *)
   Ctx.write ctx elem.status status0;
+  seq_write_end t ctx key;
   (* A placeholder born reserved (the combining-tree trick) belongs to its
      inserter from this moment; tell the checker, since no [try_reserve]
      will ever run for it. *)
@@ -189,6 +266,7 @@ let insert_locked ctx t key ~status0 ~make =
 let remove_locked ctx t key =
   let b = bin_of_key t key in
   let found = ref false in
+  seq_write_begin t ctx key;
   t.bins.(b) <-
     List.filter
       (fun e ->
@@ -203,6 +281,7 @@ let remove_locked ctx t key =
     (* Unlink write. *)
     Ctx.work ctx 10
   end;
+  seq_write_end t ctx key;
   !found
 
 (* -- hybrid-mode public operations --------------------------------------- *)
@@ -211,21 +290,24 @@ let remove_locked ctx t key =
    (Stodolsky et al., Section 3.2): an RPC service that would otherwise be
    taken mid-hold — and spin on the very lock its host processor holds — is
    deferred to the per-processor work queue and runs when the mask clears.
-   The flag sits at the top of the lock hierarchy. *)
-let with_coarse t ctx f =
-  Ctx.set_soft_mask ctx;
-  t.lock.Lock.acquire ctx;
-  let r = f () in
-  t.lock.Lock.release ctx;
-  Ctx.clear_soft_mask ctx;
-  r
+   The flag sits at the top of the lock hierarchy. The hold is
+   exception-protected: a raising [f] must not leave the lock held and the
+   mask set, or it wedges every other processor in the cluster. *)
+let with_coarse t ctx f = Lock.with_lock_masked t.lock ctx f
 
-(* Acquire the coarse lock, search, and reserve the element, retrying the
-   whole dance whenever the element is found reserved by someone else
+(* The lock protecting [key]: the table lock, or [key]'s shard lock under
+   [Sharded]. Same hold discipline (soft mask, exception-protected). *)
+let with_key_locked t ctx key f =
+  match t.granularity with
+  | Sharded -> Lock.with_lock_masked t.shard_locks.(shard_of_key t key) ctx f
+  | Hybrid | Coarse | Fine -> with_coarse t ctx f
+
+(* Acquire the protecting lock, search, and reserve the element, retrying
+   the whole dance whenever the element is found reserved by someone else
    (Figure 1b). Returns [None] if the key is absent. *)
 let rec reserve_existing t ctx key =
   let outcome =
-    with_coarse t ctx (fun () ->
+    with_key_locked t ctx key (fun () ->
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
@@ -246,7 +328,7 @@ let rec reserve_existing t ctx key =
    on the placeholder's reserve bit. *)
 let rec reserve_or_insert t ctx key ~make =
   let outcome =
-    with_coarse t ctx (fun () ->
+    with_key_locked t ctx key (fun () ->
         match search_locked_status ctx t key with
         | None -> `New (insert_locked ctx t key ~status0:1 ~make)
         | Some (e, st) ->
@@ -266,7 +348,7 @@ let rec reserve_or_insert t ctx key ~make =
    (Section 2.3). *)
 let try_reserve_existing t ctx key =
   let outcome =
-    with_coarse t ctx (fun () ->
+    with_key_locked t ctx key (fun () ->
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
@@ -284,59 +366,127 @@ let release_reserve ctx e = Reserve.clear ctx e.status
 
 (* Remove a key; the caller must hold the element's reservation, which dies
    with the element. *)
-let remove t ctx key = with_coarse t ctx (fun () -> remove_locked ctx t key)
+let remove t ctx key =
+  with_key_locked t ctx key (fun () -> remove_locked ctx t key)
 
 (* Insert a fresh, unreserved element. *)
 let insert t ctx key ~make =
-  with_coarse t ctx (fun () -> insert_locked ctx t key ~status0:0 ~make)
+  with_key_locked t ctx key (fun () -> insert_locked ctx t key ~status0:0 ~make)
+
+(* -- read-only lookups ---------------------------------------------------- *)
+
+(* Locked lookup: search under [key]'s protecting lock (bin lock in Fine
+   mode). The safe path every granularity supports. *)
+let lookup_locked t ctx key =
+  match t.granularity with
+  | Fine ->
+    let bin_lock = t.bin_locks.(bin_of_key t key) in
+    Spin_lock.acquire bin_lock ctx;
+    Fun.protect
+      ~finally:(fun () -> Spin_lock.release bin_lock ctx)
+      (fun () -> search_locked ctx t key)
+  | Hybrid | Coarse | Sharded ->
+    with_key_locked t ctx key (fun () -> search_locked ctx t key)
+
+(* Unlocked probe for the optimistic path: identical cost charging to
+   [search_locked_status] (bin-head read, one header read per element).
+   Runs against a chain snapshot; the seqlock validation decides whether
+   the snapshot was consistent. *)
+let search_unlocked ctx t key =
+  t.searches <- t.searches + 1;
+  ignore (Ctx.read ctx t.bin_heads.(bin_of_key t key));
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+      t.probes <- t.probes + 1;
+      ignore (Ctx.read ctx e.status);
+      Ctx.instr ctx ~reg:1 ~br:1 ();
+      if e.key = key then Some e else go rest
+  in
+  go t.bins.(bin_of_key t key)
+
+(* Read-only lookup. Under [Sharded] this is the optimistic read path:
+   sample the shard's sequence word, probe the chain unlocked, validate.
+   A writer-busy sample or failed validation falls back to the locked
+   search — one bounded retry through the lock, no unbounded spinning.
+   The other granularities always use the locked path. *)
+let lookup t ctx key =
+  match t.granularity with
+  | Hybrid | Coarse | Fine -> lookup_locked t ctx key
+  | Sharded -> (
+    let sq = t.seqlocks.(shard_of_key t key) in
+    match Seqlock.read_begin sq ctx with
+    | None ->
+      t.optimistic_fallbacks <- t.optimistic_fallbacks + 1;
+      lookup_locked t ctx key
+    | Some seq ->
+      let r = search_unlocked ctx t key in
+      if Seqlock.read_validate sq ctx seq then begin
+        t.optimistic_hits <- t.optimistic_hits + 1;
+        r
+      end
+      else begin
+        t.optimistic_fallbacks <- t.optimistic_fallbacks + 1;
+        lookup_locked t ctx key
+      end)
 
 (* -- granularity-dispatching operation ----------------------------------- *)
 
 (* Run [f] on the element for [key] with the protection the configured
    granularity prescribes. This is the API the ablation experiment drives:
-   - Hybrid: reserve bit held during [f], coarse lock only around search;
+   - Hybrid/Sharded: reserve bit held during [f], the protecting (table or
+     shard) lock only around search;
    - Coarse: coarse lock held during [f];
-   - Fine:   bin spin lock around search, element spin lock during [f]. *)
+   - Fine:   bin spin lock around search, element spin lock during [f].
+   All arms release their locks and clear the soft mask if [f] raises. *)
 let with_element t ctx key f =
   match t.granularity with
-  | Hybrid -> (
+  | Hybrid | Sharded -> (
     match reserve_existing t ctx key with
     | None -> None
     | Some e ->
-      let r = f e in
-      release_reserve ctx e;
-      Some r)
+      Some
+        (Fun.protect ~finally:(fun () -> release_reserve ctx e) (fun () -> f e)))
   | Coarse ->
-    t.lock.Lock.acquire ctx;
-    let r =
-      match search_locked ctx t key with
-      | None -> None
-      | Some e -> Some (f e)
-    in
-    t.lock.Lock.release ctx;
-    r
+    Lock.with_lock t.lock ctx (fun () ->
+        match search_locked ctx t key with
+        | None -> None
+        | Some e -> Some (f e))
   | Fine -> (
-    let b = bin_of_key t key in
-    let bin_lock = t.bin_locks.(b) in
+    let bin_lock = t.bin_locks.(bin_of_key t key) in
     Spin_lock.acquire bin_lock ctx;
-    match search_locked ctx t key with
-    | None ->
-      Spin_lock.release bin_lock ctx;
-      None
-    | Some e ->
-      let el =
-        match e.elem_lock with
-        | Some l -> l
-        | None -> assert false
-      in
-      Spin_lock.acquire el ctx;
-      Spin_lock.release bin_lock ctx;
-      let r = f e in
-      Spin_lock.release el ctx;
-      Some r)
+    let found =
+      match search_locked ctx t key with
+      | None ->
+        Spin_lock.release bin_lock ctx;
+        None
+      | Some e ->
+        let el =
+          match e.elem_lock with
+          | Some l -> l
+          | None -> assert false
+        in
+        (* Bin-then-element order, with the bin lock released only once the
+           element lock is held (Figure 1a). *)
+        Spin_lock.acquire el ctx;
+        Spin_lock.release bin_lock ctx;
+        Some (e, el)
+      | exception exn ->
+        Spin_lock.release bin_lock ctx;
+        raise exn
+    in
+    match found with
+    | None -> None
+    | Some (e, el) ->
+      Some
+        (Fun.protect
+           ~finally:(fun () -> Spin_lock.release el ctx)
+           (fun () -> f e)))
 
 (* Untimed insertion for experiment setup (pre-populating descriptors
-   before the simulation starts). *)
+   before the simulation starts). The element lock carries the same
+   {!Verify} class as a timed insert's, so lockdep sees pre-populated and
+   live elements identically. *)
 let insert_untimed t key ~status0 ~make =
   let home = pick_home t in
   let payload = make home in
@@ -346,8 +496,11 @@ let insert_untimed t key ~status0 ~make =
       status = Cell.make ~label:(Printf.sprintf "h%d" key) ~home status0;
       elem_lock =
         (match t.granularity with
-        | Fine -> Some (Spin_lock.create t.machine ~home (fine_backoff t.machine))
-        | Hybrid | Coarse -> None);
+        | Fine ->
+          Some
+            (Spin_lock.create t.machine ~home ~vclass:t.elem_vclass
+               (fine_backoff t.machine))
+        | Hybrid | Coarse | Sharded -> None);
       home;
       payload;
     }

@@ -11,12 +11,38 @@
     hybrid is compared against (experiment ABL1). Every coarse-lock hold
     sets the processor's soft interrupt mask, so RPC service handlers can
     never deadlock against the lock their own processor holds
-    (Section 3.2). *)
+    (Section 3.2).
+
+    {2 Sharded granularity}
+
+    [Sharded] splits the bin array into [shards] groups (bin [b] belongs to
+    shard [b mod shards]); each shard has its own coarse lock — any
+    {!Lock.algo}, including the NUMA composites — homed on a distinct PMM,
+    together with that shard's bin-head words. Operations behave exactly as
+    in [Hybrid] mode but take the key's shard lock instead of the table
+    lock, so reserve-bit dances on different shards proceed in parallel and
+    load distinct memory modules.
+
+    Each shard also carries a {!Locks.Seqlock}. Chain-mutating writers
+    ({!insert}, {!remove}, the placeholder arm of {!reserve_or_insert})
+    bump it {e inside} the shard lock. Read-only {!lookup}s use it as an
+    optimistic read path: sample the sequence word, probe the chain with
+    plain (unlocked) loads, validate the sequence. The contract is:
+
+    - a lookup whose validation succeeds observed a chain no writer touched
+      between the two samples, so its answer is consistent;
+    - a writer-busy sample or a failed validation makes the lookup fall
+      back to {!lookup_locked} — one bounded retry through the shard lock,
+      never an unbounded optimistic spin;
+    - reserve bits protect element {e payloads}, not chain structure, so
+      optimistic lookups may return a currently-reserved element — exactly
+      what a locked search would do. Callers that need the payload stable
+      must go through {!reserve_existing}/{!with_element} as usual. *)
 
 open Hector
 open Locks
 
-type granularity = Hybrid | Coarse | Fine
+type granularity = Hybrid | Coarse | Fine | Sharded
 
 val granularity_name : granularity -> string
 
@@ -36,11 +62,18 @@ type 'a t
     [make] callbacks receive the chosen element home. [vname] prefixes the
     table's {!Verify.lock_class} names (coarse lock [<vname>.lock], bins
     [<vname>.bin], element locks [<vname>.elem], reserve bits
-    [<vname>.reserve]), giving each table its own place in the lock-order
-    graph. *)
+    [<vname>.reserve]; under [Sharded], shard locks [<vname>.shard<i>] and
+    seqlocks [<vname>.seq<i>] — one class per shard, so contention profiles
+    attribute waits to individual shards), giving each table its own place
+    in the lock-order graph.
+
+    [shards] is only meaningful with [~granularity:Sharded] (ignored
+    otherwise) and must be in [1, nbins]; shard [s]'s lock, sequence word
+    and bin heads are homed on [homes.(s mod length homes)]. *)
 val create :
   ?granularity:granularity ->
   ?nbins:int ->
+  ?shards:int ->
   ?vname:string ->
   lock_algo:Lock.algo ->
   homes:int list ->
@@ -55,17 +88,45 @@ val probes : 'a t -> int
 (** Times a reserver found the element already reserved and had to wait. *)
 val reserve_conflicts : 'a t -> int
 
+(** {!lookup}s served entirely by the optimistic (unlocked) read path. *)
+val optimistic_hits : 'a t -> int
+
+(** {!lookup}s that sampled a writer-busy sequence word or failed
+    validation and fell back to the locked path. *)
+val optimistic_fallbacks : 'a t -> int
+
 val coarse_lock : 'a t -> Lock.t
 
-(** Run [f] with the coarse lock held and the soft interrupt mask set. *)
+(** Shard count: 1 unless the granularity is [Sharded]. *)
+val shards : 'a t -> int
+
+(** The shard a key's bin belongs to ([bin_of_key mod shards]). *)
+val shard_of_key : 'a t -> int -> int
+
+(** Shard [s]'s coarse lock / sequence word. Only meaningful under
+    [Sharded]; raises [Invalid_argument] otherwise (empty arrays). *)
+val shard_lock : 'a t -> int -> Lock.t
+
+val seqlock : 'a t -> int -> Seqlock.t
+
+(** The bin for a key: multiplicative hash reduced with
+    {!Clustering.positive_mod}, so it is total and in [0, nbins) for every
+    key including [min_int] (where the previous [abs _ mod _] reduction
+    went negative). Exposed for property tests. *)
+val bin_of_key : 'a t -> int -> int
+
+(** Run [f] with the coarse lock held and the soft interrupt mask set.
+    Exception-safe: the lock is released and the mask cleared if [f]
+    raises. *)
 val with_coarse : 'a t -> Ctx.t -> (unit -> 'b) -> 'b
 
-(** Search a chain; requires the coarse lock (or [with_coarse]). Charges one
-    read of the bin head plus one per element examined. *)
+(** Search a chain; requires the protecting lock (or [with_coarse]).
+    Charges one read of the bin head plus one per element examined. *)
 val search_locked : Ctx.t -> 'a t -> int -> 'a elem option
 
-(** Acquire the coarse lock, search, reserve; retry through reserve-bit
-    waits. [None] if absent. *)
+(** Acquire the key's protecting lock (table lock, or shard lock under
+    [Sharded]), search, reserve; retry through reserve-bit waits. [None] if
+    absent. *)
 val reserve_existing : 'a t -> Ctx.t -> int -> 'a elem option
 
 (** Like {!reserve_existing} but inserts a *reserved placeholder* under the
@@ -86,16 +147,27 @@ val try_reserve_existing :
 (** Clear an element's reservation (plain store). *)
 val release_reserve : Ctx.t -> 'a elem -> unit
 
-(** Remove a key under the coarse lock; the caller holds the element's
+(** Remove a key under the protecting lock; the caller holds the element's
     reservation, which dies with it. *)
 val remove : 'a t -> Ctx.t -> int -> bool
 
 (** Insert a fresh, unreserved element. *)
 val insert : 'a t -> Ctx.t -> int -> make:(int -> 'a) -> 'a elem
 
+(** Read-only lookup. Under [Sharded] this is the optimistic read path
+    described above (unlocked probe validated by the shard's seqlock,
+    locked fallback on conflict); under every other granularity it is
+    {!lookup_locked}. *)
+val lookup : 'a t -> Ctx.t -> int -> 'a elem option
+
+(** Search under the key's protecting lock (bin spin lock in [Fine] mode).
+    The pessimistic path {!lookup} falls back to. *)
+val lookup_locked : 'a t -> Ctx.t -> int -> 'a elem option
+
 (** Run [f] on the element under the configured granularity's protection:
-    reserve bit (Hybrid), the coarse lock (Coarse), or bin+element spin
-    locks (Fine). [None] if the key is absent. *)
+    reserve bit (Hybrid / Sharded), the coarse lock (Coarse), or
+    bin+element spin locks (Fine). [None] if the key is absent. All arms
+    release their locks (and reservation) if [f] raises. *)
 val with_element : 'a t -> Ctx.t -> int -> ('a elem -> 'b) -> 'b option
 
 (** Untimed setup insertion (pre-populating before a run). *)

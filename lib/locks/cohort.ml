@@ -31,16 +31,32 @@
    so a pass-release may hand the local lock to a node whose owner already
    left; the local release then GC-collects it and the local lock comes out
    *free* while the cluster still owns the global lock. The pass therefore
-   uses an explicit handshake: the releaser raises [pass_pending] before
-   releasing the local lock, and whoever completes a local acquire lowers
-   it (host-side, in the same step its acquire returns). A pass that comes
-   back with the flag still raised *and* the local lock free reached
-   nobody, and is demoted to a full release. Checking [is_free] alone
-   would be wrong: the local release's own trailing timed operations (the
-   H1/H2 deferred re-initialisation) let the successor run — it can take
-   the pass, do a full release of its own and leave the local lock free,
-   and the demote would then release the global lock a second time. The
-   flag distinguishes "nobody took it" from "taken and already gone". *)
+   uses an explicit handshake: the releaser writes a fresh generation
+   token into [pass_token] before releasing the local lock, and whoever
+   completes a local acquire zeroes it (host-side, in the same step its
+   acquire returns). A pass that comes back with the releaser's *own*
+   token still in place *and* the local lock free reached nobody, and is
+   demoted to a full release. Checking [is_free] alone would be wrong:
+   the local release's own trailing timed operations (the H1/H2 deferred
+   re-initialisation) let the successor run — it can take the pass, do a
+   full release of its own and leave the local lock free, and the demote
+   would then release the global lock a second time. Nor would a boolean
+   flag do: those same trailing operations let two pass-releases overlap,
+   and the earlier releaser's check would read the *later* releaser's
+   freshly-raised flag (plus a local lock momentarily free mid-hand-off)
+   and demote while the cohort session is still live. The token makes a
+   stale check inert — any acquire or later pass has overwritten it.
+
+   The demote itself needs one more guard: it releases the global lock
+   *after* the local lock is back in circulation (the full-release path
+   orders these the other way around), so a cluster-mate could acquire
+   the local lock, see [owned] false and enqueue on the global lock while
+   the demoted release is still in flight. If that mate is the processor
+   that opened the session, it re-enqueues the very MCS node the release
+   is operating on, and the hand-off is lost — both sides spin forever.
+   [demoting] closes the window: an acquirer that finds it raised waits
+   it out (short, bounded by the global release's few timed operations)
+   before touching the global lock. *)
 
 open Hector
 
@@ -52,7 +68,9 @@ type t = {
   global : Lock_core.packed;
   owned : bool array; (* cluster currently owns the global lock *)
   passes : int array; (* consecutive local hand-offs this cohort session *)
-  pass_pending : bool array; (* a local hand-off is in flight, not yet taken *)
+  pass_token : int array; (* 0 = none; else the in-flight pass's generation *)
+  mutable token_ctr : int; (* generation source for [pass_token] *)
+  demoting : bool array; (* a demoted global release is in flight *)
   max_handoffs : int;
   cluster_of : int -> int;
   mutable acquisitions : int;
@@ -91,7 +109,9 @@ let create_packed ?(vclass = "cohort") ?(max_handoffs = default_max_handoffs)
     global = global ~vclass:(vclass ^ ".global");
     owned = Array.make topo.Lock_core.n_clusters false;
     passes = Array.make topo.Lock_core.n_clusters 0;
-    pass_pending = Array.make topo.Lock_core.n_clusters false;
+    pass_token = Array.make topo.Lock_core.n_clusters 0;
+    token_ctr = 0;
+    demoting = Array.make topo.Lock_core.n_clusters false;
     max_handoffs;
     cluster_of = topo.Lock_core.cluster_of;
     acquisitions = 0;
@@ -127,9 +147,14 @@ let acquire t ctx =
   let c = cluster t ctx in
   Lock_core.p_acquire t.locals.(c) ctx;
   (* Accept any in-flight pass before the next timed operation: the
-     releaser's demote check must see either the flag lowered or the local
-     lock still occupied (see the header). *)
-  t.pass_pending.(c) <- false;
+     releaser's demote check must see either the token overwritten or the
+     local lock still occupied (see the header). *)
+  t.pass_token.(c) <- 0;
+  (* A demoted global release may still be in flight; wait it out before
+     touching the global lock (see the header). *)
+  while t.demoting.(c) do
+    Ctx.work ctx 10
+  done;
   (* [owned] is only ever read or written by the holder of cluster [c]'s
      local lock, so this host-side check cannot race. *)
   Ctx.instr ctx ~br:1 ();
@@ -144,9 +169,16 @@ let try_acquire t ctx =
   let c = cluster t ctx in
   if not (Lock_core.p_try_acquire t.locals.(c) ctx) then false
   else begin
-    t.pass_pending.(c) <- false;
+    t.pass_token.(c) <- 0;
     Ctx.instr ctx ~br:1 ();
-    if t.owned.(c) then begin
+    if t.demoting.(c) then begin
+      (* A demoted global release is in flight: enqueueing on the global
+         lock now could lose the hand-off, and a non-blocking caller
+         cannot wait it out — report the lock as busy. *)
+      Lock_core.p_release t.locals.(c) ctx;
+      false
+    end
+    else if t.owned.(c) then begin
       got_lock t ctx;
       true
     end
@@ -187,19 +219,24 @@ let release t ctx =
   if may_pass then begin
     (* Local hand-off: keep the global lock with the cluster. *)
     t.passes.(c) <- t.passes.(c) + 1;
-    t.pass_pending.(c) <- true;
+    t.token_ctr <- t.token_ctr + 1;
+    let tok = t.token_ctr in
+    t.pass_token.(c) <- tok;
     Lock_core.p_release t.locals.(c) ctx;
     (* The waiter the hint saw may have been an abandoned TryLock node the
-       release just collected. If nobody accepted the pass ([pass_pending]
-       still raised) and the local lock came out free, the cohort session
-       is over: demote to a full release of the global lock. An acquirer
-       that slips in after this check finds [owned] already false. *)
-    if t.pass_pending.(c) && Lock_core.p_is_free t.locals.(c) then begin
-      t.pass_pending.(c) <- false;
+       release just collected. If nobody accepted the pass (our own token
+       still in place — any acquire or later pass overwrites it) and the
+       local lock came out free, the cohort session is over: demote to a
+       full release of the global lock. An acquirer that slips in after
+       this check finds [owned] already false and [demoting] raised. *)
+    if t.pass_token.(c) = tok && Lock_core.p_is_free t.locals.(c) then begin
+      t.pass_token.(c) <- 0;
+      t.demoting.(c) <- true;
       t.owned.(c) <- false;
       t.passes.(c) <- 0;
       t.global_releases <- t.global_releases + 1;
-      Lock_core.p_release t.global ctx
+      Lock_core.p_release t.global ctx;
+      t.demoting.(c) <- false
     end
     else t.local_handoffs <- t.local_handoffs + 1
   end

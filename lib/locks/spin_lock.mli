@@ -25,6 +25,9 @@ val home : t -> int
 (** Untimed, for test assertions. *)
 val is_held : t -> bool
 
+(** The lock-order class this lock reports under (test assertions). *)
+val vclass : t -> Verify.lock_class
+
 val acquire : t -> Ctx.t -> unit
 val release : t -> Ctx.t -> unit
 

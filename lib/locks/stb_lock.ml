@@ -13,7 +13,7 @@
 open Eventsim
 open Hector
 
-type waiter = { proc : int; resume : unit -> unit }
+type waiter = { proc : int; resume : unit -> unit; granted : bool ref }
 
 type t = {
   flag : Cell.t; (* 0 free, 1 held *)
@@ -60,17 +60,33 @@ let acquire t ctx =
       Ctx.work ctx delay;
       spin (min (delay * 2) 64)
     end
+    else block ()
+  and block () =
+    (* Block: enqueue and deschedule. The releaser transfers ownership
+       directly (the flag stays 1), so no thundering herd on wake-up. *)
+    t.blocks <- t.blocks + 1;
+    Ctx.work ctx 30 (* enqueue + context-switch entry *);
+    (* The holder may have released during that entry work — and a releaser
+       that finds an empty wait list just clears the flag, so sleeping now
+       would be forever. The check and the enqueue are one host-atomic step
+       against release's pop-or-clear, so one side always sees the other. *)
+    if Cell.peek t.flag = 0 then spin 8
     else begin
-      (* Block: enqueue and deschedule. The releaser transfers ownership
-         directly (the flag stays 1), so no thundering herd on wake-up. *)
-      t.blocks <- t.blocks + 1;
-      Ctx.work ctx 30 (* enqueue + context-switch entry *);
+      let granted = ref false in
       Process.suspend (fun resume ->
-          Queue.push { proc = Ctx.proc ctx; resume } t.waiters);
-      (* Woken with the lock already ours. *)
+          Queue.push { proc = Ctx.proc ctx; resume; granted } t.waiters);
       Ctx.work ctx 30 (* context-switch exit *);
-      t.acquisitions <- t.acquisitions + 1;
-      Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+      if !granted then begin
+        (* Woken with the lock already ours. *)
+        t.acquisitions <- t.acquisitions + 1;
+        Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+      end
+      else
+        (* Spurious wake: our enqueue raced a clearing release (the swap
+           applies at its completion instant, after the releaser's empty
+           check). The lock is free; retry — the spin phase is spent, so
+           this either wins the test&set or blocks again properly. *)
+        spin 8
     end
   in
   spin 8
@@ -87,11 +103,20 @@ let try_acquire t ctx =
 let release t ctx =
   if Queue.is_empty t.waiters then begin
     ignore (Ctx.fetch_and_store ctx t.flag 0);
-    Ctx.instr ctx ~br:1 ()
+    Ctx.instr ctx ~br:1 ();
+    (* A waiter may have enqueued while the clearing swap was in flight (it
+       applies at completion time, after the empty check above). The lock
+       is free now, so nobody may stay parked: wake them ungranted — they
+       re-contend from the spin loop. *)
+    while not (Queue.is_empty t.waiters) do
+      let w = Queue.pop t.waiters in
+      Engine.schedule_after (Machine.engine t.machine) ~delay:0 w.resume
+    done
   end
   else begin
     (* Direct hand-off: the flag stays held; wake the first waiter. *)
     let w = Queue.pop t.waiters in
+    w.granted := true;
     t.handoffs <- t.handoffs + 1;
     Ctx.work ctx 20 (* wake-up IPI / scheduler insertion *);
     Engine.schedule_after (Machine.engine t.machine) ~delay:0 w.resume;

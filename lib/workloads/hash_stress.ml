@@ -93,6 +93,7 @@ let run ?(cfg = Config.hector) ?(config = default_config) granularity =
   let lock_words =
     match granularity with
     | Khash.Hybrid | Khash.Coarse -> 1
+    | Khash.Sharded -> Khash.shards table
     | Khash.Fine -> 64 + Khash.size table
   in
   {

@@ -225,6 +225,61 @@ let test_granularity_ablation () =
     true
     (m coarse > m hybrid *. 1.3)
 
+(* HASH-SCALING: sharding the table beats the single-lock hybrid once the
+   machine is busy (p >= 8) for every shard count, and the seqlock
+   optimistic read path undercuts locked lookups at a 90% read ratio. *)
+let test_hash_scaling_claims () =
+  let open Hurricane.Experiments in
+  let rows =
+    hash_scaling ~procs:[ 8; 16 ] ~read_ratios:[ 0.5; 0.9 ]
+      ~shard_counts:[ 2; 4; 8 ] ()
+  in
+  let hybrid p rr =
+    List.find
+      (fun r ->
+        r.hgran = Hkernel.Khash.Hybrid && r.hp = p && r.hread_ratio = rr)
+      rows
+  in
+  List.iter
+    (fun r ->
+      if r.hgran = Hkernel.Khash.Sharded then begin
+        let base = hybrid r.hp r.hread_ratio in
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "sharded (s=%d opt=%b p=%d rr=%.1f) %.1f ops/ms beats hybrid %.1f"
+             r.hshards r.hoptimistic r.hp r.hread_ratio r.hthroughput
+             base.hthroughput)
+          true
+          (r.hthroughput > base.hthroughput)
+      end)
+    rows;
+  List.iter
+    (fun r ->
+      if
+        r.hgran = Hkernel.Khash.Sharded && r.hoptimistic
+        && r.hread_ratio = 0.9
+      then begin
+        let locked =
+          List.find
+            (fun l ->
+              l.hgran = Hkernel.Khash.Sharded
+              && (not l.hoptimistic)
+              && l.hshards = r.hshards && l.hp = r.hp
+              && l.hread_ratio = r.hread_ratio)
+            rows
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "optimistic reads (s=%d p=%d) %.1fus beat locked %.1fus"
+             r.hshards r.hp r.hread_mean_us locked.hread_mean_us)
+          true
+          (r.hread_mean_us < locked.hread_mean_us);
+        Alcotest.(check bool)
+          (Printf.sprintf "optimistic path actually taken (s=%d p=%d)" r.hshards
+             r.hp)
+          true (r.hopt_hits > 0)
+      end)
+    rows
+
 let suite =
   [
     Alcotest.test_case "UNC: uncontended latency claims" `Slow
@@ -240,4 +295,6 @@ let suite =
     Alcotest.test_case "ABL3: CAS release" `Slow test_cas_ablation;
     Alcotest.test_case "TRY: TryLock fairness" `Slow test_trylock_claims;
     Alcotest.test_case "ABL1: granularity" `Slow test_granularity_ablation;
+    Alcotest.test_case "HASH-SCALING: sharding + seqlock claims" `Slow
+      test_hash_scaling_claims;
   ]

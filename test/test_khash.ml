@@ -5,11 +5,12 @@ open Hector
 open Locks
 open Hkernel
 
-let make ?(granularity = Khash.Hybrid) ?(lock_algo = Lock.Mcs_h2) () =
+let make ?(granularity = Khash.Hybrid) ?(shards = 4) ?(lock_algo = Lock.Mcs_h2)
+    () =
   let eng = Engine.create () in
   let machine = Machine.create eng Config.hector in
   let table =
-    Khash.create machine ~granularity ~nbins:16 ~lock_algo
+    Khash.create machine ~granularity ~nbins:16 ~shards ~lock_algo
       ~homes:(List.init 16 (fun i -> i))
   in
   let ctx p = Ctx.create machine ~proc:p (Rng.create (400 + p)) in
@@ -155,7 +156,7 @@ let test_with_element_all_granularities () =
       Alcotest.(check int)
         (Khash.granularity_name granularity ^ " all ops ran")
         40 !hits)
-    [ Khash.Hybrid; Khash.Coarse; Khash.Fine ]
+    [ Khash.Hybrid; Khash.Coarse; Khash.Fine; Khash.Sharded ]
 
 let test_with_element_missing () =
   let eng, _, table, ctx = make () in
@@ -186,6 +187,202 @@ let test_coarse_lock_masks_interrupts () =
       Khash.with_coarse table c (fun () ->
           Alcotest.(check bool) "masked inside" true (Ctx.soft_masked c));
       Alcotest.(check bool) "unmasked outside" false (Ctx.soft_masked c))
+
+(* The lock that protects [key]'s chain: the shard lock under [Sharded],
+   the table lock otherwise. *)
+let key_lock table key =
+  match Khash.granularity table with
+  | Khash.Sharded -> Khash.shard_lock table (Khash.shard_of_key table key)
+  | Khash.Hybrid | Khash.Coarse | Khash.Fine -> Khash.coarse_lock table
+
+exception Body_failed
+
+let test_with_element_exception_safety () =
+  List.iter
+    (fun granularity ->
+      let name = Khash.granularity_name granularity in
+      let eng, _, table, ctx = make ~granularity () in
+      simulate eng (fun () ->
+          let c = ctx 0 in
+          ignore (Khash.insert table c 11 ~make:(fun _ -> ()));
+          (match Khash.with_element table c 11 (fun _ -> raise Body_failed) with
+          | exception Body_failed -> ()
+          | _ -> Alcotest.fail (name ^ ": exception swallowed"));
+          Alcotest.(check bool) (name ^ ": soft mask cleared") false
+            (Ctx.soft_masked c);
+          Alcotest.(check bool) (name ^ ": protecting lock free") true
+            ((key_lock table 11).Lock.is_free ());
+          Khash.iter_untimed table (fun e ->
+              Alcotest.(check bool) (name ^ ": reserve bit cleared") false
+                (Reserve.write_reserved e.Khash.status);
+              match e.Khash.elem_lock with
+              | Some l ->
+                Alcotest.(check bool) (name ^ ": element lock released") false
+                  (Spin_lock.is_held l)
+              | None -> ());
+          (* The table is still usable from the same processor. *)
+          match Khash.with_element table c 11 (fun _ -> ()) with
+          | Some () -> ()
+          | None -> Alcotest.fail (name ^ ": element lost")))
+    [ Khash.Hybrid; Khash.Coarse; Khash.Fine; Khash.Sharded ]
+
+let test_with_coarse_exception_safety () =
+  let eng, _, table, ctx = make () in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      (match Khash.with_coarse table c (fun () -> raise Body_failed) with
+      | exception Body_failed -> ()
+      | _ -> Alcotest.fail "exception swallowed");
+      Alcotest.(check bool) "lock released" true
+        ((Khash.coarse_lock table).Lock.is_free ());
+      Alcotest.(check bool) "mask cleared" false (Ctx.soft_masked c);
+      (* ... and the section is immediately usable again. *)
+      Khash.with_coarse table c (fun () ->
+          Alcotest.(check bool) "masked again" true (Ctx.soft_masked c)))
+
+let test_fine_untimed_insert_vclass () =
+  let _, _, table, _ = make ~granularity:Khash.Fine () in
+  let e = Khash.insert_untimed table 7 ~status0:0 ~make:(fun _ -> ()) in
+  match e.Khash.elem_lock with
+  | None -> Alcotest.fail "Fine element must carry a spin lock"
+  | Some l ->
+    Alcotest.(check string) "untimed insert uses the table's element class"
+      "khash.elem"
+      (Verify.class_name (Spin_lock.vclass l))
+
+let test_bin_of_key_corners () =
+  let _, _, table, _ = make () in
+  List.iter
+    (fun k ->
+      let b = Khash.bin_of_key table k in
+      Alcotest.(check bool)
+        (Printf.sprintf "bin_of_key %d in range (got %d)" k b)
+        true
+        (b >= 0 && b < 16))
+    [ min_int; min_int + 1; -1; 0; 1; max_int; max_int - 1; 2654435761 ]
+
+let prop_bin_of_key_in_range =
+  let _, _, table, _ = make () in
+  QCheck.Test.make ~name:"bin_of_key total and in [0,nbins) for every int"
+    ~count:1000 QCheck.int (fun k ->
+      let b = Khash.bin_of_key table k in
+      b >= 0 && b < 16)
+
+let make_sharded_raw seed =
+  let eng = Engine.create () in
+  let machine = Machine.create eng Config.hector in
+  let table =
+    Khash.create machine ~granularity:Khash.Sharded ~nbins:16 ~shards:4
+      ~lock_algo:Lock.Mcs_h2
+      ~homes:(List.init 16 (fun i -> i))
+  in
+  let ctx proc = Ctx.create machine ~proc (Rng.create (seed + (31 * proc))) in
+  (eng, table, ctx)
+
+let prop_sharded_mutual_exclusion =
+  QCheck.Test.make ~name:"sharded: with_element is mutually exclusive per key"
+    ~count:25
+    QCheck.(triple (int_range 2 6) (int_range 1 12) (int_range 0 10000))
+    (fun (p, ops, seed) ->
+      let eng, table, ctx = make_sharded_raw seed in
+      let nkeys = 8 in
+      for k = 0 to nkeys - 1 do
+        ignore (Khash.insert_untimed table k ~status0:0 ~make:(fun _ -> ()))
+      done;
+      let inside = Array.make nkeys 0 in
+      let bad = ref false in
+      let done_ops = ref 0 in
+      for proc = 0 to p - 1 do
+        Process.spawn eng (fun () ->
+            let c = ctx proc in
+            for _ = 1 to ops do
+              let k = Rng.int (Ctx.rng c) nkeys in
+              match
+                Khash.with_element table c k (fun _ ->
+                    inside.(k) <- inside.(k) + 1;
+                    if inside.(k) > 1 then bad := true;
+                    Ctx.work c (1 + Rng.int (Ctx.rng c) 20);
+                    inside.(k) <- inside.(k) - 1)
+              with
+              | Some () -> incr done_ops
+              | None -> bad := true
+            done)
+      done;
+      Engine.run eng;
+      (not !bad) && !done_ops = p * ops)
+
+let prop_sharded_optimistic_lookup_consistency =
+  QCheck.Test.make
+    ~name:"sharded: optimistic lookups stay consistent under churn" ~count:20
+    QCheck.(triple (int_range 2 6) (int_range 2 15) (int_range 0 10000))
+    (fun (p, ops, seed) ->
+      let eng, table, ctx = make_sharded_raw seed in
+      let stable = 8 in
+      for k = 0 to stable - 1 do
+        ignore (Khash.insert_untimed table k ~status0:0 ~make:(fun _ -> ()))
+      done;
+      for proc = 0 to p - 1 do
+        ignore
+          (Khash.insert_untimed table (100 + proc) ~status0:0
+             ~make:(fun _ -> ()))
+      done;
+      let ok = ref true in
+      let lookups = ref 0 in
+      for proc = 0 to p - 1 do
+        Process.spawn eng (fun () ->
+            let c = ctx proc in
+            if proc land 1 = 0 then
+              (* Reader: stable keys are never removed, so every lookup —
+                 optimistic or fallen back — must find them. *)
+              for _ = 1 to ops do
+                let k = Rng.int (Ctx.rng c) stable in
+                incr lookups;
+                (match Khash.lookup table c k with
+                | Some e -> if e.Khash.key <> k then ok := false
+                | None -> ok := false);
+                Ctx.work c 5
+              done
+            else begin
+              (* Churner: delete and re-insert its own key, driving the
+                 shard's seqlock through writer sections. *)
+              let k = 100 + proc in
+              for _ = 1 to ops do
+                (match Khash.reserve_existing table c k with
+                | Some _ -> if not (Khash.remove table c k) then ok := false
+                | None -> ok := false);
+                ignore (Khash.insert table c k ~make:(fun _ -> ()));
+                Ctx.work c 3
+              done
+            end)
+      done;
+      Engine.run eng;
+      (* Every optimistic lookup is accounted as either a hit or a
+         fallback — none silently bypasses the seqlock protocol. *)
+      !ok
+      && Khash.optimistic_hits table + Khash.optimistic_fallbacks table
+         = !lookups)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_sharded_obs_attribution () =
+  let r =
+    Workloads.Hash_scaling.run ~observe:true
+      ~config:
+        { Workloads.Hash_scaling.default_config with p = 4; ops = 60 }
+      ()
+  in
+  let classes =
+    List.map (fun (row : Obs.row) -> row.Obs.row_class)
+      r.Workloads.Hash_scaling.obs_rows
+  in
+  let shard_classes = List.filter (has_prefix ~prefix:"khash.shard") classes in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-shard lock classes profiled (got %s)"
+       (String.concat "," classes))
+    true
+    (List.length shard_classes >= 2)
 
 let prop_untimed_matches_inserted =
   QCheck.Test.make ~name:"table contents = inserted \\ removed" ~count:50
@@ -233,5 +430,17 @@ let suite =
     Alcotest.test_case "untimed iteration" `Quick test_untimed_iteration;
     Alcotest.test_case "coarse sections soft-mask interrupts" `Quick
       test_coarse_lock_masks_interrupts;
+    Alcotest.test_case "with_element releases locks when the body raises"
+      `Quick test_with_element_exception_safety;
+    Alcotest.test_case "with_coarse releases lock and mask on raise" `Quick
+      test_with_coarse_exception_safety;
+    Alcotest.test_case "untimed Fine insert carries the element lock class"
+      `Quick test_fine_untimed_insert_vclass;
+    Alcotest.test_case "bin_of_key corner keys" `Quick test_bin_of_key_corners;
+    Alcotest.test_case "sharded runs attribute waits to shard classes" `Quick
+      test_sharded_obs_attribution;
+    QCheck_alcotest.to_alcotest prop_bin_of_key_in_range;
+    QCheck_alcotest.to_alcotest prop_sharded_mutual_exclusion;
+    QCheck_alcotest.to_alcotest prop_sharded_optimistic_lookup_consistency;
     QCheck_alcotest.to_alcotest prop_untimed_matches_inserted;
   ]
