@@ -91,6 +91,7 @@ let run_verify () = Report.verify ppf (Experiments.verify_suite ())
 let run_obs () = Report.obs ppf (Experiments.obs_profile ())
 let run_numa () = Report.numa_locks ppf (Experiments.numa_locks ())
 let run_hash () = Report.hash_scaling ppf (Experiments.hash_scaling ())
+let run_abort () = Report.abort_storm ppf (Experiments.abort_storm ())
 
 let experiments =
   [
@@ -123,6 +124,7 @@ let experiments =
     ("obs", run_obs);
     ("numa", run_numa);
     ("hash", run_hash);
+    ("abort-storm", run_abort);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

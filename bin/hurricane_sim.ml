@@ -532,6 +532,65 @@ let numa_cmd =
           cohort/hmcs/cna against h2.")
     Term.(const run $ algo_arg $ clusters $ hold $ window)
 
+(* -- abort subcommand --------------------------------------------------------- *)
+
+let abort_cmd =
+  let run algo clusters timeout_us stall_us window_us seed =
+    let r =
+      Abort_storm.run
+        ~config:
+          {
+            Abort_storm.default_config with
+            n_clusters = clusters;
+            timeout_us;
+            stall_us;
+            window_us;
+            seed;
+          }
+        algo
+    in
+    Format.fprintf ppf "overshoot: %a@." Measure.pp r.Abort_storm.overshoot;
+    Format.fprintf ppf "recovery:  %a@." Measure.pp r.Abort_storm.recovery;
+    Format.fprintf ppf
+      "attempts=%d acquisitions=%d aborts=%d (fast-fail %d) stalls=%d \
+       max-overshoot=%.1fus bound-ratio=%.2f remote-aborts=%d repairs=%d \
+       final-free=%b@."
+      r.Abort_storm.attempts r.Abort_storm.acquisitions r.Abort_storm.aborts
+      r.Abort_storm.fast_fails r.Abort_storm.stalls
+      r.Abort_storm.max_overshoot_us r.Abort_storm.bound_ratio
+      r.Abort_storm.remote_aborts r.Abort_storm.obs_repairs
+      r.Abort_storm.final_free
+  in
+  let clusters =
+    Arg.(
+      value & opt int 4
+      & info [ "clusters" ] ~docv:"C" ~doc:"Number of clusters (p=16 split).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 150.0
+      & info [ "timeout" ] ~docv:"US" ~doc:"Per-attempt deadline in us.")
+  in
+  let stall =
+    Arg.(
+      value & opt float 1500.0
+      & info [ "stall" ] ~docv:"US"
+          ~doc:"How long the planted holder goes dark per stall.")
+  in
+  let window =
+    Arg.(
+      value & opt float 20000.0
+      & info [ "window" ] ~docv:"US" ~doc:"Measurement window in us.")
+  in
+  Cmd.v
+    (Cmd.info "abort"
+       ~doc:
+         "Timed acquisition under a planted cross-cluster holder stall: \
+          every waiter attempts through the timed face and must return \
+          within a bounded overshoot of its deadline (experiment \
+          ABORT-STORM). Only abortable algorithms are accepted.")
+    Term.(const run $ algo_arg $ clusters $ timeout $ stall $ window $ seed_arg)
+
 (* -- hash subcommand --------------------------------------------------------- *)
 
 let hash_cmd =
@@ -655,6 +714,7 @@ let figure_cmd =
     | "obs" -> Report.obs ppf (Experiments.obs_profile ())
     | "numa" -> Report.numa_locks ppf (Experiments.numa_locks ())
     | "hash" -> Report.hash_scaling ppf (Experiments.hash_scaling ())
+    | "abort-storm" -> Report.abort_storm ppf (Experiments.abort_storm ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -683,6 +743,7 @@ let main_cmd =
       verify_cmd;
       trace_cmd;
       numa_cmd;
+      abort_cmd;
       hash_cmd;
       figure_cmd;
     ]

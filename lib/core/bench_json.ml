@@ -9,8 +9,12 @@ open Workloads
    with local/remote hand-off counts and worst-case waits).
    Version 3: added the "hash_scaling" experiment (sharded hash table +
    seqlock optimistic reads: throughput and read/update latency per
-   granularity x shard count x read ratio x p). *)
-let schema_version = 3
+   granularity x shard count x read ratio x p).
+   Version 4: added the "abort_storm" experiment (timed abandonment under
+   a planted cross-cluster holder stall: overshoot distribution, worst
+   return/timeout ratio, recovery latency and per-cluster abort counts
+   per abortable algorithm). *)
+let schema_version = 4
 
 let default_names =
   [
@@ -26,6 +30,7 @@ let default_names =
     "constants";
     "numa_locks";
     "hash_scaling";
+    "abort_storm";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -177,6 +182,31 @@ let hash_scaling_json (rows : Experiments.hash_point list) =
            ])
        rows)
 
+let abort_storm_json (rows : Experiments.abort_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.abort_point) ->
+         Json.Obj
+           [
+             ("algo", Json.String (Lock.algo_name r.Experiments.aalgo));
+             ("attempts", Json.Int r.Experiments.aattempts);
+             ("acquisitions", Json.Int r.Experiments.aacqs);
+             ("aborts", Json.Int r.Experiments.aaborts);
+             ("fast_fails", Json.Int r.Experiments.afast_fails);
+             ("stalls", Json.Int r.Experiments.astalls);
+             ("overshoot_mean_us", Json.Float r.Experiments.aover_mean_us);
+             ("overshoot_p99_us", Json.Float r.Experiments.aover_p99_us);
+             ("overshoot_max_us", Json.Float r.Experiments.aover_max_us);
+             ("bound_ratio", Json.Float r.Experiments.abound_ratio);
+             ("recovery_mean_us", Json.Float r.Experiments.arecovery_mean_us);
+             ("recovery_max_us", Json.Float r.Experiments.arecovery_max_us);
+             ("obs_aborts", Json.Int r.Experiments.aobs_aborts);
+             ("obs_repairs", Json.Int r.Experiments.aobs_repairs);
+             ("remote_aborts", Json.Int r.Experiments.aremote_aborts);
+             ("final_free", Json.Bool r.Experiments.afinal_free);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -209,6 +239,7 @@ let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
     | "constants" -> constants_json (Experiments.constants ?cfg ())
     | "numa_locks" -> numa_locks_json (Experiments.numa_locks ?cfg ())
     | "hash_scaling" -> hash_scaling_json (Experiments.hash_scaling ?cfg ())
+    | "abort_storm" -> abort_storm_json (Experiments.abort_storm ?cfg ())
     | other ->
       invalid_arg
         (Printf.sprintf "Bench_json.document: unknown experiment %S" other)

@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -29,7 +29,12 @@
         "hash_scaling": [ {granularity, shards, optimistic, p, read_ratio,
                            read_mean_us, read_p99_us, update_mean_us,
                            throughput_ops_ms, optimistic_hits,
-                           optimistic_fallbacks, atomics} ]
+                           optimistic_fallbacks, atomics} ],
+        "abort_storm": [ {algo, attempts, acquisitions, aborts, fast_fails,
+                          stalls, overshoot_mean_us, overshoot_p99_us,
+                          overshoot_max_us, bound_ratio, recovery_mean_us,
+                          recovery_max_us, obs_aborts, obs_repairs,
+                          remote_aborts, final_free} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
@@ -37,6 +42,10 @@
     Version 3 added "hash_scaling" (sharded hash table + seqlock
     optimistic reads: throughput and read/update latency per granularity x
     shard count x read ratio x p).
+    Version 4 added "abort_storm" (timed abandonment under a planted
+    cross-cluster holder stall: overshoot vs deadline, worst
+    return/timeout ratio, recovery latency and per-cluster abort counts
+    per abortable algorithm).
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -46,8 +55,8 @@ open Hector
 val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
-    "constants"; "numa_locks"; "hash_scaling"] — what a bare [--json]
-    exports. *)
+    "constants"; "numa_locks"; "hash_scaling"; "abort_storm"] — what a
+    bare [--json] exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

@@ -670,3 +670,54 @@ let obs_profile ?(cfg = Config.hector) ?(mechanism = Fault_storm.Timeout) () =
       ~obs mechanism
   in
   { obs_rows = Obs.profile_rows obs; obs_storm = storm }
+
+(* -- ABORT-STORM: timed abandonment under a planted holder stall ------------ *)
+
+type abort_point = {
+  aalgo : Lock.algo;
+  aattempts : int;
+  aacqs : int;
+  aaborts : int;
+  afast_fails : int;
+  astalls : int;
+  aover_mean_us : float; (* waited-out expiries: return minus deadline *)
+  aover_p99_us : float;
+  aover_max_us : float;
+  abound_ratio : float; (* worst (return - issue) / timeout *)
+  arecovery_mean_us : float; (* stall release to next timed acquisition *)
+  arecovery_max_us : float;
+  aobs_aborts : int; (* observer-counted, cohort constituents included *)
+  aobs_repairs : int;
+  aremote_aborts : int; (* aborts outside the staller's cluster *)
+  afinal_free : bool;
+}
+
+(* Each abortable algorithm — flat MCS and the three NUMA composites —
+   under the same planted cross-cluster holder stall. The bound_ratio
+   column is the acceptance criterion: every timed waiter returned within
+   that multiple of its deadline, where the unbounded protocol would have
+   ridden out the whole stall; remote aborts > 0 shows waiters expired at
+   every level of the composite, not just beside the holder. *)
+let abort_storm ?(cfg = Config.hector) ?(algos = numa_algos) () =
+  List.map
+    (fun aalgo ->
+      let r = Abort_storm.run ~cfg aalgo in
+      {
+        aalgo;
+        aattempts = r.Abort_storm.attempts;
+        aacqs = r.Abort_storm.acquisitions;
+        aaborts = r.Abort_storm.aborts;
+        afast_fails = r.Abort_storm.fast_fails;
+        astalls = r.Abort_storm.stalls;
+        aover_mean_us = r.Abort_storm.overshoot.Measure.mean_us;
+        aover_p99_us = r.Abort_storm.overshoot.Measure.p99_us;
+        aover_max_us = r.Abort_storm.max_overshoot_us;
+        abound_ratio = r.Abort_storm.bound_ratio;
+        arecovery_mean_us = r.Abort_storm.recovery.Measure.mean_us;
+        arecovery_max_us = r.Abort_storm.recovery.Measure.max_us;
+        aobs_aborts = r.Abort_storm.obs_aborts;
+        aobs_repairs = r.Abort_storm.obs_repairs;
+        aremote_aborts = r.Abort_storm.remote_aborts;
+        afinal_free = r.Abort_storm.final_free;
+      })
+    algos

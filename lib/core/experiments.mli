@@ -262,3 +262,35 @@ type obs_result = { obs_rows : Obs.row list; obs_storm : Fault_storm.result }
 
 val obs_profile :
   ?cfg:Config.t -> ?mechanism:Fault_storm.mechanism -> unit -> obs_result
+
+(** ABORT-STORM — timed acquisition under a planted cross-cluster holder
+    stall ({!Workloads.Abort_storm}): flat MCS and the NUMA composites,
+    each with a holder that goes dark far longer than any waiter's
+    deadline. [abound_ratio] is the acceptance bound — the worst
+    return-time-to-timeout multiple over every expired attempt; remote
+    aborts show waiters expiring at every level of the composite. *)
+
+type abort_point = {
+  aalgo : Lock.algo;
+  aattempts : int;
+  aacqs : int;
+  aaborts : int;
+  afast_fails : int;
+      (** refused instantly: an earlier expiry's abandoned node was still
+          enqueued awaiting repair *)
+  astalls : int;
+  aover_mean_us : float;  (** waited-out expiries: return minus deadline *)
+  aover_p99_us : float;
+  aover_max_us : float;
+  abound_ratio : float;  (** worst (return − issue) / timeout *)
+  arecovery_mean_us : float;
+      (** stall release to next successful timed acquisition *)
+  arecovery_max_us : float;
+  aobs_aborts : int;  (** observer-counted, cohort constituents included *)
+  aobs_repairs : int;
+  aremote_aborts : int;  (** aborts outside the staller's cluster *)
+  afinal_free : bool;  (** lock free after the final untimed drain *)
+}
+
+val abort_storm :
+  ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> abort_point list

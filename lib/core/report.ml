@@ -382,6 +382,31 @@ let hash_scaling ppf (rows : Experiments.hash_point list) =
         r.Experiments.hopt_hits r.Experiments.hopt_fallbacks)
     rows
 
+let abort_storm ppf (rows : Experiments.abort_point list) =
+  section ppf "ABORT-STORM - timed abandonment under a stalled holder"
+    "one processor takes the lock and goes dark for ~10x any waiter's \
+     deadline; every other processor attempts through the timed face. \
+     Each expired waiter must return within a bounded multiple of its \
+     deadline (the ratio column) instead of riding out the stall, remote \
+     aborts show waiters expiring at every level of the NUMA composite, \
+     and the lock must recover promptly - abandoned queue nodes repaired \
+     at the next hand-offs - once the holder releases";
+  Format.fprintf ppf "%-15s %8s %6s %7s %6s %9s %9s %6s %9s %7s %7s %5s@."
+    "lock" "attempts" "acq" "aborts" "stall" "over(us)" "maxov(us)" "ratio"
+    "rec(us)" "rem-ab" "repair" "free";
+  List.iter
+    (fun (r : Experiments.abort_point) ->
+      Format.fprintf ppf
+        "%-15s %8d %6d %7d %6d %9.2f %9.1f %6.2f %9.1f %7d %7d %5s@."
+        (Lock.algo_name r.Experiments.aalgo)
+        r.Experiments.aattempts r.Experiments.aacqs r.Experiments.aaborts
+        r.Experiments.astalls r.Experiments.aover_mean_us
+        r.Experiments.aover_max_us r.Experiments.abound_ratio
+        r.Experiments.arecovery_mean_us r.Experiments.aremote_aborts
+        r.Experiments.aobs_repairs
+        (if r.Experiments.afinal_free then "yes" else "NO"))
+    rows
+
 let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
   section ppf "OBS - where did the cycles go (dosed fault storm)"
     "the argument of Figures 5/7 is made by attributing waiting time to \

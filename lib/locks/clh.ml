@@ -14,9 +14,29 @@
    (Section 5.2 discusses the trade-offs among queue locks).
 
    Node state: locked = 1 while its owner holds or waits for the lock;
-   0 once released. The tail initially points at a dummy unlocked node. *)
+   0 once released. The tail initially points at a dummy unlocked node.
+
+   Timed acquisition (node recycling rules): a CLH node cannot be removed
+   from the implicit queue, but because the release signal is
+   level-triggered (the 0 persists in the predecessor's node), a timed-out
+   waiter can abandon {e by value}: it writes [pred + 2] into its own node
+   and leaves. Its unique successor — the one processor spinning on that
+   node — decodes the redirect, adopts [pred] as its new predecessor, and
+   returns the abandoned node to its owner (host-side bookkeeping; the
+   owner is idle in the queue's eyes, so no handshake is needed — a grant
+   that raced the abandonment is still sitting, level-triggered, at the
+   end of the redirect chain). Timed acquisitions run on a separate
+   per-processor node (the MCS interrupt-node discipline) so untimed
+   acquisitions never go node-less; while a processor's timed node is
+   still abandoned-in-queue, a new timed acquire fails fast. *)
 
 open Hector
+
+(* Node cell values. *)
+let v_released = 0
+let v_locked = 1
+let encode_abandoned ~pred = pred + 2
+let decode_abandoned v = v - 2
 
 type t = {
   tail : Cell.t; (* node id of the queue tail *)
@@ -27,21 +47,27 @@ type t = {
   (* Bookkeeping for assertions (untimed). *)
   mutable holder : int; (* processor or -1 *)
   pred_of_proc : int array; (* node adopted from the predecessor *)
+  timed_node_of_proc : int array; (* node for timed acquires; -1 = in queue *)
+  abandoner_of_node : int array; (* node id -> proc that abandoned it, -1 *)
+  timed_active : bool array; (* current hold came through the timed face *)
+  mutable timeouts : int;
+  mutable gc_count : int; (* abandoned nodes returned by an observer *)
   vcls : Verify.lock_class;
   vid : int;
 }
 
 (* Node ids index [nodes]; node i for i < n starts owned by processor i,
-   node n is the dummy the tail starts at. *)
+   node n is the dummy the tail starts at, nodes n+1 .. 2n are the
+   per-processor timed nodes (i - n - 1 owns node i). *)
 let create ?(home = 0) ?(vclass = "clh") machine =
   let n = Machine.n_procs machine in
   let nodes =
-    Array.init (n + 1) (fun i ->
-        let node_home = if i < n then i else home in
+    Array.init ((2 * n) + 1) (fun i ->
+        let node_home = if i < n then i else if i = n then home else i - n - 1 in
         Machine.alloc machine
           ~label:(Printf.sprintf "clh%d" i)
           ~home:node_home
-          (if i = n then 0 else 1))
+          (if i = n then v_released else v_locked))
   in
   {
     tail = Machine.alloc machine ~label:"clh.tail" ~home n;
@@ -51,6 +77,11 @@ let create ?(home = 0) ?(vclass = "clh") machine =
     acquisitions = 0;
     holder = -1;
     pred_of_proc = Array.make n (-1);
+    timed_node_of_proc = Array.init n (fun i -> n + 1 + i);
+    abandoner_of_node = Array.make ((2 * n) + 1) (-1);
+    timed_active = Array.make n false;
+    timeouts = 0;
+    gc_count = 0;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -58,38 +89,136 @@ let create ?(home = 0) ?(vclass = "clh") machine =
 let acquisitions t = t.acquisitions
 let holder_proc t = if t.holder < 0 then None else Some t.holder
 let is_free t = t.holder < 0
+let timeouts t = t.timeouts
+let gc_count t = t.gc_count
+
+(* Our predecessor abandoned: return its node to its owner (we are the only
+   processor spinning on it, so the reclaim cannot race another observer)
+   and follow the redirect. *)
+let reclaim_abandoned t ctx node =
+  let owner = t.abandoner_of_node.(node) in
+  t.abandoner_of_node.(node) <- -1;
+  if owner >= 0 then t.timed_node_of_proc.(owner) <- node;
+  t.gc_count <- t.gc_count + 1;
+  Vhook.abandon_repaired ctx ~cls:t.vcls
+
+(* Spin on [pred]'s node until it reads released, following abandonment
+   redirects; returns the node the grant finally arrived through (the node
+   to adopt at release). *)
+let rec spin_on_pred t ctx pred =
+  let v = Ctx.read ctx t.nodes.(pred) in
+  Ctx.instr ctx ~br:1 ();
+  if v = v_released then pred
+  else if v >= 2 then begin
+    let redirect = decode_abandoned v in
+    reclaim_abandoned t ctx pred;
+    spin_on_pred t ctx redirect
+  end
+  else spin_on_pred t ctx pred
 
 let acquire t ctx =
   Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let proc = Ctx.proc ctx in
   let my = t.node_of_proc.(proc) in
   (* Mark our node locked (it may be a recycled node homed anywhere). *)
-  Ctx.write ctx t.nodes.(my) 1;
+  Ctx.write ctx t.nodes.(my) v_locked;
   let pred = Ctx.fetch_and_store ctx t.tail my in
   Ctx.instr ctx ~reg:2 ~br:2 ();
   (* Spin on the PREDECESSOR's node — remote, unless a coherent cache holds
      it. *)
-  let rec wait () =
-    let v = Ctx.read ctx t.nodes.(pred) in
-    Ctx.instr ctx ~br:1 ();
-    if v <> 0 then wait ()
-  in
-  wait ();
-  t.pred_of_proc.(proc) <- pred;
+  let granted_through = spin_on_pred t ctx pred in
+  t.pred_of_proc.(proc) <- granted_through;
   assert (t.holder < 0);
   t.holder <- proc;
   t.acquisitions <- t.acquisitions + 1;
   Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
+(* Timed acquisition on the per-processor timed node. On expiry the waiter
+   publishes the redirect value and leaves; the level-triggered release
+   signal means no claim handshake is needed (a grant that lands after the
+   abandonment waits, as a persistent 0, for whoever follows the redirect
+   chain — conservation holds because the successor, or the next enqueuer,
+   inherits it). *)
+let acquire_with_timeout t ctx ~timeout =
+  if timeout <= 0 then begin
+    t.timeouts <- t.timeouts + 1;
+    false
+  end
+  else begin
+    let proc = Ctx.proc ctx in
+    let my = t.timed_node_of_proc.(proc) in
+    if my < 0 then begin
+      (* Our timed node is still abandoned in the queue. *)
+      t.timeouts <- t.timeouts + 1;
+      false
+    end
+    else begin
+      Vhook.wait_acquire_timed ctx ~cls:t.vcls ~id:t.vid;
+      let deadline = Machine.now t.machine + timeout in
+      Ctx.write ctx t.nodes.(my) v_locked;
+      let pred = Ctx.fetch_and_store ctx t.tail my in
+      Ctx.instr ctx ~reg:2 ~br:2 ();
+      (* [wait] returns [Ok granted_through] on the grant, or
+         [Error cur_pred] on expiry — [cur_pred] being the node we were
+         spinning on when time ran out, which is NOT necessarily the node
+         the fetch&store returned: every redirect we followed reclaimed
+         its node and returned it to an owner who may re-enqueue it
+         anywhere. An abandonment must therefore redirect to [cur_pred];
+         pointing at the original predecessor would aim our successor at
+         a recycled node — possibly queued *behind* it — and close a
+         circular wait. *)
+      let rec wait pred =
+        let v = Ctx.read ctx t.nodes.(pred) in
+        Ctx.instr ctx ~br:1 ();
+        if v = v_released then Ok pred
+        else if v >= 2 then begin
+          let redirect = decode_abandoned v in
+          reclaim_abandoned t ctx pred;
+          wait redirect
+        end
+        else if Machine.now t.machine >= deadline then Error pred
+        else wait pred
+      in
+      match wait pred with
+      | Ok granted_through ->
+        t.pred_of_proc.(proc) <- granted_through;
+        t.timed_active.(proc) <- true;
+        assert (t.holder < 0);
+        t.holder <- proc;
+        t.acquisitions <- t.acquisitions + 1;
+        Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
+        true
+      | Error cur_pred ->
+        (* Abandon by value: our successor (or the next enqueuer, if we are
+           the tail) redirects to our wait position and returns this node
+           to us. *)
+        t.abandoner_of_node.(my) <- proc;
+        t.timed_node_of_proc.(proc) <- -1;
+        Ctx.write ctx t.nodes.(my) (encode_abandoned ~pred:cur_pred);
+        t.timeouts <- t.timeouts + 1;
+        Vhook.wait_abandoned ctx;
+        false
+    end
+  end
+
+let try_acquire_for t ctx ~deadline =
+  acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
+
 let release t ctx =
   let proc = Ctx.proc ctx in
   assert (t.holder = proc);
   t.holder <- -1;
-  let my = t.node_of_proc.(proc) in
-  Ctx.write ctx t.nodes.(my) 0;
+  let timed = t.timed_active.(proc) in
+  t.timed_active.(proc) <- false;
+  let my =
+    if timed then t.timed_node_of_proc.(proc) else t.node_of_proc.(proc)
+  in
+  Ctx.write ctx t.nodes.(my) v_released;
   Ctx.instr ctx ~br:1 ();
-  (* Adopt the predecessor's node for next time. *)
-  t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
+  (* Adopt the predecessor's node for next time, into the slot the
+     acquisition came from. *)
+  if timed then t.timed_node_of_proc.(proc) <- t.pred_of_proc.(proc)
+  else t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
   t.pred_of_proc.(proc) <- -1;
   Vhook.released ctx ~cls:t.vcls ~id:t.vid
 
@@ -109,11 +238,20 @@ module Core = struct
     acquire t ctx;
     true
 
+  let try_acquire_for = try_acquire_for
+  let abortable = true
   let is_free = is_free
 
   (* The tail still pointing at a node other than the holder's means a
      waiter enqueued behind it. *)
-  let waiters t = t.holder >= 0 && Cell.peek t.tail <> t.node_of_proc.(t.holder)
+  let waiters t =
+    t.holder >= 0
+    &&
+    let active =
+      if t.timed_active.(t.holder) then t.timed_node_of_proc.(t.holder)
+      else t.node_of_proc.(t.holder)
+    in
+    Cell.peek t.tail <> active
   let acquisitions = acquisitions
   let vclass t = t.vcls
 end

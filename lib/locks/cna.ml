@@ -24,15 +24,32 @@
 
    Fetch&store only: the empty-queue paths reuse the MCS repair protocol
    (victims re-installed, grafting behind usurpers), including when
-   re-installing the secondary chain as the new main queue. *)
+   re-installing the secondary chain as the new main queue.
+
+   Timed acquisition: a timed waiter enqueues a separate per-processor
+   timed node whose [mark] cell runs the MCS abandonment handshake (a
+   granter swaps the mark to claimed before writing locked = 0; an
+   expiring waiter swaps it to abandoned; first swap wins the node). The
+   release-side scan deliberately ignores marks — abandonment is
+   discovered at *grant* time, where every hand-off funnels through
+   [grant]: an abandoned grant target is unlinked and the grant passed to
+   its successor, with the drained/usurped main-queue cases repaired
+   exactly as a release would (including re-installing the secondary
+   queue). Abandoned nodes that were moved onto the secondary queue ride
+   along unlinked until a flush grants their position. *)
 
 open Hector
 
 let default_threshold = 16
 
+(* Mark values on a timed node (same handshake as Mcs). *)
+let mark_abandoned = 1
+let mark_claimed = 2
+
 type qnode = {
   next : Cell.t; (* successor qnode id; 0 = nil *)
   locked : Cell.t; (* 1 = wait, 0 = go *)
+  mark : Cell.t; (* abandonment handshake; always 0 on regular nodes *)
   owner : int;
   cluster : int;
 }
@@ -54,6 +71,9 @@ type t = {
   mutable flushes : int; (* secondary-queue splices back into service *)
   mutable repairs : int;
   mutable grafts : int;
+  active : int array; (* proc -> qnode id of its current hold *)
+  mutable timeouts : int; (* timed-acquisition expiries (incl. fail-fast) *)
+  mutable gc_count : int; (* abandoned nodes collected by grants *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -70,19 +90,20 @@ let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "cna")
     cluster_of;
     tail = Machine.alloc machine ~label:"cna.tail" ~home nil;
     nodes =
-      Array.init n (fun p ->
+      (* [0, n): per-processor nodes; [n, 2n): their timed twins. *)
+      Array.init (2 * n) (fun i ->
+          let p = if i < n then i else i - n in
+          let timed = i >= n in
           let c = cluster_of p in
           if c < 0 || c >= topo.Lock_core.n_clusters then
             invalid_arg "Cna.create: cluster_of out of range";
+          let lbl s =
+            Printf.sprintf "cna.qn%d%s.%s" p (if timed then "t" else "") s
+          in
           {
-            next =
-              Machine.alloc machine
-                ~label:(Printf.sprintf "cna.qn%d.next" p)
-                ~home:p nil;
-            locked =
-              Machine.alloc machine
-                ~label:(Printf.sprintf "cna.qn%d.locked" p)
-                ~home:p 1;
+            next = Machine.alloc machine ~label:(lbl "next") ~home:p nil;
+            locked = Machine.alloc machine ~label:(lbl "locked") ~home:p 1;
+            mark = Machine.alloc machine ~label:(lbl "mark") ~home:p 0;
             owner = p;
             cluster = c;
           });
@@ -98,6 +119,9 @@ let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "cna")
     flushes = 0;
     repairs = 0;
     grafts = 0;
+    active = Array.make n 0;
+    timeouts = 0;
+    gc_count = 0;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -111,14 +135,21 @@ let moved t = t.moved
 let flushes t = t.flushes
 let repairs t = t.repairs
 let grafts t = t.grafts
+let timeouts t = t.timeouts
+let gc_count t = t.gc_count
 
+(* Qnode ids are 1-based: [1, n] regular (processor id - 1), [n+1, 2n]
+   timed. *)
 let qid p = p + 1
 let qnode t id = t.nodes.(id - 1)
+let timed_qid t p = Machine.n_procs t.machine + p + 1
+let is_timed_qid t id = id > Machine.n_procs t.machine
 
 let is_free t = t.holder = -1 && Cell.peek t.tail = nil && t.sec_head = nil
 
 let waiters t =
-  t.holder >= 0 && (Cell.peek t.tail <> qid t.holder || t.sec_head <> nil)
+  t.holder >= 0
+  && (Cell.peek t.tail <> t.active.(t.holder) || t.sec_head <> nil)
 
 let got_lock t ctx =
   assert (t.holder = -1);
@@ -145,9 +176,85 @@ let acquire t ctx =
     in
     spin ()
   end;
+  t.active.(p) <- qid p;
   got_lock t ctx
 
-let hand_off t ctx succ_id = Ctx.write ctx (qnode t succ_id).locked 0
+(* Hand the lock to node [id], running the abandonment handshake for timed
+   nodes and collecting abandoned ones: unlink, pass the grant to the true
+   successor, repairing the drained/usurped main-queue cases exactly as a
+   release would. *)
+let rec hand_off t ctx id =
+  let nd = qnode t id in
+  if not (is_timed_qid t id) then Ctx.write ctx nd.locked 0
+  else if Ctx.read ctx nd.mark <> 0 then collect t ctx id
+  else begin
+    let prev = Ctx.fetch_and_store ctx nd.mark mark_claimed in
+    Ctx.instr ctx ~br:1 ();
+    if prev <> 0 then collect t ctx id else Ctx.write ctx nd.locked 0
+  end
+
+and collect t ctx id =
+  t.gc_count <- t.gc_count + 1;
+  Vhook.abandon_repaired ctx ~cls:t.vcls;
+  let nd = qnode t id in
+  Ctx.instr ctx ~br:1 ();
+  let next = Ctx.read ctx nd.next in
+  Ctx.instr ctx ~br:1 ();
+  if next <> nil then begin
+    Ctx.write ctx nd.next nil;
+    Ctx.write ctx nd.mark 0;
+    hand_off t ctx next
+  end
+  else begin
+    let old_tail = Ctx.fetch_and_store ctx t.tail nil in
+    Ctx.instr ctx ~reg:1 ~br:1 ();
+    if old_tail = id then begin
+      (* Main queue drained behind the abandoned node: the banked
+         secondary chain (if any) becomes the new main queue; otherwise
+         the lock is free. *)
+      Ctx.write ctx nd.mark 0;
+      if t.sec_head <> nil then reinstall_secondary t ctx
+      else t.passes <- 0
+    end
+    else begin
+      t.repairs <- t.repairs + 1;
+      let usurper = Ctx.fetch_and_store ctx t.tail old_tail in
+      Ctx.instr ctx ~br:1 ();
+      let rec wait_next () =
+        let v = Ctx.read ctx nd.next in
+        Ctx.instr ctx ~br:1 ();
+        if v = nil then wait_next () else v
+      in
+      let victim = wait_next () in
+      Ctx.write ctx nd.next nil;
+      Ctx.write ctx nd.mark 0;
+      if usurper <> nil then begin
+        t.grafts <- t.grafts + 1;
+        Ctx.write ctx (qnode t usurper).next victim
+      end
+      else hand_off t ctx victim
+    end
+  end
+
+(* Re-install the banked secondary chain as the new main queue and wake its
+   head, grafting behind any usurper that enqueued on the momentarily-empty
+   queue. *)
+and reinstall_secondary t ctx =
+  let h = t.sec_head and last = t.sec_tail in
+  t.sec_head <- nil;
+  t.sec_tail <- nil;
+  t.flushes <- t.flushes + 1;
+  t.passes <- 0;
+  let usurper = Ctx.fetch_and_store ctx t.tail last in
+  Ctx.instr ctx ~br:1 ();
+  if usurper <> nil then begin
+    t.grafts <- t.grafts + 1;
+    Ctx.write ctx (qnode t usurper).next h
+  end
+  else begin
+    t.remote_handoffs <- t.remote_handoffs + 1;
+    hand_off t ctx h
+  end
 
 (* Append the already-linked chain [first .. last] to the secondary
    queue. The chain's links are live cells; only the join is written. *)
@@ -219,7 +326,8 @@ let dispatch t ctx ~my_cluster succ_id =
 
 let release t ctx =
   let p = Ctx.proc ctx in
-  let me = t.nodes.(p) in
+  let my_id = t.active.(p) in
+  let me = qnode t my_id in
   let my_cluster = me.cluster in
   assert (t.holder = p);
   t.holder <- -1;
@@ -233,28 +341,12 @@ let release t ctx =
   else begin
     let old_tail = Ctx.fetch_and_store ctx t.tail nil in
     Ctx.instr ctx ~reg:1 ~br:1 ();
-    if old_tail = qid p then begin
+    if old_tail = my_id then begin
       (* Main queue drained. If skipped waiters are banked, re-install
          their chain as the new main queue and wake its head; a usurper
          that enqueued on the momentarily-empty queue holds the lock, so
          graft the chain behind it instead. *)
-      if t.sec_head <> nil then begin
-        let h = t.sec_head and last = t.sec_tail in
-        t.sec_head <- nil;
-        t.sec_tail <- nil;
-        t.flushes <- t.flushes + 1;
-        t.passes <- 0;
-        let usurper = Ctx.fetch_and_store ctx t.tail last in
-        Ctx.instr ctx ~br:1 ();
-        if usurper <> nil then begin
-          t.grafts <- t.grafts + 1;
-          Ctx.write ctx (qnode t usurper).next h
-        end
-        else begin
-          t.remote_handoffs <- t.remote_handoffs + 1;
-          hand_off t ctx h
-        end
-      end
+      if t.sec_head <> nil then reinstall_secondary t ctx
       else t.passes <- 0
     end
     else begin
@@ -277,9 +369,87 @@ let release t ctx =
     end
   end
 
+(* Timed acquisition on the per-processor timed node. Whether the node sits
+   in the main queue or was moved to the secondary queue, the waiter spins
+   on its own locked cell just like any CNA waiter; expiry runs the mark
+   handshake, and a claim-race loss means a hand-off committed — the lock
+   is taken even past the deadline. Fail-fast ([timeout <= 0], or the
+   timed node still abandoned in a queue) touches nothing. *)
+let acquire_with_timeout t ctx ~timeout =
+  if timeout <= 0 then begin
+    t.timeouts <- t.timeouts + 1;
+    false
+  end
+  else begin
+    let p = Ctx.proc ctx in
+    let my_id = timed_qid t p in
+    let me = qnode t my_id in
+    let still_queued = Ctx.read ctx me.mark in
+    Ctx.instr ctx ~br:1 ();
+    if still_queued <> 0 then begin
+      t.timeouts <- t.timeouts + 1;
+      false
+    end
+    else begin
+      Vhook.wait_acquire_timed ctx ~cls:t.vcls ~id:t.vid;
+      let deadline = Machine.now t.machine + timeout in
+      Ctx.write ctx me.next nil;
+      let pred = Ctx.fetch_and_store ctx t.tail my_id in
+      Ctx.instr ctx ~reg:2 ~br:2 ();
+      let take () =
+        Ctx.write ctx me.mark 0;
+        t.active.(p) <- my_id;
+        got_lock t ctx;
+        true
+      in
+      if pred = nil then begin
+        t.active.(p) <- my_id;
+        got_lock t ctx;
+        true
+      end
+      else begin
+        Ctx.write ctx me.locked 1;
+        Ctx.write ctx (qnode t pred).next my_id;
+        Ctx.instr ctx ~reg:1 ~br:1 ();
+        let rec spin () =
+          let v = Ctx.read ctx me.locked in
+          Ctx.instr ctx ~br:1 ();
+          if v = 0 then true
+          else if Machine.now t.machine >= deadline then false
+          else spin ()
+        in
+        if spin () then take ()
+        else begin
+          let prev = Ctx.fetch_and_store ctx me.mark mark_abandoned in
+          Ctx.instr ctx ~br:1 ();
+          if prev = mark_claimed then begin
+            (* A hand-off committed before our abandonment: the lock is
+               ours; nobody else will ever receive it. *)
+            let rec wait_grant () =
+              let v = Ctx.read ctx me.locked in
+              Ctx.instr ctx ~br:1 ();
+              if v <> 0 then wait_grant ()
+            in
+            wait_grant ();
+            take ()
+          end
+          else begin
+            (* Abandonment stands: the node remains queued, marked, until
+               a grant reaches and collects it. *)
+            t.timeouts <- t.timeouts + 1;
+            Vhook.wait_abandoned ctx;
+            false
+          end
+        end
+      end
+    end
+  end
+
+let try_acquire_for t ctx ~deadline =
+  acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
+
 (* Core-interface view; [create] clusters by hardware station and
-   [try_acquire] enqueues and waits (an abandonment protocol would have to
-   reach into the secondary queue too). *)
+   [try_acquire] enqueues and waits. *)
 module Core = struct
   type nonrec t = t
 
@@ -296,6 +466,8 @@ module Core = struct
     acquire t ctx;
     true
 
+  let try_acquire_for = try_acquire_for
+  let abortable = true
   let is_free = is_free
   let waiters = waiters
   let acquisitions = acquisitions

@@ -45,6 +45,26 @@ val repairs : t -> int
 val grafts : t -> int
 val vclass : t -> Verify.lock_class
 
+(** Timed acquisition on a separate per-processor timed node whose mark
+    cell runs the MCS abandonment handshake. The release-side scan ignores
+    marks; abandonment is discovered when a hand-off reaches the node,
+    which is then unlinked (main or secondary queue alike) and the grant
+    passed to its true successor. A claim-race loss takes the lock and
+    returns [true] even past the deadline. [timeout <= 0], or the timed
+    node still abandoned in a queue, fails immediately with no side
+    effects on the lock. *)
+val acquire_with_timeout : t -> Ctx.t -> timeout:int -> bool
+
+(** {!acquire_with_timeout} against an absolute deadline — the
+    {!Lock_core.OPS.try_acquire_for} face. *)
+val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
+(** Deadline expiries (including fail-fast refusals). *)
+val timeouts : t -> int
+
+(** Abandoned nodes collected by hand-offs. *)
+val gc_count : t -> int
+
 (** The {!Lock_core.S} view; [create] clusters by hardware station and
     [try_acquire] enqueues and waits. *)
 module Core : Lock_core.S with type t = t

@@ -76,6 +76,7 @@ type t = {
   mutable acquisitions : int;
   mutable local_handoffs : int; (* pass-releases: global stayed put *)
   mutable global_releases : int; (* full releases: global changed hands *)
+  mutable timeouts : int; (* timed-acquisition expiries, either level *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -117,6 +118,7 @@ let create_packed ?(vclass = "cohort") ?(max_handoffs = default_max_handoffs)
     acquisitions = 0;
     local_handoffs = 0;
     global_releases = 0;
+    timeouts = 0;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -125,7 +127,14 @@ let name t = t.cname
 let acquisitions t = t.acquisitions
 let local_handoffs t = t.local_handoffs
 let global_releases t = t.global_releases
+let timeouts t = t.timeouts
 let vclass t = t.vcls
+
+(* The composite is abortable only if both constituents are: a
+   non-abortable constituent turns the timed face into a blocking one. *)
+let abortable t =
+  Array.for_all Lock_core.p_abortable t.locals
+  && Lock_core.p_abortable t.global
 
 let is_free t =
   Lock_core.p_is_free t.global
@@ -192,6 +201,52 @@ let try_acquire t ctx =
       (* Could not take the global lock: give the local one back. *)
       Lock_core.p_release t.locals.(c) ctx;
       false
+    end
+  end
+
+(* Timed acquisition: a timed local acquire (whose failure leaves nothing
+   held — the constituent's abandonment protocol cleans up after itself),
+   then the same pass-acceptance and demote-fence steps as [acquire], then
+   a timed global acquire with whatever deadline remains. A global-side
+   failure gives the local lock back, exactly like [try_acquire]. Either
+   constituent may return [true] past the deadline (a committed hand-off
+   must be consumed); the composite then either delivers the lock or, if
+   the other level has already run out of time, backs out cleanly. *)
+let try_acquire_for t ctx ~deadline =
+  if Ctx.now ctx >= deadline then begin
+    t.timeouts <- t.timeouts + 1;
+    false
+  end
+  else begin
+    Vhook.wait_acquire_timed ctx ~cls:t.vcls ~id:t.vid;
+    let c = cluster t ctx in
+    if not (Lock_core.p_try_acquire_for t.locals.(c) ctx ~deadline) then begin
+      t.timeouts <- t.timeouts + 1;
+      Vhook.wait_abandoned ctx;
+      false
+    end
+    else begin
+      t.pass_token.(c) <- 0;
+      while t.demoting.(c) do
+        Ctx.work ctx 10
+      done;
+      Ctx.instr ctx ~br:1 ();
+      if t.owned.(c) then begin
+        got_lock t ctx;
+        true
+      end
+      else if Lock_core.p_try_acquire_for t.global ctx ~deadline then begin
+        t.owned.(c) <- true;
+        t.passes.(c) <- 0;
+        got_lock t ctx;
+        true
+      end
+      else begin
+        Lock_core.p_release t.locals.(c) ctx;
+        t.timeouts <- t.timeouts + 1;
+        Vhook.wait_abandoned ctx;
+        false
+      end
     end
   end
 
@@ -266,6 +321,8 @@ module Make (Local : Lock_core.S) (Global : Lock_core.S) = struct
   let acquire = acquire
   let release = release
   let try_acquire = try_acquire
+  let try_acquire_for = try_acquire_for
+  let abortable = Local.abortable && Global.abortable
   let is_free = is_free
   let waiters = waiters
   let acquisitions = acquisitions

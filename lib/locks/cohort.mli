@@ -29,6 +29,22 @@ val name : t -> string
 val acquire : t -> Ctx.t -> unit
 val release : t -> Ctx.t -> unit
 val try_acquire : t -> Ctx.t -> bool
+
+(** Timed acquisition: timed local acquire, then timed global acquire with
+    the remaining deadline; a global-side failure gives the local lock
+    back. Fails immediately, touching nothing, when [deadline] has already
+    passed. A constituent's committed hand-off may deliver the composite
+    past the deadline (returning [true]). With a non-abortable constituent
+    the corresponding level simply blocks — see {!abortable}. *)
+val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
+(** Whether every constituent supports abandonment (the composite's timed
+    face is only bounded if so). *)
+val abortable : t -> bool
+
+(** Deadline expiries at either level (including fail-fast refusals). *)
+val timeouts : t -> int
+
 val is_free : t -> bool
 val waiters : t -> bool
 val acquisitions : t -> int

@@ -39,6 +39,30 @@ val repairs : t -> int
 val grafts : t -> int
 val vclass : t -> Verify.lock_class
 
+(** Timed acquisition (HMCS-T): the waiter enqueues a separate per-processor
+    timed node whose mark cell runs the MCS abandonment handshake — at
+    {e both} tree levels (timed cnodes carry the root-level marks). A
+    releaser collects abandoned nodes in passing, repairing the queue and,
+    when an in-flight grant carried root ownership into a drained or
+    usurped local queue, releasing the root on the cluster's behalf. A
+    claim-race loss at the lock-granting level takes the lock and returns
+    [true] even past the deadline; a claim-race loss that delivers only
+    local headship passes it onward and fails. [timeout <= 0], a timed
+    qnode still abandoned in its local queue, or (at the promotion point) a
+    timed cnode still abandoned in the root queue, fail with no lasting
+    effect on the lock. *)
+val acquire_with_timeout : t -> Ctx.t -> timeout:int -> bool
+
+(** {!acquire_with_timeout} against an absolute deadline — the
+    {!Lock_core.OPS.try_acquire_for} face. *)
+val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
+(** Deadline expiries (including fail-fast refusals). *)
+val timeouts : t -> int
+
+(** Abandoned nodes collected by releasers, both levels. *)
+val gc_count : t -> int
+
 (** The {!Lock_core.S} view; [create] clusters by hardware station and
     [try_acquire] enqueues and waits. *)
 module Core : Lock_core.S with type t = t

@@ -11,6 +11,8 @@ type t = {
   acquire : Ctx.t -> unit;
   release : Ctx.t -> unit;
   try_acquire : Ctx.t -> bool;
+  try_acquire_for : Ctx.t -> deadline:int -> bool;
+  abortable : bool; (* [try_acquire_for] can actually give up *)
   is_free : unit -> bool; (* untimed, for assertions *)
   acquires : int ref; (* instrumentation: completed acquires *)
   wait_cycles : int ref; (* total cycles spent inside acquire *)
@@ -59,6 +61,8 @@ let null =
     acquire = (fun _ -> ());
     release = (fun _ -> ());
     try_acquire = (fun _ -> true);
+    try_acquire_for = (fun _ ~deadline:_ -> true);
+    abortable = true;
     is_free = (fun () -> true);
     acquires = ref 0;
     wait_cycles = ref 0;
@@ -85,30 +89,62 @@ let cna = Cna { threshold = Cna.default_threshold }
 let all_numa_algos = [ c_mcs_mcs; hmcs; cna ]
 
 (* Wrap an acquire with wall-clock accounting (virtual cycles spent from
-   call to lock entry). *)
-let instrumented ~name ~acquire ~release ~try_acquire ~is_free =
+   call to lock entry). Algorithms without a real abandonment protocol get
+   a blocking [try_acquire_for] (acquire, return true) and advertise it
+   with [abortable = false]. *)
+let instrumented ~name ~acquire ~release ~try_acquire ?try_acquire_for
+    ?(abortable = false) ~is_free () =
   let acquires = ref 0 and wait_cycles = ref 0 in
-  let acquire ctx =
+  let timed_acquire ctx =
     let t0 = Machine.now (Ctx.machine ctx) in
     acquire ctx;
     incr acquires;
     wait_cycles := !wait_cycles + (Machine.now (Ctx.machine ctx) - t0)
   in
-  { name; acquire; release; try_acquire; is_free; acquires; wait_cycles }
+  let try_acquire_for =
+    match try_acquire_for with
+    | Some f ->
+      fun ctx ~deadline ->
+        let ok = f ctx ~deadline in
+        if ok then incr acquires;
+        ok
+    | None ->
+      fun ctx ~deadline:_ ->
+        timed_acquire ctx;
+        true
+  in
+  {
+    name;
+    acquire = timed_acquire;
+    release;
+    try_acquire;
+    try_acquire_for;
+    abortable;
+    is_free;
+    acquires;
+    wait_cycles;
+  }
 
 let of_spin lock =
   instrumented ~name:"spin"
     ~acquire:(fun ctx -> Spin_lock.acquire lock ctx)
     ~release:(fun ctx -> Spin_lock.release lock ctx)
     ~try_acquire:(fun ctx -> Spin_lock.try_acquire lock ctx)
+    ~try_acquire_for:(fun ctx ~deadline ->
+      Spin_lock.try_acquire_for lock ctx ~deadline)
+    ~abortable:true
     ~is_free:(fun () -> not (Spin_lock.is_held lock))
+    ()
 
 let of_mcs lock =
   instrumented ~name:(Mcs.name lock)
     ~acquire:(fun ctx -> Mcs.acquire lock ctx)
     ~release:(fun ctx -> Mcs.release lock ctx)
     ~try_acquire:(fun ctx -> Mcs.try_acquire_v2 lock ctx)
+    ~try_acquire_for:(fun ctx ~deadline -> Mcs.try_acquire_for lock ctx ~deadline)
+    ~abortable:true
     ~is_free:(fun () -> Mcs.is_free lock)
+    ()
 
 (* A base algorithm as a {!Lock_core.packed} instance — the constituents a
    runtime-composed [Cohort] is assembled from. Only algorithms exposing a
@@ -183,8 +219,14 @@ let make machine ?(home = 0) ?vclass ?topo algo =
         (* CLH has no cheap TryLock; enqueue and wait. *)
         Clh.acquire lock ctx;
         true)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Clh.try_acquire_for lock ctx ~deadline)
+      ~abortable:true
       ~is_free:(fun () -> Clh.is_free lock)
+      ()
   | Ticket ->
+    (* A drawn ticket cannot be handed back (a skipped number would stall
+       every later waiter), so the timed face blocks: abortable = false. *)
     let lock = Ticket_lock.create ~home ?vclass machine in
     instrumented ~name:"Ticket"
       ~acquire:(fun ctx -> Ticket_lock.acquire lock ctx)
@@ -193,6 +235,7 @@ let make machine ?(home = 0) ?vclass ?topo algo =
         Ticket_lock.acquire lock ctx;
         true)
       ~is_free:(fun () -> Ticket_lock.is_free lock)
+      ()
   | Anderson ->
     let lock = Anderson_lock.create ~home ?vclass machine in
     instrumented ~name:"Anderson"
@@ -201,14 +244,22 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire:(fun ctx ->
         Anderson_lock.acquire lock ctx;
         true)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Anderson_lock.try_acquire_for lock ctx ~deadline)
+      ~abortable:true
       ~is_free:(fun () -> Anderson_lock.is_free lock)
+      ()
   | Spin_then_block { spin_us } ->
+    (* Blocking hands the processor to the scheduler; there is no waiter
+       state to retract, and wakeup is the scheduler's promise — the timed
+       face blocks: abortable = false. *)
     let lock = Stb_lock.create ~home ~spin_us ?vclass machine in
     instrumented ~name:(algo_name algo)
       ~acquire:(fun ctx -> Stb_lock.acquire lock ctx)
       ~release:(fun ctx -> Stb_lock.release lock ctx)
       ~try_acquire:(fun ctx -> Stb_lock.try_acquire lock ctx)
       ~is_free:(fun () -> not (Stb_lock.is_held lock))
+      ()
   | Cohort { local; global; max_handoffs } ->
     let name = algo_name algo in
     let vcls = Option.value vclass ~default:"cohort" in
@@ -223,7 +274,11 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~acquire:(fun ctx -> Cohort.acquire lock ctx)
       ~release:(fun ctx -> Cohort.release lock ctx)
       ~try_acquire:(fun ctx -> Cohort.try_acquire lock ctx)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Cohort.try_acquire_for lock ctx ~deadline)
+      ~abortable:(Cohort.abortable lock)
       ~is_free:(fun () -> Cohort.is_free lock)
+      ()
   | Hmcs { threshold } ->
     let lock = Hmcs.create ~home ~threshold ?vclass ~topo machine in
     instrumented ~name:(algo_name algo)
@@ -232,7 +287,11 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire:(fun ctx ->
         Hmcs.acquire lock ctx;
         true)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Hmcs.try_acquire_for lock ctx ~deadline)
+      ~abortable:true
       ~is_free:(fun () -> Hmcs.is_free lock)
+      ()
   | Cna { threshold } ->
     let lock = Cna.create ~home ~threshold ?vclass ~topo machine in
     instrumented ~name:(algo_name algo)
@@ -241,7 +300,11 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire:(fun ctx ->
         Cna.acquire lock ctx;
         true)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Cna.try_acquire_for lock ctx ~deadline)
+      ~abortable:true
       ~is_free:(fun () -> Cna.is_free lock)
+      ()
 
 (* Acquire with the processor's soft mask set, so inter-processor interrupts
    that could deadlock with this lock are deferred until release (Section

@@ -10,6 +10,25 @@ type t = {
   acquire : Ctx.t -> unit;
   release : Ctx.t -> unit;
   try_acquire : Ctx.t -> bool;
+  try_acquire_for : Ctx.t -> deadline:int -> bool;
+      (** Timed acquisition against an absolute deadline (in
+          [Machine.now] units). On an abortable algorithm ([abortable]),
+          returns [false] — holding nothing, with all queue state
+          eventually repaired — once the deadline expires; may return
+          [true] past the deadline when a hand-off committed first (a
+          committed grant must be consumed — nobody else ever will). An
+          already-expired deadline fails without touching the lock. On a
+          non-abortable algorithm this simply blocks, acquires, and
+          returns [true].
+
+          Abortability matrix:
+          - abortable: Spin, MCS (all variants), CLH, Anderson, HMCS,
+            CNA, Null, and any Cohort whose two constituents are both
+            abortable;
+          - non-abortable (timed face blocks): Ticket (a drawn ticket
+            cannot be handed back), Spin_then_block (wakeup is the
+            scheduler's promise). *)
+  abortable : bool;
   is_free : unit -> bool;
   acquires : int ref;
   wait_cycles : int ref;
@@ -94,5 +113,12 @@ val with_lock : t -> Ctx.t -> (unit -> 'a) -> 'a
     - [Hmcs]: 1 + 3C + 2P (root tail; root node and local tail per
       cluster; queue node per processor);
     - [Cna]: 3 + 3P regardless of C — CNA's "compact" claim (lock word,
-      secondary-queue head/tail, three-word nodes). *)
+      secondary-queue head/tail, three-word nodes).
+
+    Timed-acquisition state is {e excluded}, by the same convention that
+    excludes MCS's per-processor interrupt nodes: the timed twin nodes
+    (MCS, CLH, CNA, HMCS — plus HMCS's per-cluster timed root nodes and
+    Anderson's ring extension to 2P+1 slots) are per-processor structures
+    shared across all locks on a real system, charged to the processor,
+    not the lock. *)
 val space_words : ?n_clusters:int -> n_procs:int -> algo -> int

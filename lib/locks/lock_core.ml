@@ -26,6 +26,8 @@ module type OPS = sig
   val acquire : t -> Ctx.t -> unit
   val release : t -> Ctx.t -> unit
   val try_acquire : t -> Ctx.t -> bool
+  val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+  val abortable : bool
   val is_free : t -> bool
   val waiters : t -> bool
   val acquisitions : t -> int
@@ -48,6 +50,11 @@ let p_name (Packed ((module M), v)) = M.name v
 let p_acquire (Packed ((module M), v)) ctx = M.acquire v ctx
 let p_release (Packed ((module M), v)) ctx = M.release v ctx
 let p_try_acquire (Packed ((module M), v)) ctx = M.try_acquire v ctx
+
+let p_try_acquire_for (Packed ((module M), v)) ctx ~deadline =
+  M.try_acquire_for v ctx ~deadline
+
+let p_abortable (Packed ((module M), _)) = M.abortable
 let p_is_free (Packed ((module M), v)) = M.is_free v
 let p_waiters (Packed ((module M), v)) = M.waiters v
 let p_acquisitions (Packed ((module M), v)) = M.acquisitions v

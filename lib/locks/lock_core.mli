@@ -35,6 +35,20 @@ module type OPS = sig
       cheap TryLock (CLH, ticket, Anderson) acquire and return [true]. *)
   val try_acquire : t -> Ctx.t -> bool
 
+  (** Timed acquisition (the HMCS-T face). [deadline] is an absolute
+      simulated time ([Machine.now]); the call returns [true] holding the
+      lock, or — on an abortable algorithm — [false] with no residual
+      effect on the lock once its abandoned node has been reclaimed by a
+      later hand-off. An already-expired deadline ([deadline <= now]) must
+      fail without touching the lock. Non-abortable algorithms
+      ([abortable = false]) ignore the deadline: they block, acquire, and
+      return [true]. *)
+  val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
+  (** Capability probe: [true] iff {!try_acquire_for} can actually fail
+      past the deadline rather than degenerate to a blocking acquire. *)
+  val abortable : bool
+
   (** Untimed, for assertions. *)
   val is_free : t -> bool
 
@@ -71,6 +85,8 @@ val p_name : packed -> string
 val p_acquire : packed -> Ctx.t -> unit
 val p_release : packed -> Ctx.t -> unit
 val p_try_acquire : packed -> Ctx.t -> bool
+val p_try_acquire_for : packed -> Ctx.t -> deadline:int -> bool
+val p_abortable : packed -> bool
 val p_is_free : packed -> bool
 val p_waiters : packed -> bool
 val p_acquisitions : packed -> int

@@ -282,6 +282,7 @@ let rec hand_off t ctx succ_id =
    free it for its owner, and continue down the queue. *)
 and collect t ctx succ =
   t.gc_count <- t.gc_count + 1;
+  Vhook.abandon_repaired ctx ~cls:t.vcls;
   Ctx.instr ctx ~br:1 ();
   let continuation = successor_after t ctx succ ~check_next:true in
   (match continuation with
@@ -380,50 +381,6 @@ let try_acquire_v2 t ctx =
     end
   end
 
-(* Core-interface view (H2 variant, the kernel's default). [waiters] is the
-   untimed queue-non-empty hint a cohort release consults: the tail trailing
-   the holder's node means someone enqueued behind it (an abandoned TryLock
-   node also counts — the hint may overshoot, never deadlock, since the
-   passed-to local head re-checks nothing: local passing only needs the
-   global lock to stay held, which it does). *)
-module Core = struct
-  type nonrec t = t
-
-  let algo = "MCS"
-  let name = name
-
-  let create ?(home = 0) ?(vclass = "mcs") machine =
-    create ~variant:H2 ~home ~vclass machine
-
-  let acquire = acquire
-  let release = release
-  let try_acquire = try_acquire_v2
-  let is_free = is_free
-  let waiters t = t.holder <> nil && Cell.peek t.tail <> t.holder
-  let acquisitions = acquisitions
-  let vclass = vclass
-end
-
-(* The H1 face, for compositions. H2's removed successor check means every
-   contended release runs the fetch&store repair, opening a short window in
-   which the tail reads nil and a re-enqueuing processor usurps the lock
-   past the whole queue. Stacked under a combinator whose release path has
-   a long deterministic stretch (a cohort's global hand-off), that window
-   resonates with the re-enqueue cadence and the usurped queue can starve.
-   H1 keeps the fetch&store-only discipline but hands off directly whenever
-   the successor link is visible, so a deep queue never opens the window. *)
-let create_h1 ?(home = 0) ?(vclass = "mcs") machine =
-  create ~variant:H1 ~home ~vclass machine
-
-module Core_h1 = struct
-  include Core
-
-  let algo = "H1-MCS"
-
-  (* [include Core] shadowed the variant-taking [create] above. *)
-  let create = create_h1
-end
-
 (* Timeout-capable acquire, on the interrupt node (Chabbi et al.'s MCS-try
    family, adapted to the fetch&store-only queue): enqueue and spin like a
    normal acquire, but give up once [timeout] cycles pass. A timed-out node
@@ -437,6 +394,13 @@ end
    is never handed to a waiter that already left, and a waiter never walks
    away from a hand-off that already committed. *)
 let acquire_with_timeout t ctx ~timeout =
+  if timeout <= 0 then begin
+    (* Already-expired deadline: fail before touching the lock — no
+       enqueue, no reads, no hook traffic (pinned by test_mcs). *)
+    t.timeouts <- t.timeouts + 1;
+    false
+  end
+  else begin
   let node = interrupt_node t (Ctx.proc ctx) in
   (* A node abandoned by an earlier timeout may still sit in the queue. *)
   let still_queued = Ctx.read ctx node.mark in
@@ -446,7 +410,7 @@ let acquire_with_timeout t ctx ~timeout =
     false
   end
   else begin
-    Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
+    Vhook.wait_acquire_timed ctx ~cls:t.vcls ~id:t.vid;
     let deadline = Machine.now t.machine + timeout in
     (match t.variant with
     | Original -> Ctx.write ctx node.next nil
@@ -503,3 +467,55 @@ let acquire_with_timeout t ctx ~timeout =
       end
     end
   end
+  end
+
+(* The {!Lock_core} timed face: absolute deadline, delegating to the
+   relative-timeout entry point above. *)
+let try_acquire_for t ctx ~deadline =
+  acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
+
+(* Core-interface view (H2 variant, the kernel's default). [waiters] is the
+   untimed queue-non-empty hint a cohort release consults: the tail trailing
+   the holder's node means someone enqueued behind it (an abandoned TryLock
+   node also counts — the hint may overshoot, never deadlock, since the
+   passed-to local head re-checks nothing: local passing only needs the
+   global lock to stay held, which it does). *)
+module Core = struct
+  type nonrec t = t
+
+  let algo = "MCS"
+  let name = name
+
+  let create ?(home = 0) ?(vclass = "mcs") machine =
+    create ~variant:H2 ~home ~vclass machine
+
+  let acquire = acquire
+  let release = release
+  let try_acquire = try_acquire_v2
+  let try_acquire_for = try_acquire_for
+  let abortable = true
+  let is_free = is_free
+  let waiters t = t.holder <> nil && Cell.peek t.tail <> t.holder
+  let acquisitions = acquisitions
+  let vclass = vclass
+end
+
+(* The H1 face, for compositions. H2's removed successor check means every
+   contended release runs the fetch&store repair, opening a short window in
+   which the tail reads nil and a re-enqueuing processor usurps the lock
+   past the whole queue. Stacked under a combinator whose release path has
+   a long deterministic stretch (a cohort's global hand-off), that window
+   resonates with the re-enqueue cadence and the usurped queue can starve.
+   H1 keeps the fetch&store-only discipline but hands off directly whenever
+   the successor link is visible, so a deep queue never opens the window. *)
+let create_h1 ?(home = 0) ?(vclass = "mcs") machine =
+  create ~variant:H1 ~home ~vclass machine
+
+module Core_h1 = struct
+  include Core
+
+  let algo = "H1-MCS"
+
+  (* [include Core] shadowed the variant-taking [create] above. *)
+  let create = create_h1
+end

@@ -90,5 +90,14 @@ val try_acquire_v2 : t -> Ctx.t -> bool
     hand-off and an abandonment, so a timed-out waiter that lost the race
     still takes the lock (returns [true]). Returns [false] — with the
     caller holding nothing — when the node is still queued from an earlier
-    timeout or the deadline expired. *)
+    timeout or the deadline expired.
+
+    Edge semantics: [timeout <= 0] (a zero or already-expired deadline)
+    fails immediately with {e no} side effects on the lock — no enqueue, no
+    memory traffic, no verification hooks; only the {!timeouts} counter
+    advances. *)
 val acquire_with_timeout : t -> Ctx.t -> timeout:int -> bool
+
+(** {!acquire_with_timeout} against an absolute deadline ([Machine.now]
+    units) — the {!Lock_core.OPS.try_acquire_for} face. *)
+val try_acquire_for : t -> Ctx.t -> deadline:int -> bool

@@ -134,8 +134,13 @@ let spin_until_clear ?(cls = default_cls) ctx backoff status =
 
 (* Bounded spin: gives up once [timeout] cycles pass with the bit still
    set, returning false so the caller can re-search — reserve another
-   element, say — instead of waiting out a stalled holder. *)
+   element, say — instead of waiting out a stalled holder. A zero or
+   negative timeout is an already-expired deadline: fail immediately,
+   before the wait hooks and before any memory traffic, so the edge case
+   has no side effects at all. *)
 let spin_until_clear_timeout ?(cls = default_cls) ctx backoff status ~timeout =
+  if timeout <= 0 then false
+  else begin
   vcheck ctx (fun vf ->
       Verify.reserve_wait vf ~proc:(Ctx.proc ctx) ~cls ~word:(Cell.id status)
         ~label:(Cell.label status) ~now:(Ctx.now ctx)
@@ -160,3 +165,4 @@ let spin_until_clear_timeout ?(cls = default_cls) ctx backoff status ~timeout =
   ocheck ctx (fun o ->
       Obs.reserve_wait_done o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
   ok
+  end

@@ -60,6 +60,8 @@ val spin_until_clear : ?cls:Verify.lock_class -> Ctx.t -> Backoff.t -> Cell.t ->
 (** Like {!spin_until_clear} but gives up after [timeout] cycles: [false]
     means the bit was still set at the deadline, and the caller should
     re-search (e.g. pick a different element) rather than keep waiting on a
-    possibly stalled holder. *)
+    possibly stalled holder. [timeout <= 0] is an already-expired deadline:
+    returns [false] immediately with no side effects — no read of the
+    status word, no verification or observability events. *)
 val spin_until_clear_timeout :
   ?cls:Verify.lock_class -> Ctx.t -> Backoff.t -> Cell.t -> timeout:int -> bool

@@ -80,6 +80,38 @@ let try_acquire t ctx =
     false
   end
 
+(* Timed acquisition: a test&set lock is trivially abortable — a waiter
+   that gives up leaves no queue state behind, so abandonment is just
+   "stop retrying". An already-expired deadline fails without touching the
+   lock word. *)
+let try_acquire_for t ctx ~deadline =
+  if Ctx.now ctx >= deadline then false
+  else begin
+    Vhook.wait_acquire_timed ctx ~cls:t.vcls ~id:t.vid;
+    let rec attempt delay =
+      let old = Ctx.test_and_set ctx t.flag in
+      if old = 0 then begin
+        Ctx.instr ctx ~reg:1 ~br:2 ();
+        t.acquisitions <- t.acquisitions + 1;
+        Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
+        true
+      end
+      else begin
+        t.failed_attempts <- t.failed_attempts + 1;
+        Ctx.instr ctx ~reg:1 ~br:1 ();
+        if Ctx.now ctx >= deadline then begin
+          Vhook.wait_abandoned ctx;
+          false
+        end
+        else begin
+          Backoff.delay_on ctx t.backoff delay;
+          attempt (Backoff.next t.backoff delay)
+        end
+      end
+    in
+    attempt (Backoff.initial t.backoff)
+  end
+
 (* Core-interface view: the 35 us capped backoff the paper uses for its
    kernel spin locks. A test&set lock cannot tell whether anyone is backing
    off against it, so [waiters] is conservatively false — a cohort built
@@ -97,6 +129,8 @@ module Core = struct
   let acquire = acquire
   let release = release
   let try_acquire = try_acquire
+  let try_acquire_for = try_acquire_for
+  let abortable = true
   let is_free t = not (is_held t)
   let waiters _ = false
   let acquisitions = acquisitions

@@ -34,6 +34,12 @@ val release : t -> Ctx.t -> unit
 (** Single test&set attempt; true if the lock was obtained. *)
 val try_acquire : t -> Ctx.t -> bool
 
+(** Retry with backoff until acquired or [deadline] (absolute simulated
+    time) passes; an expired deadline fails without touching the lock
+    word. A test&set waiter leaves no queue state, so abandonment is
+    side-effect-free. *)
+val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
 (** The {!Lock_core.S} view: creation defaults to the paper's 35 us capped
     backoff. [waiters] is conservatively false (a test&set lock cannot see
     its backers-off), so cohorts over a spin local never pass locally. *)

@@ -95,6 +95,15 @@ module Core = struct
     acquire t ctx;
     true
 
+  (* Not abortable: a ticket, once taken, cannot be returned without
+     fetch&decrement, and a skipped ticket would stall every later waiter
+     (the owner word only ever advances by one). Timed acquisition
+     degenerates to a blocking acquire, as the capability flag states. *)
+  let try_acquire_for t ctx ~deadline:_ =
+    acquire t ctx;
+    true
+
+  let abortable = false
   let is_free = is_free
 
   (* More than one ticket outstanding past the one being served. *)

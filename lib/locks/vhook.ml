@@ -29,6 +29,17 @@ let try_acquired ctx ~cls ~id =
   obs ctx (fun o ->
       Obs.lock_try_acquired o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
 
+let wait_acquire_timed ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.wait_acquire_timed v ~proc:(Ctx.proc ctx) ~cls ~id
+        ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_wait o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
+let abandon_repaired ctx ~cls =
+  obs ctx (fun o ->
+      Obs.lock_abandon_repaired o ~proc:(Ctx.proc ctx) ~cls ~now:(Ctx.now ctx))
+
 let wait_abandoned ctx =
   on ctx (fun v ->
       Verify.wait_abandoned v ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));

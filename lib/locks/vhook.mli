@@ -21,6 +21,16 @@ val acquired : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
 (** A non-blocking acquisition succeeded (no [wait_acquire] was issued). *)
 val try_acquired : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
 
+(** A {e timed} blocking acquisition is entering its wait: the checker gets
+    a {!Verify.wait_acquire_timed} frame (no order edges, skipped by the
+    watchdog), the observer an ordinary wait. Balance with {!acquired} or
+    {!wait_abandoned}. *)
+val wait_acquire_timed : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** A hand-off reclaimed a node some timed waiter abandoned (observer
+    only). *)
+val abandon_repaired : Ctx.t -> cls:Verify.lock_class -> unit
+
 (** The blocking acquisition timed out and gave up. *)
 val wait_abandoned : Ctx.t -> unit
 

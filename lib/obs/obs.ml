@@ -19,6 +19,8 @@ type bucket = {
   mutable b_handoffs : int;
   mutable b_handoffs_local : int;
   mutable b_handoffs_remote : int;
+  mutable b_aborts : int;
+  mutable b_abandon_repairs : int;
 }
 
 let fresh_bucket () =
@@ -31,6 +33,8 @@ let fresh_bucket () =
     b_handoffs = 0;
     b_handoffs_local = 0;
     b_handoffs_remote = 0;
+    b_aborts = 0;
+    b_abandon_repairs = 0;
   }
 
 type cells = {
@@ -42,6 +46,8 @@ type cells = {
   handoffs : int;
   handoffs_local : int;
   handoffs_remote : int;
+  aborts : int; (* timed acquisitions that gave up *)
+  abandon_repairs : int; (* abandoned nodes reclaimed by a hand-off *)
 }
 
 type row = {
@@ -245,8 +251,15 @@ let lock_wait_abandoned t ~proc ~now =
     let dur = now - f.since in
     b.b_wait <- b.b_wait + dur;
     if dur > b.b_max_wait then b.b_max_wait <- dur;
+    b.b_aborts <- b.b_aborts + 1;
     emit t Lock_abandoned ~proc ~cls:f.cls ~time:now ~dur
   | _ -> ()
+
+(* A releaser (or a later hand-off) reclaimed a node some timed waiter left
+   behind: attributed to the repairing processor's cluster. *)
+let lock_abandon_repaired t ~proc ~cls ~now:_ =
+  let b = bucket t ~cls ~proc in
+  b.b_abandon_repairs <- b.b_abandon_repairs + 1
 
 let lock_released t ~proc ~cls ~id ~now =
   (let rec go skipped = function
@@ -355,11 +368,13 @@ let cells_of_bucket b =
     handoffs = b.b_handoffs;
     handoffs_local = b.b_handoffs_local;
     handoffs_remote = b.b_handoffs_remote;
+    aborts = b.b_aborts;
+    abandon_repairs = b.b_abandon_repairs;
   }
 
 let bucket_active b =
   b.b_acqs <> 0 || b.b_contended <> 0 || b.b_wait <> 0 || b.b_hold <> 0
-  || b.b_handoffs <> 0
+  || b.b_handoffs <> 0 || b.b_aborts <> 0 || b.b_abandon_repairs <> 0
 
 let profile_rows t =
   let rows = ref [] in
@@ -384,6 +399,9 @@ let profile_rows t =
                 total.b_handoffs_local + b.b_handoffs_local;
               total.b_handoffs_remote <-
                 total.b_handoffs_remote + b.b_handoffs_remote;
+              total.b_aborts <- total.b_aborts + b.b_aborts;
+              total.b_abandon_repairs <-
+                total.b_abandon_repairs + b.b_abandon_repairs;
               by_cluster := (c, cells_of_bucket b) :: !by_cluster
             end)
           bs;

@@ -46,6 +46,11 @@ val lock_try_acquired :
 
 val lock_wait_abandoned : t -> proc:int -> now:int -> unit
 
+(** A hand-off reclaimed a node some timed waiter abandoned; attributed to
+    the repairing processor's cluster under [cls]. *)
+val lock_abandon_repaired :
+  t -> proc:int -> cls:Verify.lock_class -> now:int -> unit
+
 val lock_released :
   t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
 
@@ -84,6 +89,9 @@ type cells = {
   handoffs_remote : int;
       (** contended acquisitions that pulled the lock across a cluster
           boundary — the transfers a NUMA-aware lock minimises *)
+  aborts : int;  (** timed acquisitions that expired and gave up *)
+  abandon_repairs : int;
+      (** abandoned queue nodes reclaimed by a later hand-off *)
 }
 
 type row = {

@@ -131,6 +131,7 @@ type wait = {
   w_cls : lock_class;
   w_id : int;
   w_lock : bool; (* false = reserve word *)
+  w_timed : bool; (* timed acquisition: can abandon, never deadlocks *)
   w_since : int;
 }
 
@@ -358,7 +359,24 @@ let wait_acquire t ~proc ~cls ~id ~now =
       (Printf.sprintf "blocking acquire of %s already held by this processor"
          (describe_instance cls id));
   List.iter (fun h -> add_edge t ~proc ~now ~from_held:h cls) t.held.(proc);
-  push_wait t ~proc { w_cls = cls; w_id = id; w_lock = true; w_since = now }
+  push_wait t ~proc
+    { w_cls = cls; w_id = id; w_lock = true; w_timed = false; w_since = now }
+
+(* A *timed* blocking acquisition begins. Like TryLock it records no order
+   edges — a waiter that will abandon its wait at a deadline cannot be the
+   permanently-waiting side of a deadlock — but it does register a wait
+   frame so the dump shows it and [acquired]/[wait_abandoned] stay
+   balanced. The frame is marked [w_timed] so the watchdog's cycle walk
+   skips it: a cycle through a timed waiter self-resolves at the
+   deadline. *)
+let wait_acquire_timed t ~proc ~cls ~id ~now =
+  if List.exists (fun h -> h.h_kind = Hlock && h.h_id = id) t.held.(proc) then
+    report t ~kind:Recursive_acquire ~proc ~now
+      (Printf.sprintf
+         "timed blocking acquire of %s already held by this processor"
+         (describe_instance cls id));
+  push_wait t ~proc
+    { w_cls = cls; w_id = id; w_lock = true; w_timed = true; w_since = now }
 
 let acquired t ~proc ~cls ~id ~now =
   pop_wait t ~proc;
@@ -512,7 +530,8 @@ let reserve_wait t ~proc ~cls ~word ~label ~now ~in_interrupt =
          (word_desc t word) since)
   | _ -> ());
   List.iter (fun h -> add_edge t ~proc ~now ~from_held:h cls) t.held.(proc);
-  push_wait t ~proc { w_cls = cls; w_id = word; w_lock = false; w_since = now }
+  push_wait t ~proc
+    { w_cls = cls; w_id = word; w_lock = false; w_timed = false; w_since = now }
 
 let reserve_wait_done t ~proc ~now =
   pop_wait t ~proc;
@@ -537,6 +556,7 @@ let find_deadlock t =
   let next p =
     match t.waits.(p) with
     | [] -> None
+    | w :: _ when w.w_timed -> None (* will abandon at its deadline *)
     | w :: _ -> (
       match holder_of_wait t w with
       | Some q when q <> p -> Some q
@@ -567,8 +587,10 @@ let check t ~now ~stall_limit =
     report_fatal t ~kind:Deadlock_cycle ~proc:(List.hd cycle) ~now
       (Printf.sprintf "waits-for cycle %s\n%s" chain (dump t ~now))
   | None -> ());
+  (* Timed waiters don't count: they self-resolve at their deadline, and
+     each abandonment is itself progress. *)
   let someone_waits =
-    Array.exists (fun ws -> ws <> []) t.waits
+    Array.exists (fun ws -> List.exists (fun w -> not w.w_timed) ws) t.waits
   in
   if someone_waits && now - t.last_progress > stall_limit then begin
     let proc =

@@ -95,6 +95,16 @@ val dump : t -> now:int -> string
     out to be free: the dependency exists either way). *)
 val wait_acquire : t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
 
+(** A {e timed} blocking acquisition is about to wait. Like {!try_acquired}
+    it records no order edges — a waiter that abandons at its deadline
+    cannot be the permanently-waiting side of a deadlock — but it does push
+    a wait frame (marked timed) so diagnostics show it; the watchdog's
+    deadlock walk and stall trigger both skip timed frames. Balance with
+    {!acquired} on success or {!wait_abandoned} on timeout, exactly as for
+    {!wait_acquire}. *)
+val wait_acquire_timed :
+  t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
+
 (** The blocking acquisition of [wait_acquire] succeeded. *)
 val acquired : t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
 

@@ -18,7 +18,14 @@ open Eventsim
 open Hector
 open Locks
 
-type probe = Abba | Leak | Interrupt_spin | Stalled_holder | Deadlock | Clean
+type probe =
+  | Abba
+  | Leak
+  | Interrupt_spin
+  | Stalled_holder
+  | Deadlock
+  | Aborted_waiter
+  | Clean
 
 let probe_name = function
   | Abba -> "abba-order"
@@ -26,9 +33,11 @@ let probe_name = function
   | Interrupt_spin -> "interrupt-spin"
   | Stalled_holder -> "stalled-holder"
   | Deadlock -> "deadlock"
+  | Aborted_waiter -> "aborted-waiter"
   | Clean -> "clean"
 
-let all = [ Abba; Leak; Interrupt_spin; Stalled_holder; Deadlock; Clean ]
+let all =
+  [ Abba; Leak; Interrupt_spin; Stalled_holder; Deadlock; Aborted_waiter; Clean ]
 
 type result = {
   probe : probe;
@@ -46,6 +55,7 @@ let expected_kind = function
   | Interrupt_spin -> Some Verify.Interrupt_wait
   | Stalled_holder -> Some Verify.Stall
   | Deadlock -> Some Verify.Deadlock_cycle
+  | Aborted_waiter -> None
   | Clean -> None
 
 let setup () =
@@ -167,6 +177,49 @@ let run_deadlock () =
   in
   (v, aborted)
 
+(* The negative twin of [Deadlock]: the same ABBA shape, but the inner
+   acquisitions are timed — each waiter's deadline expires, it abandons,
+   retreats (releasing its outer lock) and retries. The run self-resolves,
+   so the checker must report NOTHING: timed waits record no order edges
+   (an abortable waiter can never be the permanently-waiting side of a
+   deadlock), the cycle detector skips timed frames, and the watchdog must
+   not count a bounded, expiring wait as a stall. A checker without those
+   rules reports a phantom Order_cycle or Deadlock_cycle here. *)
+let run_aborted_waiter () =
+  let eng, machine, ctxs, v = setup () in
+  let a = Mcs.create ~home:0 ~vclass:"probe.TA" machine in
+  let b = Mcs.create ~home:1 ~vclass:"probe.TB" machine in
+  let grab first second ~backoff ctx =
+    Mcs.acquire first ctx;
+    Ctx.interruptible_pause ctx 1_000;
+    (* By now the other processor holds [second]: with untimed inner
+       acquisitions this is the [Deadlock] probe. *)
+    let rec attempt () =
+      if not (Mcs.acquire_with_timeout second ctx ~timeout:20_000) then begin
+        (* Deadline expired: retreat — release what we hold so the other
+           side can finish — and retry after an (asymmetric) pause. *)
+        Mcs.release first ctx;
+        Ctx.interruptible_pause ctx backoff;
+        Mcs.acquire first ctx;
+        attempt ()
+      end
+    in
+    attempt ();
+    Ctx.work ctx 200;
+    Mcs.release second ctx;
+    Mcs.release first ctx
+  in
+  Process.spawn eng (fun () -> grab a b ~backoff:2_000 ctxs.(0));
+  Process.spawn eng (fun () -> grab b a ~backoff:8_000 ctxs.(1));
+  Verify.watchdog ~period:5_000 v eng;
+  let aborted =
+    match Engine.run eng with
+    | () -> false
+    | exception Verify.Violation _ -> true
+  in
+  ignore machine;
+  (v, aborted)
+
 (* A fault-free storm is real concurrent traffic over every checked
    mechanism — MCS (timed and plain), reserve bits, RPC; the checker must
    stay silent on it. *)
@@ -188,6 +241,7 @@ let run probe =
     | Interrupt_spin -> run_interrupt_spin ()
     | Stalled_holder -> run_stalled_holder ()
     | Deadlock -> run_deadlock ()
+    | Aborted_waiter -> run_aborted_waiter ()
     | Clean -> run_clean ()
   in
   let expected = expected_kind probe in

@@ -10,6 +10,10 @@ type probe =
   | Interrupt_spin  (** reserve wait inside an interrupt handler *)
   | Stalled_holder  (** holder dies; unbounded waiter; watchdog [Stall] *)
   | Deadlock  (** true ABBA deadlock; watchdog [Deadlock_cycle] *)
+  | Aborted_waiter
+      (** ABBA shape with {e timed} inner acquisitions that expire,
+          retreat and retry — self-resolving, so the checker must stay
+          silent: no phantom order/deadlock report, no stall *)
   | Clean  (** fault-free storm under the checker: zero violations *)
 
 val probe_name : probe -> string

@@ -26,6 +26,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("lock_family", Test_lock_family.suite);
       ("numa_locks", Test_numa_locks.suite);
+      ("abort", Test_abort.suite);
       ("cow", Test_cow.suite);
       ("report", Test_report.suite);
       ("fserver", Test_fserver.suite);

@@ -216,6 +216,27 @@ let test_spin_until_clear_timeout_expires () =
     (Machine.now machine >= 800);
   Alcotest.(check bool) "bit untouched" true (Reserve.write_reserved status)
 
+let test_spin_until_clear_timeout_zero_deadline () =
+  (* An already-expired deadline must fail immediately with no side
+     effects: no time passes, no memory traffic, and the status word is
+     untouched — even when the bit is actually clear and a single read
+     would have succeeded. *)
+  let eng, machine, ctx = make () in
+  let set_status = Machine.alloc machine ~home:0 1 in
+  let clear_status = Machine.alloc machine ~home:0 0 in
+  simulate eng (fun () ->
+      let c = ctx 0 in
+      let backoff = Backoff.create ~max_cycles:100 () in
+      let t0 = Machine.now machine in
+      Alcotest.(check bool) "timeout 0, bit set -> false" false
+        (Reserve.spin_until_clear_timeout c backoff set_status ~timeout:0);
+      Alcotest.(check bool) "timeout 0, bit clear -> still false" false
+        (Reserve.spin_until_clear_timeout c backoff clear_status ~timeout:0);
+      Alcotest.(check bool) "negative timeout -> false" false
+        (Reserve.spin_until_clear_timeout c backoff clear_status ~timeout:(-5));
+      Alcotest.(check int) "no simulated time consumed" t0 (Machine.now machine));
+  Alcotest.(check bool) "bit untouched" true (Reserve.write_reserved set_status)
+
 (* -- instruction model ----------------------------------------------------------- *)
 
 let test_fig4_counts_match_paper () =
@@ -317,6 +338,8 @@ let suite =
     Alcotest.test_case "write_reserved flag" `Quick test_write_reserved_flag;
     Alcotest.test_case "spin_until_clear_timeout sees the clear" `Quick
       test_spin_until_clear_timeout_clears_in_time;
+    Alcotest.test_case "spin_until_clear_timeout zero deadline is inert" `Quick
+      test_spin_until_clear_timeout_zero_deadline;
     Alcotest.test_case "spin_until_clear_timeout gives up" `Quick
       test_spin_until_clear_timeout_expires;
     Alcotest.test_case "Figure 4 counts match the paper" `Quick

@@ -199,6 +199,31 @@ let test_timed_acquire_uncontended () =
   Engine.run eng;
   Alcotest.(check int) "no timeouts" 0 (Mcs.timeouts lock)
 
+let test_timed_acquire_zero_deadline () =
+  (* A zero or negative timeout is an already-expired deadline: it must
+     fail immediately with no effect on the lock — no enqueue, no memory
+     traffic, no verification events — even when the lock is free and an
+     enqueue would have won. Only the timeouts counter advances. *)
+  let eng, machine, ctx = make () in
+  let lock = Mcs.create ~variant:Mcs.H2 ~home:0 machine in
+  Process.spawn eng (fun () ->
+      let c = ctx 0 in
+      let t0 = Machine.now machine in
+      Alcotest.(check bool) "timeout 0 on a free lock -> false" false
+        (Mcs.acquire_with_timeout lock c ~timeout:0);
+      Alcotest.(check bool) "negative timeout -> false" false
+        (Mcs.acquire_with_timeout lock c ~timeout:(-100));
+      Alcotest.(check int) "no simulated time consumed" t0 (Machine.now machine);
+      Alcotest.(check bool) "lock untouched" true (Mcs.is_free lock);
+      (* The refusals left no queue state behind: a real attempt wins. *)
+      Alcotest.(check bool) "node unharmed, lock acquirable" true
+        (Mcs.acquire_with_timeout lock c ~timeout:100);
+      Mcs.release lock c);
+  Engine.run eng;
+  Alcotest.(check int) "both refusals counted" 2 (Mcs.timeouts lock);
+  Alcotest.(check int) "nothing to collect" 0 (Mcs.gc_count lock);
+  Alcotest.(check bool) "free" true (Mcs.is_free lock)
+
 let test_timed_acquire_within_deadline () =
   (* The holder releases well before the deadline: the waiter queues,
      spins, and wins like a plain acquire. *)
@@ -351,6 +376,8 @@ let suite =
       test_trylock_v2_abandons_and_gc;
     Alcotest.test_case "TryLock v2 node reusable after GC" `Quick
       test_trylock_v2_node_reusable_after_gc;
+    Alcotest.test_case "timed acquire: zero deadline is inert" `Quick
+      test_timed_acquire_zero_deadline;
     Alcotest.test_case "timed acquire: uncontended" `Quick
       test_timed_acquire_uncontended;
     Alcotest.test_case "timed acquire: wins within the deadline" `Quick

@@ -278,7 +278,17 @@ let get_float doc key =
    numbers equal what the in-process runners return. *)
 let test_bench_json_schema () =
   let names =
-    [ "fig4"; "uncontended"; "fig5a"; "fig5b"; "fig7a"; "fig7b"; "fig7c"; "fig7d" ]
+    [
+      "fig4";
+      "uncontended";
+      "fig5a";
+      "fig5b";
+      "fig7a";
+      "fig7b";
+      "fig7c";
+      "fig7d";
+      "abort_storm";
+    ]
   in
   let doc =
     Bench_json.document ~procs:[ 2 ] ~sizes:[ 4 ] ~iters:5 ~rounds:2 ~names ()
@@ -325,6 +335,29 @@ let test_bench_json_schema () =
           (get_float row "pair_us"))
       rows direct
   | _ -> Alcotest.fail "uncontended not a list");
+  (* abort_storm: rows equal a direct deterministic rerun, and carry the
+     acceptance facts (everyone aborts somewhere, bounded return, lock
+     clean after the drain). *)
+  (match Json.get exps "abort_storm" with
+  | Json.List rows ->
+    let direct = Experiments.abort_storm () in
+    Alcotest.(check int) "abort rows" (List.length direct) (List.length rows);
+    List.iter2
+      (fun row (d : Experiments.abort_point) ->
+        Alcotest.(check bool) "abort algo" true
+          (Json.get row "algo"
+          = Json.String (Locks.Lock.algo_name d.Experiments.aalgo));
+        Alcotest.(check int) "abort aborts" d.Experiments.aaborts
+          (match Json.get row "aborts" with Json.Int i -> i | _ -> -1);
+        Alcotest.(check (float 0.0)) "abort bound ratio"
+          d.Experiments.abound_ratio
+          (get_float row "bound_ratio");
+        Alcotest.(check bool) "abort final free" true
+          (Json.get row "final_free" = Json.Bool true);
+        Alcotest.(check bool) "abort remote aborts" true
+          (d.Experiments.aremote_aborts > 0))
+      rows direct
+  | _ -> Alcotest.fail "abort_storm not a list");
   (* fig5a on the same knobs: series values equal the in-process sweep. *)
   let direct5 = Experiments.fig5a ~procs:[ 2 ] () in
   match Json.get (Json.get exps "fig5a") "series" with

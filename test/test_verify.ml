@@ -64,6 +64,14 @@ let test_probe_interrupt () = check_probe Verify_probes.Interrupt_spin
 let test_probe_stall () = check_probe ~aborts:true Verify_probes.Stalled_holder
 let test_probe_deadlock () = check_probe ~aborts:true Verify_probes.Deadlock
 
+let test_probe_aborted_waiter () =
+  (* Self-resolving ABBA via timed acquisitions: the checker must stay
+     silent — no phantom order or deadlock report from waits that can (and
+     do) give up, and no watchdog abort. *)
+  let r = Verify_probes.run Verify_probes.Aborted_waiter in
+  Alcotest.(check int) "no phantom violations" 0 r.Verify_probes.violations;
+  Alcotest.(check bool) "watchdog stayed quiet" false r.Verify_probes.aborted
+
 let test_probe_clean () =
   let r = Verify_probes.run Verify_probes.Clean in
   Alcotest.(check int) "clean run records nothing" 0 r.Verify_probes.violations
@@ -146,6 +154,8 @@ let suite =
     Alcotest.test_case "probe: interrupt spin" `Quick test_probe_interrupt;
     Alcotest.test_case "probe: stalled holder" `Quick test_probe_stall;
     Alcotest.test_case "probe: deadlock" `Quick test_probe_deadlock;
+    Alcotest.test_case "probe: aborted waiter is silent" `Quick
+      test_probe_aborted_waiter;
     Alcotest.test_case "probe: clean" `Quick test_probe_clean;
     Alcotest.test_case "checker on/off identity" `Quick test_checker_identity;
     QCheck_alcotest.to_alcotest prop_status_word;
