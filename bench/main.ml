@@ -92,6 +92,7 @@ let run_obs () = Report.obs ppf (Experiments.obs_profile ())
 let run_numa () = Report.numa_locks ppf (Experiments.numa_locks ())
 let run_hash () = Report.hash_scaling ppf (Experiments.hash_scaling ())
 let run_abort () = Report.abort_storm ppf (Experiments.abort_storm ())
+let run_crash () = Report.crash_storm ppf (Experiments.crash_storm ())
 
 let experiments =
   [
@@ -125,6 +126,7 @@ let experiments =
     ("numa", run_numa);
     ("hash", run_hash);
     ("abort-storm", run_abort);
+    ("crash-storm", run_crash);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

@@ -24,6 +24,9 @@ let algo_conv =
     | "cohort" | "c-mcs-mcs" -> Ok Locks.Lock.c_mcs_mcs
     | "hmcs" -> Ok Locks.Lock.hmcs
     | "cna" -> Ok Locks.Lock.cna
+    | "clh" -> Ok Locks.Lock.Clh
+    | "ticket" -> Ok Locks.Lock.Ticket
+    | "anderson" -> Ok Locks.Lock.Anderson
     | s -> (
       match Scanf.sscanf_opt s "spin:%f" (fun v -> v) with
       | Some us -> Ok (Locks.Lock.Spin { max_backoff_us = us })
@@ -31,8 +34,8 @@ let algo_conv =
         Error
           (`Msg
             (Printf.sprintf
-               "unknown lock algorithm %S (mcs | h1 | h2 | cas | cohort | hmcs \
-                | cna | spin:<us>)" s)))
+               "unknown lock algorithm %S (mcs | h1 | h2 | cas | clh | ticket \
+                | anderson | cohort | hmcs | cna | spin:<us>)" s)))
   in
   let print ppf a = Format.pp_print_string ppf (Locks.Lock.algo_name a) in
   Arg.conv (parse, print)
@@ -591,6 +594,74 @@ let abort_cmd =
           ABORT-STORM). Only abortable algorithms are accepted.")
     Term.(const run $ algo_arg $ clusters $ timeout $ stall $ window $ seed_arg)
 
+(* -- crash subcommand --------------------------------------------------------- *)
+
+let crash_cmd =
+  let run algo clusters kills check_period_us hold_us window_us seed =
+    let r =
+      Crash_storm.run
+        ~config:
+          {
+            Crash_storm.default_config with
+            n_clusters = clusters;
+            n_kills = kills;
+            check_period_us;
+            hold_us;
+            window_us;
+            seed;
+          }
+        algo
+    in
+    Format.fprintf ppf "recovery: %a@." Measure.pp r.Crash_storm.recovery;
+    List.iter
+      (fun (c, s) ->
+        Format.fprintf ppf "cluster %d: %a@." c Measure.pp s)
+      r.Crash_storm.by_cluster;
+    Format.fprintf ppf
+      "kills=%d acquisitions=%d obs-crashes=%d obs-recoveries=%d \
+       lockdep-recoveries=%d lockdep-violations=%d final-free=%b@."
+      r.Crash_storm.kills r.Crash_storm.acquisitions r.Crash_storm.obs_crashes
+      r.Crash_storm.obs_recoveries r.Crash_storm.lockdep_recoveries
+      r.Crash_storm.lockdep_violations r.Crash_storm.final_free
+  in
+  let clusters =
+    Arg.(
+      value & opt int 4
+      & info [ "clusters" ] ~docv:"C" ~doc:"Number of clusters (p=16 split).")
+  in
+  let kills =
+    Arg.(
+      value & opt int 6
+      & info [ "kills" ] ~docv:"N"
+          ~doc:"Victim processors, each fail-stopped once mid-critical-section.")
+  in
+  let check_period =
+    Arg.(
+      value & opt float 25.0
+      & info [ "check-period" ] ~docv:"US"
+          ~doc:"Recoverable-acquire slice (the dead-holder detector period).")
+  in
+  let hold =
+    Arg.(
+      value & opt float 2.0
+      & info [ "hold" ] ~docv:"US" ~doc:"Critical-section length in us.")
+  in
+  let window =
+    Arg.(
+      value & opt float 20000.0
+      & info [ "window" ] ~docv:"US" ~doc:"Measurement window in us.")
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Fail-stop crashes planted mid-critical-section: victims die \
+          holding the lock, survivors acquire through the recoverable face \
+          and force-release each orphaned hold (experiment CRASH-STORM). \
+          Only recoverable algorithms are accepted.")
+    Term.(
+      const run $ algo_arg $ clusters $ kills $ check_period $ hold $ window
+      $ seed_arg)
+
 (* -- hash subcommand --------------------------------------------------------- *)
 
 let hash_cmd =
@@ -715,6 +786,7 @@ let figure_cmd =
     | "numa" -> Report.numa_locks ppf (Experiments.numa_locks ())
     | "hash" -> Report.hash_scaling ppf (Experiments.hash_scaling ())
     | "abort-storm" -> Report.abort_storm ppf (Experiments.abort_storm ())
+    | "crash-storm" -> Report.crash_storm ppf (Experiments.crash_storm ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -744,6 +816,7 @@ let main_cmd =
       trace_cmd;
       numa_cmd;
       abort_cmd;
+      crash_cmd;
       hash_cmd;
       figure_cmd;
     ]

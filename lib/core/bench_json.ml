@@ -13,8 +13,12 @@ open Workloads
    Version 4: added the "abort_storm" experiment (timed abandonment under
    a planted cross-cluster holder stall: overshoot distribution, worst
    return/timeout ratio, recovery latency and per-cluster abort counts
-   per abortable algorithm). *)
-let schema_version = 4
+   per abortable algorithm).
+   Version 5: added the "crash_storm" experiment (fail-stop kills planted
+   mid-critical-section: conservation, lockdep-legalised recovery
+   transfers, kill-to-forced-release latency per algorithm and worst
+   cluster). *)
+let schema_version = 5
 
 let default_names =
   [
@@ -31,6 +35,7 @@ let default_names =
     "numa_locks";
     "hash_scaling";
     "abort_storm";
+    "crash_storm";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -207,6 +212,30 @@ let abort_storm_json (rows : Experiments.abort_point list) =
            ])
        rows)
 
+let crash_storm_json (rows : Experiments.crash_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.crash_point) ->
+         Json.Obj
+           [
+             ("algo", Json.String (Lock.algo_name r.Experiments.calgo));
+             ("kills", Json.Int r.Experiments.ckills);
+             ("acquisitions", Json.Int r.Experiments.cacqs);
+             ("obs_crashes", Json.Int r.Experiments.cobs_crashes);
+             ("obs_recoveries", Json.Int r.Experiments.cobs_recoveries);
+             ("lockdep_recoveries", Json.Int r.Experiments.clockdep_recoveries);
+             ("lockdep_violations", Json.Int r.Experiments.clockdep_violations);
+             ("recovery_mean_us", Json.Float r.Experiments.crec_mean_us);
+             ("recovery_p99_us", Json.Float r.Experiments.crec_p99_us);
+             ("recovery_max_us", Json.Float r.Experiments.crec_max_us);
+             ("recovery_n", Json.Int r.Experiments.crec_n);
+             ("clusters_hit", Json.Int r.Experiments.cclusters_hit);
+             ("worst_cluster_p99_us",
+              Json.Float r.Experiments.cworst_cluster_p99_us);
+             ("final_free", Json.Bool r.Experiments.cfinal_free);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -240,6 +269,7 @@ let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
     | "numa_locks" -> numa_locks_json (Experiments.numa_locks ?cfg ())
     | "hash_scaling" -> hash_scaling_json (Experiments.hash_scaling ?cfg ())
     | "abort_storm" -> abort_storm_json (Experiments.abort_storm ?cfg ())
+    | "crash_storm" -> crash_storm_json (Experiments.crash_storm ?cfg ())
     | other ->
       invalid_arg
         (Printf.sprintf "Bench_json.document: unknown experiment %S" other)

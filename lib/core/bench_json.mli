@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -34,7 +34,12 @@
                           stalls, overshoot_mean_us, overshoot_p99_us,
                           overshoot_max_us, bound_ratio, recovery_mean_us,
                           recovery_max_us, obs_aborts, obs_repairs,
-                          remote_aborts, final_free} ]
+                          remote_aborts, final_free} ],
+        "crash_storm": [ {algo, kills, acquisitions, obs_crashes,
+                          obs_recoveries, lockdep_recoveries,
+                          lockdep_violations, recovery_mean_us,
+                          recovery_p99_us, recovery_max_us, recovery_n,
+                          clusters_hit, worst_cluster_p99_us, final_free} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
@@ -46,6 +51,10 @@
     cross-cluster holder stall: overshoot vs deadline, worst
     return/timeout ratio, recovery latency and per-cluster abort counts
     per abortable algorithm).
+    Version 5 added "crash_storm" (fail-stop kills planted
+    mid-critical-section: conservation, lockdep-legalised recovery
+    transfers, kill-to-forced-release latency per algorithm and worst
+    cluster).
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -55,8 +64,8 @@ open Hector
 val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
-    "constants"; "numa_locks"; "hash_scaling"; "abort_storm"] — what a
-    bare [--json] exports. *)
+    "constants"; "numa_locks"; "hash_scaling"; "abort_storm";
+    "crash_storm"] — what a bare [--json] exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

@@ -721,3 +721,54 @@ let abort_storm ?(cfg = Config.hector) ?(algos = numa_algos) () =
         afinal_free = r.Abort_storm.final_free;
       })
     algos
+
+(* -- CRASH-STORM: fail-stop mid-CS kills, crash-recoverable locking --------- *)
+
+type crash_point = {
+  calgo : Lock.algo;
+  ckills : int;
+  cacqs : int;
+  cobs_crashes : int;
+  cobs_recoveries : int; (* forced releases, cohort constituents included *)
+  clockdep_recoveries : int;
+  clockdep_violations : int;
+  crec_mean_us : float; (* kill to forced release *)
+  crec_p99_us : float;
+  crec_max_us : float;
+  crec_n : int;
+  cclusters_hit : int; (* clusters with at least one recovery sample *)
+  cworst_cluster_p99_us : float;
+  cfinal_free : bool;
+}
+
+(* Representative flat queue locks (MCS, CLH, and the non-abortable Ticket,
+   whose waiters recover in-spin) plus the NUMA composites — each under the
+   same planted mid-critical-section kill schedule. *)
+let crash_algos = Lock.Mcs_h2 :: Lock.Clh :: Lock.Ticket :: Lock.all_numa_algos
+
+let crash_storm ?(cfg = Config.hector) ?(algos = crash_algos) () =
+  List.map
+    (fun calgo ->
+      let r = Crash_storm.run ~cfg calgo in
+      let worst =
+        List.fold_left
+          (fun acc (_, s) -> Float.max acc s.Measure.p99_us)
+          0.0 r.Crash_storm.by_cluster
+      in
+      {
+        calgo;
+        ckills = r.Crash_storm.kills;
+        cacqs = r.Crash_storm.acquisitions;
+        cobs_crashes = r.Crash_storm.obs_crashes;
+        cobs_recoveries = r.Crash_storm.obs_recoveries;
+        clockdep_recoveries = r.Crash_storm.lockdep_recoveries;
+        clockdep_violations = r.Crash_storm.lockdep_violations;
+        crec_mean_us = r.Crash_storm.recovery.Measure.mean_us;
+        crec_p99_us = r.Crash_storm.recovery.Measure.p99_us;
+        crec_max_us = r.Crash_storm.recovery.Measure.max_us;
+        crec_n = r.Crash_storm.recovery.Measure.n;
+        cclusters_hit = List.length r.Crash_storm.by_cluster;
+        cworst_cluster_p99_us = worst;
+        cfinal_free = r.Crash_storm.final_free;
+      })
+    algos

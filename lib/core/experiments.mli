@@ -294,3 +294,32 @@ type abort_point = {
 
 val abort_storm :
   ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> abort_point list
+
+(** CRASH-STORM — fail-stop processor crashes planted mid-critical-section
+    ({!Workloads.Crash_storm}): representative flat queue locks and the
+    NUMA composites, each with victims dying while holding the lock and
+    every survivor acquiring through the recoverable face. Conservation
+    (every kill recovered), legality (an installed lockdep checker sees
+    every forced release as a recovery transfer, zero violations) and the
+    kill-to-forced-release latency distribution, worst cluster included. *)
+
+type crash_point = {
+  calgo : Lock.algo;
+  ckills : int;
+  cacqs : int;  (** successful worker acquisitions around the kills *)
+  cobs_crashes : int;
+  cobs_recoveries : int;
+      (** forced releases, cohort constituents included *)
+  clockdep_recoveries : int;  (** checker-legalised recovery transfers *)
+  clockdep_violations : int;  (** must be 0 *)
+  crec_mean_us : float;  (** kill to forced release *)
+  crec_p99_us : float;
+  crec_max_us : float;
+  crec_n : int;
+  cclusters_hit : int;  (** clusters with at least one recovery sample *)
+  cworst_cluster_p99_us : float;
+  cfinal_free : bool;  (** lock free after the surviving-processor drain *)
+}
+
+val crash_storm :
+  ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> crash_point list

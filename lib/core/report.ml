@@ -407,6 +407,30 @@ let abort_storm ppf (rows : Experiments.abort_point list) =
         (if r.Experiments.afinal_free then "yes" else "NO"))
     rows
 
+let crash_storm ppf (rows : Experiments.crash_point list) =
+  section ppf "CRASH-STORM - fail-stop kills mid-critical-section"
+    "victim processors fail-stop while holding the lock (the fiber parks, \
+     releasing nothing); every survivor acquires through the recoverable \
+     face, whose dead-holder detector force-releases each orphaned hold. \
+     Conservation demands a recovery per kill, an installed lockdep \
+     checker must see every forced release as a legal transfer (zero \
+     violations), and the storm must end with the lock free";
+  Format.fprintf ppf "%-15s %6s %6s %7s %6s %6s %5s %9s %9s %9s %5s %10s %5s@."
+    "lock" "kills" "acq" "crashes" "recov" "lkdep" "viol" "rec(us)" "p99(us)"
+    "max(us)" "clus" "worstp99" "free";
+  List.iter
+    (fun (r : Experiments.crash_point) ->
+      Format.fprintf ppf
+        "%-15s %6d %6d %7d %6d %6d %5d %9.1f %9.1f %9.1f %5d %10.1f %5s@."
+        (Lock.algo_name r.Experiments.calgo)
+        r.Experiments.ckills r.Experiments.cacqs r.Experiments.cobs_crashes
+        r.Experiments.cobs_recoveries r.Experiments.clockdep_recoveries
+        r.Experiments.clockdep_violations r.Experiments.crec_mean_us
+        r.Experiments.crec_p99_us r.Experiments.crec_max_us
+        r.Experiments.cclusters_hit r.Experiments.cworst_cluster_p99_us
+        (if r.Experiments.cfinal_free then "yes" else "NO"))
+    rows
+
 let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
   section ppf "OBS - where did the cycles go (dosed fault storm)"
     "the argument of Figures 5/7 is made by attributing waiting time to \

@@ -70,6 +70,7 @@ val numa_locks : Format.formatter -> Experiments.numa_point list -> unit
 val hash_scaling : Format.formatter -> Experiments.hash_point list -> unit
 
 val abort_storm : Format.formatter -> Experiments.abort_point list -> unit
+val crash_storm : Format.formatter -> Experiments.crash_point list -> unit
 
 val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit

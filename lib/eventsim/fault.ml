@@ -3,8 +3,11 @@
    A fault plan is a seeded recipe for adversity: lock-holder stalls
    (a holder preempted mid-critical-section), RPC delays and losses (a
    request or reply held up or dropped in the interconnect, forcing the
-   caller to resend), and memory hot-spots (a PMM serving accesses at a
-   multiple of its normal latency for a window).
+   caller to resend), memory hot-spots (a PMM serving accesses at a
+   multiple of its normal latency for a window), and — the terminal case —
+   fail-stop processor crashes (a processor halts mid-whatever, holding
+   whatever it holds, and never runs another instruction unless the plan
+   grants it a restart).
 
    All draws come from the plan's own splitmix64 stream ({!Rng}), so a
    given (config, workload) pair replays bit-for-bit, and the plan never
@@ -16,7 +19,10 @@
    The injection sites (Hector.Ctx, Hector.Machine, Hkernel.Rpc) ask it
    what to inject and charge the simulated cycles themselves, and they ask
    only when a plan is installed — with no plan there are no draws, no
-   branches taken, and identical timing. *)
+   branches taken, and identical timing. Crashes keep the same discipline:
+   with [crash_rate = 0.0] the crash question costs no draw, so a plan
+   exercising only the other fault kinds replays bit-for-bit against
+   earlier versions of itself. *)
 
 type config = {
   seed : int;
@@ -34,6 +40,10 @@ type config = {
   hotspot_rate : float; (* P(window opens) per access to a cool PMM *)
   hotspot_factor : int; (* latency multiplier while hot *)
   hotspot_cycles : int; (* window length *)
+  crash_rate : float; (* P(fail-stop) per fault point visit *)
+  crash_at : (int * int) list; (* scheduled kills: (time, processor) *)
+  restart_after : int; (* >0: a crashed processor revives after this many
+                          cycles (fail-restart); 0 = crashes are forever *)
 }
 
 let disabled =
@@ -49,6 +59,9 @@ let disabled =
     hotspot_rate = 0.0;
     hotspot_factor = 1;
     hotspot_cycles = 0;
+    crash_rate = 0.0;
+    crash_at = [];
+    restart_after = 0;
   }
 
 let validate cfg =
@@ -67,9 +80,34 @@ let validate cfg =
     invalid_arg "Fault: hotspot_factor must be >= 1";
   if cfg.rpc_drop_rate > 0.0 && cfg.reply_timeout <= 0 then
     invalid_arg "Fault: rpc_drop_rate > 0 needs a positive reply_timeout";
+  check_rate "crash_rate" cfg.crash_rate;
+  List.iter
+    (fun (time, proc) ->
+      if time < 0 then invalid_arg "Fault: crash_at times must be >= 0";
+      if proc < 0 then invalid_arg "Fault: crash_at processors must be >= 0")
+    cfg.crash_at;
+  if cfg.restart_after < 0 then
+    invalid_arg "Fault: restart_after must be >= 0";
   cfg
 
 type drop = No_drop | Drop_request | Drop_reply
+type kind = Stall | Rpc_delay | Rpc_drop | Hotspot | Crash | Restart
+
+let kind_name = function
+  | Stall -> "stall"
+  | Rpc_delay -> "rpc_delay"
+  | Rpc_drop -> "rpc_drop"
+  | Hotspot -> "hotspot"
+  | Crash -> "crash"
+  | Restart -> "restart"
+
+type event = {
+  kind : kind;
+  time : int;
+  where : int; (* stall: site; hotspot: pmm; crash/restart: processor;
+                  rpc events: -1 (no stable anchor) *)
+  cycles : int; (* stall/delay/hotspot durations; 0 otherwise *)
+}
 
 type t = {
   cfg : config;
@@ -79,7 +117,15 @@ type t = {
   mutable rpc_delays : int;
   mutable rpc_drops : int;
   mutable hotspots : int;
-  mutable stall_log_rev : (int * int) list; (* (start, duration), newest first *)
+  mutable crashes : int;
+  mutable restarts : int;
+  (* One chronological log for every injected fault, appended in event
+     order (injection sites only ever ask about "now", which the engine
+     drives monotonically). A plain growable array: O(1) amortised append
+     and no per-call reversal — the old stall log was kept newest-first
+     and rebuilt with [List.rev] on every read. *)
+  mutable log : event array;
+  mutable log_len : int;
   mutable next_stall : int; (* scheduled mode: earliest time of the next stall *)
   hot_until : (int, int) Hashtbl.t; (* pmm -> window end *)
 }
@@ -94,7 +140,10 @@ let create cfg =
     rpc_delays = 0;
     rpc_drops = 0;
     hotspots = 0;
-    stall_log_rev = [];
+    crashes = 0;
+    restarts = 0;
+    log = [||];
+    log_len = 0;
     next_stall = cfg.stall_every;
     hot_until = Hashtbl.create 8;
   }
@@ -110,10 +159,29 @@ let stalls_at t ~site =
 let rpc_delays_injected t = t.rpc_delays
 let rpc_drops_injected t = t.rpc_drops
 let hotspots_injected t = t.hotspots
+let crashes_injected t = t.crashes
+let restarts_injected t = t.restarts
 
-let total_injected t = t.stalls + t.rpc_delays + t.rpc_drops + t.hotspots
+let total_injected t =
+  t.stalls + t.rpc_delays + t.rpc_drops + t.hotspots + t.crashes
 
-let stall_log t = List.rev t.stall_log_rev
+let log_event t ev =
+  let cap = Array.length t.log in
+  if t.log_len = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) ev in
+    Array.blit t.log 0 grown 0 cap;
+    t.log <- grown
+  end;
+  t.log.(t.log_len) <- ev;
+  t.log_len <- t.log_len + 1
+
+let log t = Array.to_list (Array.sub t.log 0 t.log_len)
+
+(* Compatibility view: the stalls only, as (start, duration). *)
+let stall_log t =
+  List.filter_map
+    (fun ev -> if ev.kind = Stall then Some (ev.time, ev.cycles) else None)
+    (log t)
 
 (* Should the caller stall at this fault point?  Returns the stall length;
    the caller spends the cycles (interruptibly — a preempted holder's
@@ -121,7 +189,8 @@ let stall_log t = List.rev t.stall_log_rev
 let record_stall t ~site ~now =
   t.stalls <- t.stalls + 1;
   Hashtbl.replace t.site_stalls site (stalls_at t ~site + 1);
-  t.stall_log_rev <- (now, t.cfg.stall_cycles) :: t.stall_log_rev;
+  log_event t
+    { kind = Stall; time = now; where = site; cycles = t.cfg.stall_cycles };
   Some t.cfg.stall_cycles
 
 let draw_stall t ~site ~now =
@@ -138,20 +207,28 @@ let draw_stall t ~site ~now =
   else None
 
 (* Should this message (request or reply) be held up in the interconnect? *)
-let draw_rpc_delay t =
+let draw_rpc_delay t ~now =
   if t.cfg.rpc_delay_rate <= 0.0 then None
   else if Rng.float t.rng < t.cfg.rpc_delay_rate then begin
     t.rpc_delays <- t.rpc_delays + 1;
+    log_event t
+      {
+        kind = Rpc_delay;
+        time = now;
+        where = -1;
+        cycles = t.cfg.rpc_delay_cycles;
+      };
     Some t.cfg.rpc_delay_cycles
   end
   else None
 
 (* Should this delivery lose its request or its reply?  Drawn once per
    delivery attempt; the RPC layer enforces at most one loss per call. *)
-let draw_rpc_drop t =
+let draw_rpc_drop t ~now =
   if t.cfg.rpc_drop_rate <= 0.0 then No_drop
   else if Rng.float t.rng < t.cfg.rpc_drop_rate then begin
     t.rpc_drops <- t.rpc_drops + 1;
+    log_event t { kind = Rpc_drop; time = now; where = -1; cycles = 0 };
     if Rng.bool t.rng then Drop_request else Drop_reply
   end
   else No_drop
@@ -171,7 +248,33 @@ let hotspot_factor t ~pmm ~now =
     else if Rng.float t.rng < t.cfg.hotspot_rate then begin
       t.hotspots <- t.hotspots + 1;
       Hashtbl.replace t.hot_until pmm (now + t.cfg.hotspot_cycles);
+      log_event t
+        {
+          kind = Hotspot;
+          time = now;
+          where = pmm;
+          cycles = t.cfg.hotspot_cycles;
+        };
       t.cfg.hotspot_factor
     end
     else 1
   end
+
+(* Should the visiting processor fail-stop at this fault point?  With
+   [crash_rate = 0.0] this makes no draw, preserving the stream of a
+   crash-free plan. The caller (Hector.Machine via Ctx) performs the kill
+   and reports it through {!record_crash}, so scheduled and explicit kills
+   land in the same log. *)
+let draw_crash t =
+  t.cfg.crash_rate > 0.0 && Rng.float t.rng < t.cfg.crash_rate
+
+let record_crash t ~proc ~now =
+  t.crashes <- t.crashes + 1;
+  log_event t { kind = Crash; time = now; where = proc; cycles = 0 }
+
+let record_restart t ~proc ~now =
+  t.restarts <- t.restarts + 1;
+  log_event t { kind = Restart; time = now; where = proc; cycles = 0 }
+
+let crash_schedule t = t.cfg.crash_at
+let restart_after t = t.cfg.restart_after

@@ -1,12 +1,14 @@
 (** Deterministic, seeded fault injection.
 
     A fault plan decides — from its own {!Rng} stream, so replays are
-    bit-for-bit — when to inject lock-holder stalls, RPC delays/losses, and
-    memory hot-spot slowdowns. The plan only makes decisions and counts
-    them; the injection sites (context fault points, the machine's access
-    path, the RPC layer) spend the simulated cycles. When no plan is
-    installed those sites make no draws at all, so disabled injection is
-    exactly free. *)
+    bit-for-bit — when to inject lock-holder stalls, RPC delays/losses,
+    memory hot-spot slowdowns, and fail-stop processor crashes. The plan
+    only makes decisions and counts them; the injection sites (context
+    fault points, the machine's access path, the RPC layer) spend the
+    simulated cycles and perform the kills. When no plan is installed
+    those sites make no draws at all, so disabled injection is exactly
+    free — and a plan with [crash_rate = 0.0] makes no crash draws, so
+    pre-crash plans replay identically. *)
 
 type config = {
   seed : int;
@@ -27,13 +29,24 @@ type config = {
   hotspot_rate : float;  (** P(window opens) per access to a cool PMM *)
   hotspot_factor : int;  (** access-latency multiplier while hot *)
   hotspot_cycles : int;  (** hot-window length *)
+  crash_rate : float;
+      (** P(fail-stop) per fault-point visit — because workloads place
+          fault points inside critical sections, a positive rate kills
+          lock {e holders} mid-section *)
+  crash_at : (int * int) list;
+      (** scheduled kills: [(time, processor)], armed as engine events
+          when the plan is installed *)
+  restart_after : int;
+      (** [> 0]: a crashed processor revives (fail-restart) after this
+          many cycles; [0]: crashes are permanent (fail-stop) *)
 }
 
 (** All rates zero: a plan that never injects anything. *)
 val disabled : config
 
-(** @raise Invalid_argument on out-of-range rates, a factor below 1, or
-    losses enabled without a reply timeout. *)
+(** @raise Invalid_argument on out-of-range rates, a factor below 1,
+    losses enabled without a reply timeout, or negative crash-schedule
+    entries / restart delay. *)
 val validate : config -> config
 
 type t
@@ -45,20 +58,38 @@ val reply_timeout : t -> int
 (** {2 Draws — called by the injection sites} *)
 
 (** Stall decision at a fault point; [Some cycles] means the caller must
-    spend [cycles] stalled. Recorded in the stall log. *)
+    spend [cycles] stalled. Recorded in the log. *)
 val draw_stall : t -> site:int -> now:int -> int option
 
 (** Delay decision for one RPC message. *)
-val draw_rpc_delay : t -> int option
+val draw_rpc_delay : t -> now:int -> int option
 
 type drop = No_drop | Drop_request | Drop_reply
 
 (** Loss decision for one RPC delivery attempt. *)
-val draw_rpc_drop : t -> drop
+val draw_rpc_drop : t -> now:int -> drop
 
 (** Latency multiplier for an access to [pmm] at [now]; 1 when cool. May
     open a new hot window. *)
 val hotspot_factor : t -> pmm:int -> now:int -> int
+
+(** Fail-stop decision at a fault point. Makes no draw when
+    [crash_rate = 0.0]. Decides only — the machine performs the kill and
+    reports it via {!record_crash}. *)
+val draw_crash : t -> bool
+
+(** Record a kill (rate-drawn, scheduled, or explicit) in the counters
+    and the log. Called by the machine, not by clients. *)
+val record_crash : t -> proc:int -> now:int -> unit
+
+(** Record a fail-restart revival. Called by the machine. *)
+val record_restart : t -> proc:int -> now:int -> unit
+
+(** The configured [crash_at] schedule, for the machine to arm. *)
+val crash_schedule : t -> (int * int) list
+
+(** The configured restart delay (0 = fail-stop). *)
+val restart_after : t -> int
 
 (** {2 Accounting} *)
 
@@ -70,8 +101,31 @@ val stalls_at : t -> site:int -> int
 val rpc_delays_injected : t -> int
 val rpc_drops_injected : t -> int
 val hotspots_injected : t -> int
+val crashes_injected : t -> int
+val restarts_injected : t -> int
+
+(** Every injected fault except restarts (a restart is the undoing of a
+    crash, not adversity of its own). *)
 val total_injected : t -> int
 
+(** {2 The injection log} *)
+
+type kind = Stall | Rpc_delay | Rpc_drop | Hotspot | Crash | Restart
+
+val kind_name : kind -> string
+
+type event = {
+  kind : kind;
+  time : int;
+  where : int;
+      (** stall: fault-point site; hotspot: PMM; crash/restart: processor;
+          RPC events: -1 *)
+  cycles : int;  (** stall/delay/hotspot durations; 0 otherwise *)
+}
+
+(** The full chronological log of injected faults, every kind tagged. *)
+val log : t -> event list
+
 (** Chronological [(start, duration)] log of injected stalls, for
-    recovery-latency analysis. *)
+    recovery-latency analysis — the stalls-only view of {!log}. *)
 val stall_log : t -> (int * int) list

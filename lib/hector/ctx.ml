@@ -63,8 +63,21 @@ let soft_masked t = t.soft_masked
 let in_interrupt t = t.in_interrupt
 let pending_interrupts t = Queue.length t.inbox
 
+(* Fail-stop enforcement: a dead processor's fiber parks — suspends with
+   the resume continuation dropped on the floor — at the next operation
+   boundary. Parking, not raising, is the point: an exception would unwind
+   through [Fun.protect] cleanup (e.g. [Lock.with_lock]'s release) and
+   politely hand back everything the processor holds, which a crash must
+   not do. The check is one host-side array read; events already queued
+   for the fiber (a pending memory-access completion, an IPI wake) fire
+   into this check and die quietly. *)
+let halt_if_dead t =
+  if not (Machine.proc_alive t.machine t.proc) then
+    Process.suspend (fun _resume -> ())
+
 (* Pure compute. Instruction costs never touch the interconnect. *)
 let work t cycles =
+  halt_if_dead t;
   t.overlap_credit <- 0;
   t.instr_cycles <- t.instr_cycles + cycles;
   Machine.cpu_work t.machine cycles
@@ -73,6 +86,7 @@ let work t cycles =
    immediately following a fetch&store overlap with its store phase, so up
    to [atomic_overlap] of them are free (Section 4.1.1 of the paper). *)
 let instr t ?(reg = 0) ?(br = 0) () =
+  halt_if_dead t;
   let cfg = config t in
   let cost = (reg * cfg.Config.reg_cost) + (br * cfg.Config.branch_cost) in
   let hidden = min t.overlap_credit cost in
@@ -85,6 +99,7 @@ let instr t ?(reg = 0) ?(br = 0) () =
    handler entry; when the soft mask is set it only records its work on the
    deferred queue (a handful of local, cacheable cycles) and returns. *)
 let rec poll t =
+  halt_if_dead t;
   if (not t.in_interrupt) && not (Queue.is_empty t.inbox) then begin
     let h = Queue.pop t.inbox in
     let cfg = config t in
@@ -200,10 +215,21 @@ let interruptible_pause ?(granule = 32) t cycles =
 let fault_point t ~site =
   match Machine.fault_plan t.machine with
   | None -> ()
-  | Some plan -> (
-    match Fault.draw_stall plan ~site ~now:(Machine.now t.machine) with
-    | None -> ()
-    | Some cycles -> interruptible_pause t cycles)
+  | Some plan ->
+    (* The crash question comes first (and costs no draw when
+       [crash_rate = 0.0], keeping crash-free plans bit-identical).
+       Workloads place fault points inside their critical sections, so a
+       positive rate kills lock holders mid-section — the case recovery
+       exists for. The kill parks this very fiber on the spot. *)
+    if Fault.draw_crash plan then begin
+      Machine.kill_proc t.machine t.proc;
+      halt_if_dead t
+    end
+    else begin
+      match Fault.draw_stall plan ~site ~now:(Machine.now t.machine) with
+      | None -> ()
+      | Some cycles -> interruptible_pause t cycles
+    end
 
 (* Spin on a reply while continuing to take interrupts: this is how a
    processor waits for an RPC to complete in an exception-based kernel — the

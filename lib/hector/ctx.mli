@@ -68,10 +68,19 @@ val post_ipi : t -> handler -> unit
 val interruptible_pause : ?granule:int -> t -> int -> unit
 
 (** Fault-injection point: consult the machine's installed fault plan
-    ({!Machine.set_fault_plan}) and, if a stall is drawn for [site], spend
-    it as an interruptible pause (a preempted holder's processor still
-    serves interrupts). Free when no plan is installed. *)
+    ({!Machine.set_fault_plan}) and, if a crash is drawn, fail-stop this
+    processor on the spot (the fiber parks; see {!halt_if_dead}); else if
+    a stall is drawn for [site], spend it as an interruptible pause (a
+    preempted holder's processor still serves interrupts). Free when no
+    plan is installed; makes no crash draw when [crash_rate = 0.0]. *)
 val fault_point : t -> site:int -> unit
+
+(** Park this fiber forever if its processor is dead
+    ({!Machine.proc_alive}). Called at every operation boundary ([poll],
+    [work], [instr], hence every memory operation and wait loop) — a
+    crashed processor stops at its next instruction without running any
+    cleanup. One host-side read when alive. *)
+val halt_if_dead : t -> unit
 
 (** Busy-wait for an ivar while continuing to take interrupts — how a
     processor waits for an RPC reply in an exception-based kernel. *)

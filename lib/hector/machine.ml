@@ -26,6 +26,17 @@ type t = {
   mutable fault : Fault.t option; (* installed fault plan, for hot-spots *)
   mutable verify : Verify.t option; (* installed lockdep checker *)
   mutable obs : Obs.t option; (* installed contention observer *)
+  (* Fail-stop state. A dead processor never runs another instruction: Ctx
+     parks its fiber at the next operation boundary, and peers consult
+     [alive] (a host-side read, no simulated cost) to fail fast instead of
+     timing out against a corpse. *)
+  alive : bool array;
+  killed_time : int array; (* when the processor died; -1 while alive *)
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable on_restart : (int -> unit) option;
+      (* workload callback to respawn work on a revived processor (the
+         fiber that died stays parked forever) *)
 }
 
 let create eng cfg =
@@ -46,6 +57,11 @@ let create eng cfg =
     fault = None;
     verify = None;
     obs = None;
+    alive = Array.make n true;
+    killed_time = Array.make n (-1);
+    crashes = 0;
+    restarts = 0;
+    on_restart = None;
   }
 
 let engine t = t.eng
@@ -58,7 +74,78 @@ let writes t = t.writes
 let atomics t = t.atomics
 let cache_hits t = t.cache_hits
 
-let set_fault_plan t plan = t.fault <- plan
+(* -- fail-stop crashes ---------------------------------------------------- *)
+
+let proc_alive t proc = t.alive.(proc)
+let killed_at t proc = t.killed_time.(proc)
+let crashes t = t.crashes
+let restarts t = t.restarts
+let set_restart_handler t f = t.on_restart <- Some f
+
+let revive t proc =
+  if not t.alive.(proc) then begin
+    t.alive.(proc) <- true;
+    t.killed_time.(proc) <- -1;
+    t.restarts <- t.restarts + 1;
+    (match t.fault with
+    | Some plan -> Fault.record_restart plan ~proc ~now:(now t)
+    | None -> ());
+    (match t.verify with
+    | Some v -> Verify.proc_revived v ~proc
+    | None -> ());
+    match t.on_restart with Some f -> f proc | None -> ()
+  end
+
+(* Kill processor [proc] now. Its fiber is not torn down here — raising
+   into it would run cleanup handlers ([Fun.protect] in [with_lock]) and
+   politely release everything the processor holds, which is exactly what
+   a fail-stop crash must not do. Instead Ctx parks the fiber, resume
+   dropped, at its next operation boundary; any events already queued for
+   it fire harmlessly into that check. [restart_after] (default: the
+   plan's) schedules a revival, making the crash fail-restart. *)
+let kill_proc ?restart_after t proc =
+  if t.alive.(proc) then begin
+    t.alive.(proc) <- false;
+    t.killed_time.(proc) <- now t;
+    t.crashes <- t.crashes + 1;
+    let restart_after =
+      match restart_after with
+      | Some d -> d
+      | None -> ( match t.fault with Some p -> Fault.restart_after p | None -> 0)
+    in
+    (match t.fault with
+    | Some plan -> Fault.record_crash plan ~proc ~now:(now t)
+    | None -> ());
+    (match t.verify with
+    | Some v -> Verify.proc_crashed v ~proc ~now:(now t)
+    | None -> ());
+    (match t.obs with
+    | Some o -> Obs.proc_crashed o ~proc ~now:(now t)
+    | None -> ());
+    if restart_after > 0 then
+      Engine.schedule_after t.eng ~delay:restart_after (fun () ->
+          revive t proc)
+  end
+
+let set_fault_plan t plan =
+  t.fault <- plan;
+  (* Arm the plan's scheduled kills as engine events. Each event checks
+     that this very plan is still installed when it fires, so clearing or
+     replacing the plan disarms a schedule that cannot be unqueued. *)
+  match plan with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (at, proc) ->
+          if proc < n_procs t then
+            Engine.schedule t.eng
+              ~at:(max at (Engine.now t.eng))
+              (fun () ->
+                match t.fault with
+                | Some q when q == p -> kill_proc t proc
+                | _ -> ()))
+        (Fault.crash_schedule p)
+
 let fault_plan t = t.fault
 
 let set_verify t v = t.verify <- v

@@ -31,11 +31,46 @@ val atomics : t -> int
 val cache_hits : t -> int
 
 (** Install (or clear) a fault plan: while installed, accesses to a PMM the
-    plan declares hot pay a multiplied latency. [None] (the default) makes
-    every timing identical to a build without injection. *)
+    plan declares hot pay a multiplied latency, context fault points may
+    stall or crash the visitor, and the plan's [crash_at] schedule is armed
+    as engine events (disarmed again if the plan is cleared or replaced
+    before they fire). [None] (the default) makes every timing identical to
+    a build without injection. *)
 val set_fault_plan : t -> Fault.t option -> unit
 
 val fault_plan : t -> Fault.t option
+
+(** {2 Fail-stop crashes}
+
+    A dead processor never executes another instruction: {!Ctx} parks its
+    fiber — without running any cleanup, so everything it held stays held —
+    at its next operation boundary. Aliveness is host-side state, free to
+    consult from simulated code (the fail-stop model's "crashes are
+    detectable" half). *)
+
+(** Kill a processor at the current time. Idempotent on the dead. The
+    fiber is parked at its next boundary rather than torn down, so locks
+    and reservations it holds leak — recovery is the lock layer's job.
+    [restart_after] overrides the plan's fail-restart delay ([0] = never
+    revive). Notifies the installed fault plan, checker, and observer. *)
+val kill_proc : ?restart_after:int -> t -> int -> unit
+
+(** Liveness oracle: false once [kill_proc] ran (until a revival). *)
+val proc_alive : t -> int -> bool
+
+(** When the processor was killed; -1 while alive. *)
+val killed_at : t -> int -> int
+
+(** Revive a dead processor immediately (idempotent on the living) and
+    invoke the restart handler, if any. The old fiber stays parked — the
+    handler is the place to spawn fresh work on the processor. *)
+val revive : t -> int -> unit
+
+(** Called with the processor id on every revival. *)
+val set_restart_handler : t -> (int -> unit) -> unit
+
+val crashes : t -> int
+val restarts : t -> int
 
 (** Install (or clear) a lockdep checker: while installed, the locking
     layers report acquisitions, releases and reserve-bit transitions to it.

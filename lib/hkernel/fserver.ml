@@ -211,7 +211,7 @@ let open_file t ctx ~file =
       Ctx.write ctx f.opens 1;
       Khash.release_reserve ctx e;
       Some f.f_blocks
-    | Rpc.Absent | Rpc.Would_deadlock | Rpc.Gave_up ->
+    | Rpc.Absent | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
       (* No such file: drop the placeholder. *)
       ignore (Khash.remove table ctx file);
       Khash.release_reserve ctx e;
@@ -301,7 +301,7 @@ let read_block t ctx ~file ~index =
       Kernel.kernel_work t.kernel ctx 120 (* copy to the user *);
       Khash.release_reserve ctx e;
       true
-    | Rpc.Absent | Rpc.Would_deadlock | Rpc.Gave_up ->
+    | Rpc.Absent | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
       ignore (Khash.remove cache ctx (block_key ~file ~index));
       Khash.release_reserve ctx e;
       false)
@@ -329,6 +329,11 @@ let rewrite_file t ctx ~file =
       | d :: _ -> (
         match rpc_to_cluster t ctx d (invalidate_file_service t ~file) with
         | Rpc.Ok _ | Rpc.Absent -> invalidate (Page.remove_sharer todo d) n
+        | Rpc.Dead_target ->
+          (* The sharer's service processor fail-stopped: its cache dies
+             with it, so the invalidation is moot — drop it from the mask
+             instead of retrying into a corpse forever. *)
+          invalidate (Page.remove_sharer todo d) n
         | Rpc.Would_deadlock | Rpc.Gave_up ->
           Kernel.count_retry t.kernel;
           Ctx.interruptible_pause ctx (200 * min n 8);

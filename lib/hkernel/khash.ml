@@ -44,6 +44,11 @@ type 'a elem = {
   elem_lock : Spin_lock.t option; (* Fine mode only *)
   home : int;
   payload : 'a;
+  mutable reserver : int;
+      (* processor holding the write reservation, -1 when none. Host-side
+         bookkeeping only — on real hardware the owner is implicit in the
+         thread that set the bit; the simulator records it so a crash
+         sweep can tell an orphaned reservation from a live one. *)
 }
 
 type 'a t = {
@@ -240,6 +245,7 @@ let insert_locked ctx t key ~status0 ~make =
         | Hybrid | Coarse | Sharded -> None);
       home;
       payload;
+      reserver = (if status0 land 1 <> 0 then Ctx.proc ctx else -1);
     }
   in
   let b = bin_of_key t key in
@@ -311,7 +317,10 @@ let rec reserve_existing t ctx key =
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then begin
+            e.reserver <- Ctx.proc ctx;
+            `Got e
+          end
           else `Busy e)
   in
   match outcome with
@@ -332,7 +341,10 @@ let rec reserve_or_insert t ctx key ~make =
         match search_locked_status ctx t key with
         | None -> `New (insert_locked ctx t key ~status0:1 ~make)
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then begin
+            e.reserver <- Ctx.proc ctx;
+            `Got e
+          end
           else `Busy e)
   in
   match outcome with
@@ -352,7 +364,10 @@ let try_reserve_existing t ctx key =
         match search_locked_status ctx t key with
         | None -> `Absent
         | Some (e, st) ->
-          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then `Got e
+          if Reserve.try_reserve ~known:st ~cls:t.rcls ctx e.status then begin
+            e.reserver <- Ctx.proc ctx;
+            `Got e
+          end
           else `Busy)
   in
   match outcome with
@@ -362,7 +377,9 @@ let try_reserve_existing t ctx key =
     t.reserve_conflicts <- t.reserve_conflicts + 1;
     `Would_deadlock
 
-let release_reserve ctx e = Reserve.clear ctx e.status
+let release_reserve ctx e =
+  e.reserver <- -1;
+  Reserve.clear ctx e.status
 
 (* Remove a key; the caller must hold the element's reservation, which dies
    with the element. *)
@@ -503,6 +520,9 @@ let insert_untimed t key ~status0 ~make =
         | Hybrid | Coarse | Sharded -> None);
       home;
       payload;
+      (* No live processor set this bit (untimed setup), so a crash sweep
+         has no corpse to attribute it to. *)
+      reserver = -1;
     }
   in
   let b = bin_of_key t key in
@@ -515,3 +535,38 @@ let iter_untimed t f = Array.iter (fun chain -> List.iter f chain) t.bins
 
 let mem_untimed t key =
   List.exists (fun e -> e.key = key) t.bins.(bin_of_key t key)
+
+(* -- crash repair --------------------------------------------------------- *)
+
+(* Sweep the table after fail-stop crashes: force the release of any
+   protecting lock whose holder died (coarse, shard, and Fine-mode bin and
+   element locks), roll forward any shard sequence word a dead writer left
+   odd, and clear reserve bits whose recorded owner is dead. Returns the
+   number of repairs performed.
+
+   Per-shard order matters: the sequence word must be even again *before*
+   the shard lock's recovery hands it to a successor, whose own
+   [write_begin] asserts an even word. The roll itself cannot race a live
+   writer because the corpse still notionally holds the shard lock while
+   we repair. Free when nobody died — every check is host-side except one
+   probe load per dead-owned reservation. *)
+let recover t ctx =
+  let repairs = ref 0 in
+  let bump b = if b then incr repairs in
+  Array.iteri
+    (fun s lk ->
+      bump (Seqlock.recover_write t.seqlocks.(s) ctx);
+      bump (lk.Lock.recover ctx))
+    t.shard_locks;
+  bump (t.lock.Lock.recover ctx);
+  Array.iter (fun l -> bump (Spin_lock.Core.recover l ctx)) t.bin_locks;
+  iter_untimed t (fun e ->
+      (match e.elem_lock with
+      | Some l -> bump (Spin_lock.Core.recover l ctx)
+      | None -> ());
+      if e.reserver >= 0 && not (Machine.proc_alive t.machine e.reserver)
+      then begin
+        bump (Reserve.clear_orphan ~cls:t.rcls ctx e.status ~dead:e.reserver);
+        e.reserver <- -1
+      end);
+  !repairs

@@ -52,6 +52,10 @@ type 'a elem = {
   elem_lock : Spin_lock.t option; (* Fine mode only *)
   home : int;
   payload : 'a;
+  mutable reserver : int;
+      (** Processor holding the write reservation, -1 when none — host-side
+          bookkeeping the crash sweep ({!recover}) uses to tell an orphaned
+          reservation from a live one. *)
 }
 
 type 'a t
@@ -177,3 +181,13 @@ val insert_untimed : 'a t -> int -> status0:int -> make:(int -> 'a) -> 'a elem
 val iter_untimed : 'a t -> ('a elem -> unit) -> unit
 
 val mem_untimed : 'a t -> int -> bool
+
+(** Crash repair: force the release of every protecting lock whose holder
+    has fail-stopped (coarse, shard, and Fine-mode bin / element locks),
+    roll forward any shard sequence word a dead writer left odd (so
+    optimistic readers resume instead of falling back forever), and clear
+    reserve bits whose recorded owner is dead. Per shard, the sequence
+    word is repaired {e before} the shard lock changes hands, so the next
+    writer's [write_begin] finds it even. Returns the number of repairs
+    performed; free when no processor has died. *)
+val recover : 'a t -> Ctx.t -> int

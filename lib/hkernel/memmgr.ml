@@ -311,7 +311,7 @@ let fault k ctx ~vpage ~write =
                        ~write)
                 with
                 | Rpc.Absent -> failwith "fault: master lost the page"
-                | Rpc.Would_deadlock | Rpc.Gave_up -> `Retry
+                | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target -> `Retry
                 | Rpc.Ok mask ->
                   if fetch_needed then begin
                     Kernel.count_replication k;
@@ -353,7 +353,7 @@ let fault k ctx ~vpage ~write =
                     let mask' = Page.remove_sharer mask c in
                     owed := Some mask';
                     demote_all mask'
-                  | Rpc.Would_deadlock | Rpc.Gave_up -> `Conflict
+                  | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target -> `Conflict
                 end
             in
             let mask = Option.value !owed ~default:0 in
@@ -470,7 +470,7 @@ let read_fault_no_combining k ctx ~vpage =
                ~write:false)
         with
         | Rpc.Absent -> failwith "read_fault_no_combining: master lost page"
-        | Rpc.Would_deadlock | Rpc.Gave_up ->
+        | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
           retry_pause k ctx n;
           attempt (n + 1)
         | Rpc.Ok _downgrade -> (
@@ -610,14 +610,14 @@ let cow_fault ?(degrade_after = 0) k ctx ~strategy ~vpage ~private_vpage =
         finish priv;
         Kernel.kernel_work k ctx costs.Costs.fault_exit;
         Broke
-      | Rpc.Would_deadlock | Rpc.Gave_up ->
+      | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
         Khash.release_reserve ctx priv;
         retry_pause k ctx n;
         attempt (n + 1))
     | Procs.Pessimistic -> (
       (* Release everything before going remote... *)
       match unshare () with
-      | Rpc.Would_deadlock | Rpc.Gave_up ->
+      | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
         retry_pause k ctx n;
         attempt (n + 1)
       | (Rpc.Ok _ | Rpc.Absent) as r ->

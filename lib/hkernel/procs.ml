@@ -407,14 +407,14 @@ let destroy_combined t ctx pid =
             | Optimistic -> (
               match rpc_to t ctx ~cluster service with
               | Rpc.Ok _ | Rpc.Absent -> run held rest
-              | Rpc.Would_deadlock | Rpc.Gave_up ->
+              | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
                 Khash.release_reserve ctx held;
                 `Restart)
             | Pessimistic -> (
               Khash.release_reserve ctx held;
               let r = rpc_to t ctx ~cluster service in
               match r with
-              | Rpc.Would_deadlock | Rpc.Gave_up -> `Restart
+              | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target -> `Restart
               | Rpc.Ok _ | Rpc.Absent -> (
                 match re_establish () with
                 | `Gone -> `Lost
@@ -500,13 +500,13 @@ let destroy_separate t ctx pid =
           | Optimistic -> (
             match rpc_to t ctx ~cluster service with
             | Rpc.Ok _ | Rpc.Absent -> run held rest
-            | Rpc.Would_deadlock | Rpc.Gave_up ->
+            | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
               Khash.release_reserve ctx held;
               `Restart)
           | Pessimistic -> (
             Khash.release_reserve ctx held;
             match rpc_to t ctx ~cluster service with
-            | Rpc.Would_deadlock | Rpc.Gave_up -> `Restart
+            | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target -> `Restart
             | Rpc.Ok _ | Rpc.Absent -> (
               match re_establish () with
               | `Gone -> `Lost
@@ -614,7 +614,7 @@ let send t ctx ~src ~dst =
         | Rpc.Absent ->
           if not degraded then Khash.release_reserve ctx e;
           false
-        | Rpc.Would_deadlock | Rpc.Gave_up ->
+        | Rpc.Would_deadlock | Rpc.Gave_up | Rpc.Dead_target ->
           if not degraded then Khash.release_reserve ctx e;
           t.send_retries <- t.send_retries + 1;
           let costs = Kernel.costs t.kernel in

@@ -28,12 +28,14 @@ type outcome =
   | Would_deadlock (* a reserve bit was found set on the remote side *)
   | Absent (* the remote structure does not exist *)
   | Gave_up (* call_until_resolved exhausted its attempt budget *)
+  | Dead_target (* the target processor fail-stopped; do not re-retry *)
 
 let outcome_name = function
   | Ok v -> Printf.sprintf "Ok(%d)" v
   | Would_deadlock -> "Would_deadlock"
   | Absent -> "Absent"
   | Gave_up -> "Gave_up"
+  | Dead_target -> "Dead_target"
 
 type t = {
   ctxs : Ctx.t array;
@@ -51,6 +53,7 @@ type t = {
   mutable gave_ups : int;
   mutable max_attempts_seen : int; (* worst attempt count over all calls *)
   mutable backoff_cap_hits : int; (* attempts past the x8 backoff cap *)
+  mutable dead_targets : int; (* calls refused because the target is dead *)
 }
 
 let create machine ctxs costs =
@@ -78,6 +81,7 @@ let create machine ctxs costs =
     gave_ups = 0;
     max_attempts_seen = 0;
     backoff_cap_hits = 0;
+    dead_targets = 0;
   }
 
 let set_work t f = t.work <- f
@@ -91,6 +95,7 @@ let resends t = t.resends
 let gave_ups t = t.gave_ups
 let max_attempts_seen t = t.max_attempts_seen
 let backoff_cap_hits t = t.backoff_cap_hits
+let dead_targets t = t.dead_targets
 
 (* One synchronous RPC. [service] runs on the target processor's context in
    interrupt state. *)
@@ -101,8 +106,16 @@ let call t ctx ~target service =
     let r = service ctx in
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
-    | Ok _ | Absent | Gave_up -> ());
+    | Ok _ | Absent | Gave_up | Dead_target -> ());
     r
+  end
+  else if not (Machine.proc_alive (Ctx.machine ctx) target) then begin
+    (* Fail-stop detectability: peers can tell a dead processor from a slow
+       one, so a call aimed at a corpse fails fast instead of burning reply
+       timeouts against it. A host-side read — free when nobody dies. *)
+    t.calls <- t.calls + 1;
+    t.dead_targets <- t.dead_targets + 1;
+    Dead_target
   end
   else begin
     t.calls <- t.calls + 1;
@@ -111,7 +124,7 @@ let call t ctx ~target service =
     (match t.fault with
     | None -> ()
     | Some plan -> (
-      match Fault.draw_rpc_delay plan with
+      match Fault.draw_rpc_delay plan ~now:(Ctx.now ctx) with
       | None -> ()
       | Some d -> Ctx.interruptible_pause ctx d));
     (* Deposit the request in the target's mailbox: one remote write. *)
@@ -127,7 +140,7 @@ let call t ctx ~target service =
         (match t.fault with
         | None -> ()
         | Some plan -> (
-          match Fault.draw_rpc_delay plan with
+          match Fault.draw_rpc_delay plan ~now:(Ctx.now tctx) with
           | None -> ()
           | Some d -> Ctx.interruptible_pause tctx d));
         t.work tctx t.costs.Costs.rpc_reply;
@@ -143,7 +156,8 @@ let call t ctx ~target service =
     let post () =
       let fate =
         match t.fault with
-        | Some plan when not !lost_once -> Fault.draw_rpc_drop plan
+        | Some plan when not !lost_once ->
+          Fault.draw_rpc_drop plan ~now:(Ctx.now ctx)
         | _ -> Fault.No_drop
       in
       match fate with
@@ -167,15 +181,23 @@ let call t ctx ~target service =
         match Ctx.await_timeout ctx ~timeout reply with
         | Some r -> r
         | None ->
-          (* The reply is overdue: assume the request or reply was lost and
-             resend the IPI. *)
-          t.resends <- t.resends + 1;
-          Locks.Vhook.obs ctx (fun o ->
-              Obs.rpc_retry o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
-          t.work ctx t.costs.Costs.rpc_send;
-          Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
-          post ();
-          wait ()
+          if not (Machine.proc_alive (Ctx.machine ctx) target) then begin
+            (* The target died with our call in flight: degrade instead of
+               resending IPIs into a corpse forever. *)
+            t.dead_targets <- t.dead_targets + 1;
+            Dead_target
+          end
+          else begin
+            (* The reply is overdue: assume the request or reply was lost
+               and resend the IPI. *)
+            t.resends <- t.resends + 1;
+            Locks.Vhook.obs ctx (fun o ->
+                Obs.rpc_retry o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
+            t.work ctx t.costs.Costs.rpc_send;
+            Ctx.write ctx t.req_cells.(target) (Ctx.proc ctx + 1);
+            post ();
+            wait ()
+          end
     in
     let r = wait () in
     (* Consume the reply word. *)
@@ -186,7 +208,7 @@ let call t ctx ~target service =
         Obs.rpc_reply o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx));
     (match r with
     | Would_deadlock -> t.deadlock_failures <- t.deadlock_failures + 1
-    | Ok _ | Absent | Gave_up -> ());
+    | Ok _ | Absent | Gave_up | Dead_target -> ());
     r
   end
 
@@ -223,6 +245,6 @@ let call_until_resolved ?(before_retry = fun () -> ()) ?(max_attempts = 0) t
         Ctx.interruptible_pause ctx (base + Rng.int (Ctx.rng ctx) (max 1 base));
         go (attempt + 1)
       end
-    | (Ok _ | Absent | Gave_up) as r -> r
+    | (Ok _ | Absent | Gave_up | Dead_target) as r -> r
   in
   go 1

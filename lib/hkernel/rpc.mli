@@ -23,6 +23,15 @@ type outcome =
   | Gave_up
       (** {!call_until_resolved} exhausted its attempt budget; the caller
           should degrade (e.g. fall back to the pessimistic protocol) *)
+  | Dead_target
+      (** the target processor fail-stopped ([Machine.kill_proc]) — unlike
+          [Gave_up], the condition is permanent (barring a restart): the
+          caller should stop addressing this processor rather than retry.
+          Returned without any message traffic when the death is known
+          up front, or from the resend path when the target dies with the
+          call in flight. A crash plan should set a positive
+          [reply_timeout], or an in-flight call to the victim spins on its
+          reply forever. *)
 
 val outcome_name : outcome -> string
 
@@ -59,9 +68,13 @@ val max_attempts_seen : t -> int
     that the [max_attempts] cap exists to stop. *)
 val backoff_cap_hits : t -> int
 
+(** Calls that returned [Dead_target] (counted whether the death was known
+    up front or detected on a resend timeout). *)
+val dead_targets : t -> int
+
 (** One synchronous call; [service] runs on the target processor. A call to
     the caller's own processor runs the service directly. Never returns
-    [Gave_up]. *)
+    [Gave_up]; returns [Dead_target] if the target is (or dies) dead. *)
 val call : t -> Ctx.t -> target:int -> (Ctx.t -> outcome) -> outcome
 
 (** Retry a call through [Would_deadlock] failures with jittered backoff;

@@ -37,6 +37,8 @@ type t = {
   mutable acquisitions : int;
   mutable my_slot : int array; (* slot each processor spins on *)
   mutable holder_slot : int; (* bookkeeping *)
+  mutable holder_proc : int; (* processor holding the lock, -1 = free *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   timed_claim : bool array; (* slot -> current claimant is a timed waiter *)
   forfeiter_of_slot : int array; (* slot -> forfeiting proc, or -1 *)
   pending_forfeit : bool array; (* proc -> forfeited slot not yet skipped *)
@@ -67,6 +69,8 @@ let create ?(home = 0) ?(vclass = "anderson") machine =
     acquisitions = 0;
     my_slot = Array.make n (-1);
     holder_slot = -1;
+    holder_proc = -1;
+    recovering = false;
     timed_claim = Array.make len false;
     forfeiter_of_slot = Array.make len (-1);
     pending_forfeit = Array.make n false;
@@ -97,6 +101,7 @@ let got_lock t ctx slot =
   t.my_slot.(Ctx.proc ctx) <- slot;
   assert (t.holder_slot = -1);
   t.holder_slot <- slot;
+  t.holder_proc <- Ctx.proc ctx;
   t.acquisitions <- t.acquisitions + 1
 
 let acquire t ctx =
@@ -200,14 +205,39 @@ let rec grant t ctx s =
     grant t ctx ((s + 1) mod n)
   end
 
+(* Thread-oblivious: the releasing processor comes from the holder
+   bookkeeping, not from [ctx], so a recoverer can run the release on a
+   dead holder's behalf. *)
 let release t ctx =
   let n = Array.length t.slots in
-  let slot = t.my_slot.(Ctx.proc ctx) in
+  let p = t.holder_proc in
+  let slot = t.my_slot.(p) in
   assert (slot = t.holder_slot);
   t.holder_slot <- -1;
-  t.my_slot.(Ctx.proc ctx) <- -1;
-  grant t ctx ((slot + 1) mod n);
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid
+  t.holder_proc <- -1;
+  t.my_slot.(p) <- -1;
+  (* Hook before the grant — the slot write is the transfer point, so an
+     observer must order our release before the successor's acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
+  grant t ctx ((slot + 1) mod n)
+
+(* Dead-holder recovery: run the corpse's release — slot-skip GC included,
+   so forfeited slots between the dead holder and the next live waiter are
+   swept in the same pass. *)
+let recover t ctx =
+  let dead = t.holder_proc in
+  if
+    t.recovering || dead < 0 || Machine.proc_alive t.machine dead
+  then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
 
 (* Core-interface view; [try_acquire] takes a slot and waits (slots cannot
    be handed back — only timed waiters, which pre-announce themselves,
@@ -228,6 +258,8 @@ module Core = struct
 
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
 
   (* Slots issued past the holder's mean queued waiters. The tail counter is
@@ -241,4 +273,5 @@ module Core = struct
 
   let acquisitions = acquisitions
   let vclass t = t.vcls
+  let vid t = t.vid
 end

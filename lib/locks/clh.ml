@@ -52,6 +52,7 @@ type t = {
   timed_active : bool array; (* current hold came through the timed face *)
   mutable timeouts : int;
   mutable gc_count : int; (* abandoned nodes returned by an observer *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -82,6 +83,7 @@ let create ?(home = 0) ?(vclass = "clh") machine =
     timed_active = Array.make n false;
     timeouts = 0;
     gc_count = 0;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -204,23 +206,65 @@ let acquire_with_timeout t ctx ~timeout =
 let try_acquire_for t ctx ~deadline =
   acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
 
+(* Thread-oblivious: the releasing processor is derived from the holder
+   bookkeeping, not from [ctx], so a recoverer can run the release on a
+   dead holder's behalf (the cycles are charged to whoever calls). *)
 let release t ctx =
-  let proc = Ctx.proc ctx in
-  assert (t.holder = proc);
+  let proc = t.holder in
+  assert (proc >= 0);
   t.holder <- -1;
   let timed = t.timed_active.(proc) in
   t.timed_active.(proc) <- false;
   let my =
     if timed then t.timed_node_of_proc.(proc) else t.node_of_proc.(proc)
   in
+  (* Hook before the grant write — the write is the transfer point, so an
+     observer must order our release before the successor's acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   Ctx.write ctx t.nodes.(my) v_released;
   Ctx.instr ctx ~br:1 ();
   (* Adopt the predecessor's node for next time, into the slot the
      acquisition came from. *)
   if timed then t.timed_node_of_proc.(proc) <- t.pred_of_proc.(proc)
   else t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
-  t.pred_of_proc.(proc) <- -1;
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid
+  t.pred_of_proc.(proc) <- -1
+
+(* Dead-holder recovery: [release] is thread-oblivious, so recovery is the
+   corpse's release run by the detector. The grant it publishes is
+   level-triggered, so the successor picks it up exactly as if the dead
+   processor had released in time. *)
+let recover t ctx =
+  match holder_proc t with
+  | None ->
+    (* Free lock, but the caller's timed node may still sit abandoned in
+       the queue. Only an enqueuer can walk the redirect chain and return
+       it — and if every other processor is dead or idle, none ever will,
+       while the caller's own timed face fast-fails for want of a node.
+       Pump the queue: a plain acquire on the untimed node follows the
+       redirects (reclaiming our timed node en route), finds the
+       level-triggered grant parked at the end of the chain, and the
+       immediate release leaves the lock free again. No forced release
+       happens, so the [recovering] guard stays down and the contract's
+       "no effect on a free lock" holds in the queue's eyes — the pump is
+       an ordinary acquire/release pair. *)
+    let proc = Ctx.proc ctx in
+    if t.timed_node_of_proc.(proc) < 0 then begin
+      acquire t ctx;
+      release t ctx
+    end;
+    false
+  | Some dead when Machine.proc_alive t.machine dead -> false
+  | Some dead ->
+    if t.recovering then false
+    else begin
+      t.recovering <- true;
+      Fun.protect
+        ~finally:(fun () -> t.recovering <- false)
+        (fun () ->
+          release t ctx;
+          Vhook.recovered ctx ~cls:t.vcls ~dead;
+          true)
+    end
 
 (* Core-interface view. CLH has no cheap TryLock (the queue admits no
    removal), so [try_acquire] enqueues and waits. *)
@@ -240,6 +284,8 @@ module Core = struct
 
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
 
   (* The tail still pointing at a node other than the holder's means a
@@ -254,4 +300,5 @@ module Core = struct
     Cell.peek t.tail <> active
   let acquisitions = acquisitions
   let vclass t = t.vcls
+  let vid t = t.vid
 end

@@ -74,6 +74,7 @@ type t = {
   active : int array; (* proc -> qnode id of its current hold *)
   mutable timeouts : int; (* timed-acquisition expiries (incl. fail-fast) *)
   mutable gc_count : int; (* abandoned nodes collected by grants *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -122,6 +123,7 @@ let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "cna")
     active = Array.make n 0;
     timeouts = 0;
     gc_count = 0;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -324,12 +326,16 @@ let dispatch t ctx ~my_cluster succ_id =
     scan nil succ_id 1
   end
 
+(* Thread-oblivious: the releasing processor is derived from the holder
+   bookkeeping, not from [ctx], so a recoverer can run the release on a
+   dead holder's behalf. The NUMA policy keys off the *holder's* cluster
+   either way — the lock prefers to stay where the critical section ran. *)
 let release t ctx =
-  let p = Ctx.proc ctx in
+  let p = t.holder in
+  assert (p >= 0);
   let my_id = t.active.(p) in
   let me = qnode t my_id in
   let my_cluster = me.cluster in
-  assert (t.holder = p);
   t.holder <- -1;
   let succ = Ctx.read ctx me.next in
   Ctx.instr ctx ~br:1 ();
@@ -448,6 +454,22 @@ let acquire_with_timeout t ctx ~timeout =
 let try_acquire_for t ctx ~deadline =
   acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
 
+(* Dead-holder recovery: the thread-oblivious release runs the full CNA
+   policy — scan, secondary-queue banking, abandoned-node GC — on the
+   corpse's behalf. *)
+let recover t ctx =
+  let dead = t.holder in
+  if t.recovering || dead < 0 || Machine.proc_alive t.machine dead then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
+
 (* Core-interface view; [create] clusters by hardware station and
    [try_acquire] enqueues and waits. *)
 module Core = struct
@@ -468,8 +490,11 @@ module Core = struct
 
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
   let waiters = waiters
   let acquisitions = acquisitions
   let vclass = vclass
+  let vid t = t.vid
 end

@@ -73,6 +73,8 @@ type t = {
   demoting : bool array; (* a demoted global release is in flight *)
   max_handoffs : int;
   cluster_of : int -> int;
+  mutable holder : int; (* processor in the critical section; -1 = none *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   mutable acquisitions : int;
   mutable local_handoffs : int; (* pass-releases: global stayed put *)
   mutable global_releases : int; (* full releases: global changed hands *)
@@ -115,6 +117,8 @@ let create_packed ?(vclass = "cohort") ?(max_handoffs = default_max_handoffs)
     demoting = Array.make topo.Lock_core.n_clusters false;
     max_handoffs;
     cluster_of = topo.Lock_core.cluster_of;
+    holder = -1;
+    recovering = false;
     acquisitions = 0;
     local_handoffs = 0;
     global_releases = 0;
@@ -129,6 +133,7 @@ let local_handoffs t = t.local_handoffs
 let global_releases t = t.global_releases
 let timeouts t = t.timeouts
 let vclass t = t.vcls
+let vid t = t.vid
 
 (* The composite is abortable only if both constituents are: a
    non-abortable constituent turns the timed face into a blocking one. *)
@@ -148,6 +153,8 @@ let waiters t =
 let cluster t ctx = t.cluster_of (Ctx.proc ctx)
 
 let got_lock t ctx =
+  assert (t.holder = -1);
+  t.holder <- Ctx.proc ctx;
   t.acquisitions <- t.acquisitions + 1;
   Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
 
@@ -171,7 +178,13 @@ let acquire t ctx =
     Lock_core.p_acquire t.global ctx;
     t.owned.(c) <- true;
     t.passes.(c) <- 0
-  end;
+  end
+  else
+    (* Inherited an open cohort session: the still-held global lock is now
+       ours to release (or pass on). The checker's registered holder must
+       follow the session, or the eventual global release looks foreign —
+       host-side only, no simulated cost. *)
+    Lock_core.p_transferred t.global ctx;
   got_lock t ctx
 
 let try_acquire t ctx =
@@ -188,6 +201,7 @@ let try_acquire t ctx =
       false
     end
     else if t.owned.(c) then begin
+      Lock_core.p_transferred t.global ctx;
       got_lock t ctx;
       true
     end
@@ -232,6 +246,7 @@ let try_acquire_for t ctx ~deadline =
       done;
       Ctx.instr ctx ~br:1 ();
       if t.owned.(c) then begin
+        Lock_core.p_transferred t.global ctx;
         got_lock t ctx;
         true
       end
@@ -261,8 +276,15 @@ let release_global_then_local t ctx c =
   Lock_core.p_release t.global ctx;
   Lock_core.p_release t.locals.(c) ctx
 
+(* Thread-oblivious at the composite level too: the cluster being released
+   comes from the holder bookkeeping, not from [ctx] — the constituent
+   releases are holder-derived themselves, so a recoverer can run the
+   whole unwind on a dead holder's behalf. *)
 let release t ctx =
-  let c = cluster t ctx in
+  let p = t.holder in
+  assert (p >= 0);
+  t.holder <- -1;
+  let c = t.cluster_of p in
   let may_pass =
     t.passes.(c) < t.max_handoffs && Lock_core.p_waiters t.locals.(c)
   in
@@ -297,6 +319,33 @@ let release t ctx =
   end
   else release_global_then_local t ctx c
 
+(* The composite is recoverable only if both constituents are: the unwind
+   runs their releases on the corpse's behalf, which needs each to be
+   thread-oblivious with holder bookkeeping of its own. *)
+let recoverable t =
+  Array.for_all Lock_core.p_recoverable t.locals
+  && Lock_core.p_recoverable t.global
+
+(* Dead-holder recovery: the thread-oblivious release unwinds the corpse's
+   session — a local pass if cluster-mates are queued (the cluster keeps
+   the global lock), otherwise the full global-then-local release. *)
+let recover t ctx =
+  let dead = t.holder in
+  if
+    t.recovering || dead < 0
+    || Machine.proc_alive (Ctx.machine ctx) dead
+    || not (recoverable t)
+  then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
+
 (* The statically-typed face: one functor application per (local, global)
    algorithm pair, each yielding a full {!Lock_core.S} — so cohorts
    compose (a cohort can be the local or global side of another). *)
@@ -323,10 +372,13 @@ module Make (Local : Lock_core.S) (Global : Lock_core.S) = struct
   let try_acquire = try_acquire
   let try_acquire_for = try_acquire_for
   let abortable = Local.abortable && Global.abortable
+  let recover = recover
+  let recoverable = Local.recoverable && Global.recoverable
   let is_free = is_free
   let waiters = waiters
   let acquisitions = acquisitions
   let vclass = vclass
+  let vid = vid
   let local_handoffs = local_handoffs
   let global_releases = global_releases
 end

@@ -42,6 +42,18 @@ val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
     face is only bounded if so). *)
 val abortable : t -> bool
 
+(** The composite is recoverable only if both constituents are (the unwind
+    runs their releases on a dead holder's behalf). *)
+val recoverable : t -> bool
+
+(** Dead-holder recovery: if the processor in the critical section has
+    fail-stopped, run the thread-oblivious release on its behalf — a local
+    pass if cluster-mates are queued, else the full global-then-local
+    release — and return [true]. [false] when the lock is free, the holder
+    is alive, the composite is not recoverable, or a recovery is already
+    in flight. *)
+val recover : t -> Ctx.t -> bool
+
 (** Deadline expiries at either level (including fail-fast refusals). *)
 val timeouts : t -> int
 

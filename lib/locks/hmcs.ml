@@ -101,6 +101,7 @@ type t = {
   mutable grafts : int; (* repairs that found a usurper *)
   mutable timeouts : int; (* timed-acquisition expiries (incl. fail-fast) *)
   mutable gc_count : int; (* abandoned nodes collected, both levels *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -176,6 +177,7 @@ let create ?(home = 0) ?(threshold = default_threshold) ?(vclass = "hmcs")
     grafts = 0;
     timeouts = 0;
     gc_count = 0;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -463,12 +465,16 @@ let acquire t ctx =
   t.active.(p) <- qid p;
   got_lock t ctx
 
+(* Thread-oblivious: the releasing processor — and hence the cluster whose
+   local queue and root tenure are unwound — is derived from the holder
+   bookkeeping, not from [ctx], so a recoverer can run the release on a
+   dead holder's behalf across both tree levels. *)
 let release t ctx =
-  let p = Ctx.proc ctx in
+  let p = t.holder in
+  assert (p >= 0);
   let c = t.cluster_of p in
   let me = qnode t t.active.(p) in
   let my_id = t.active.(p) in
-  assert (t.holder = p);
   t.holder <- -1;
   let curcount = Ctx.read ctx me.locked in
   let succ = Ctx.read ctx me.next in
@@ -728,6 +734,23 @@ let acquire_with_timeout t ctx ~timeout =
 let try_acquire_for t ctx ~deadline =
   acquire_with_timeout t ctx ~timeout:(deadline - Machine.now t.machine)
 
+(* Dead-holder recovery: the thread-oblivious release unwinds both tree
+   levels on the corpse's behalf — a local pass if the budget and queue
+   allow, otherwise the root release plus local-headship hand-over, with
+   the usual repair/graft/GC machinery. *)
+let recover t ctx =
+  let dead = t.holder in
+  if t.recovering || dead < 0 || Machine.proc_alive t.machine dead then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
+
 (* Core-interface view. [try_acquire] enqueues and waits (the timed face
    is the true abortable entry point). [create] uses the machine's
    hardware stations as the cluster topology. *)
@@ -749,8 +772,11 @@ module Core = struct
 
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
   let waiters = waiters
   let acquisitions = acquisitions
   let vclass = vclass
+  let vid t = t.vid
 end

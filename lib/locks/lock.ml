@@ -13,6 +13,8 @@ type t = {
   try_acquire : Ctx.t -> bool;
   try_acquire_for : Ctx.t -> deadline:int -> bool;
   abortable : bool; (* [try_acquire_for] can actually give up *)
+  recover : Ctx.t -> bool; (* force a dead holder's release; see lock.mli *)
+  recoverable : bool; (* [recover] can actually repair a dead holder *)
   is_free : unit -> bool; (* untimed, for assertions *)
   acquires : int ref; (* instrumentation: completed acquires *)
   wait_cycles : int ref; (* total cycles spent inside acquire *)
@@ -53,6 +55,16 @@ let rec algo_name = function
   | Hmcs _ -> "HMCS"
   | Cna _ -> "CNA"
 
+(* Whether [make] will demand a compare&swap machine for this algorithm —
+   so workloads sweeping the whole family can upgrade the configuration
+   ({!Config.with_cas}) for exactly the algorithms that need it. *)
+let rec needs_cas = function
+  | Mcs_cas | Ticket | Anderson -> true
+  | Cohort { local; global; _ } -> needs_cas local || needs_cas global
+  | Spin _ | Mcs_original | Mcs_h1 | Mcs_h2 | Clh | Spin_then_block _ | Null
+  | Hmcs _ | Cna _ ->
+    false
+
 (* A lock that does nothing: lets calibration probes measure a kernel path
    with its locking subtracted. *)
 let null =
@@ -63,6 +75,8 @@ let null =
     try_acquire = (fun _ -> true);
     try_acquire_for = (fun _ ~deadline:_ -> true);
     abortable = true;
+    recover = (fun _ -> false);
+    recoverable = false;
     is_free = (fun () -> true);
     acquires = ref 0;
     wait_cycles = ref 0;
@@ -93,7 +107,7 @@ let all_numa_algos = [ c_mcs_mcs; hmcs; cna ]
    a blocking [try_acquire_for] (acquire, return true) and advertise it
    with [abortable = false]. *)
 let instrumented ~name ~acquire ~release ~try_acquire ?try_acquire_for
-    ?(abortable = false) ~is_free () =
+    ?(abortable = false) ?recover ~is_free () =
   let acquires = ref 0 and wait_cycles = ref 0 in
   let timed_acquire ctx =
     let t0 = Machine.now (Ctx.machine ctx) in
@@ -113,6 +127,11 @@ let instrumented ~name ~acquire ~release ~try_acquire ?try_acquire_for
         timed_acquire ctx;
         true
   in
+  let recover, recoverable =
+    match recover with
+    | Some f -> (f, true)
+    | None -> ((fun _ -> false), false)
+  in
   {
     name;
     acquire = timed_acquire;
@@ -120,6 +139,8 @@ let instrumented ~name ~acquire ~release ~try_acquire ?try_acquire_for
     try_acquire;
     try_acquire_for;
     abortable;
+    recover;
+    recoverable;
     is_free;
     acquires;
     wait_cycles;
@@ -133,6 +154,7 @@ let of_spin lock =
     ~try_acquire_for:(fun ctx ~deadline ->
       Spin_lock.try_acquire_for lock ctx ~deadline)
     ~abortable:true
+    ~recover:(fun ctx -> Spin_lock.Core.recover lock ctx)
     ~is_free:(fun () -> not (Spin_lock.is_held lock))
     ()
 
@@ -143,6 +165,7 @@ let of_mcs lock =
     ~try_acquire:(fun ctx -> Mcs.try_acquire_v2 lock ctx)
     ~try_acquire_for:(fun ctx ~deadline -> Mcs.try_acquire_for lock ctx ~deadline)
     ~abortable:true
+    ~recover:(fun ctx -> Mcs.Core.recover lock ctx)
     ~is_free:(fun () -> Mcs.is_free lock)
     ()
 
@@ -222,6 +245,7 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire_for:(fun ctx ~deadline ->
         Clh.try_acquire_for lock ctx ~deadline)
       ~abortable:true
+      ~recover:(fun ctx -> Clh.Core.recover lock ctx)
       ~is_free:(fun () -> Clh.is_free lock)
       ()
   | Ticket ->
@@ -234,6 +258,7 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire:(fun ctx ->
         Ticket_lock.acquire lock ctx;
         true)
+      ~recover:(fun ctx -> Ticket_lock.Core.recover lock ctx)
       ~is_free:(fun () -> Ticket_lock.is_free lock)
       ()
   | Anderson ->
@@ -247,6 +272,7 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire_for:(fun ctx ~deadline ->
         Anderson_lock.try_acquire_for lock ctx ~deadline)
       ~abortable:true
+      ~recover:(fun ctx -> Anderson_lock.Core.recover lock ctx)
       ~is_free:(fun () -> Anderson_lock.is_free lock)
       ()
   | Spin_then_block { spin_us } ->
@@ -277,6 +303,10 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire_for:(fun ctx ~deadline ->
         Cohort.try_acquire_for lock ctx ~deadline)
       ~abortable:(Cohort.abortable lock)
+      ?recover:
+        (if Cohort.recoverable lock then
+           Some (fun ctx -> Cohort.recover lock ctx)
+         else None)
       ~is_free:(fun () -> Cohort.is_free lock)
       ()
   | Hmcs { threshold } ->
@@ -290,6 +320,7 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire_for:(fun ctx ~deadline ->
         Hmcs.try_acquire_for lock ctx ~deadline)
       ~abortable:true
+      ~recover:(fun ctx -> Hmcs.Core.recover lock ctx)
       ~is_free:(fun () -> Hmcs.is_free lock)
       ()
   | Cna { threshold } ->
@@ -303,8 +334,46 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~try_acquire_for:(fun ctx ~deadline ->
         Cna.try_acquire_for lock ctx ~deadline)
       ~abortable:true
+      ~recover:(fun ctx -> Cna.Core.recover lock ctx)
       ~is_free:(fun () -> Cna.is_free lock)
       ()
+
+(* Crash-tolerant acquire: poll in bounded slices so a dead holder is
+   noticed and repaired instead of being waited on forever. Each slice is a
+   timed acquisition of [check_period] cycles; on expiry, [recover] runs if
+   the holder fail-stopped. The backoff pause between slices is mandatory,
+   not a politeness: an abortable algorithm whose abandoned node is still
+   queued fails its next timed attempt in zero virtual time (fail-fast on
+   the marked node), and without the pause the retry loop would spin the
+   host without ever advancing the simulation.
+
+   The pause must also be *randomised*, and allowed to grow past the check
+   period. Mass timeout is pathological for abandon-in-place queue locks: a
+   release hand-off walking the queue collects each abandoned node, which
+   frees that node's owner to re-enqueue and time out again — trail growth
+   exactly matches collection, and if every waiter runs the same
+   deterministic slice/pause cadence the walker arrives at each position
+   just after its owner gave up, forever (observed as a no-crash livelock
+   at p = 16). Jitter breaks the phase lock, and the growing cap thins the
+   abandonment rate until the walker catches a node whose owner is still
+   spinning. A non-abortable but recoverable algorithm (Ticket) blocks and
+   recovers in-spin; a non-recoverable one just blocks — callers that plan
+   to inject crashes should pick from the recoverable family. *)
+let acquire_recoverable ?(check_period = 2_000) t ctx =
+  if not (t.abortable && t.recoverable) then t.acquire ctx
+  else begin
+    let rng = Ctx.rng ctx in
+    let rec attempt pause =
+      if t.try_acquire_for ctx ~deadline:(Ctx.now ctx + check_period) then ()
+      else begin
+        ignore (t.recover ctx);
+        Ctx.interruptible_pause ctx
+          (1 + (pause / 2) + Eventsim.Rng.int rng pause);
+        attempt (min (2 * pause) (8 * check_period))
+      end
+    in
+    attempt 64
+  end
 
 (* Acquire with the processor's soft mask set, so inter-processor interrupts
    that could deadlock with this lock are deferred until release (Section

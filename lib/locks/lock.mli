@@ -29,6 +29,21 @@ type t = {
             cannot be handed back), Spin_then_block (wakeup is the
             scheduler's promise). *)
   abortable : bool;
+  recover : Ctx.t -> bool;
+      (** Dead-holder recovery: if the processor holding the lock has
+          fail-stopped, force the release it will never perform (the
+          thread-oblivious release run by the detector) and return [true];
+          [false] when the lock is free, the holder is alive, the
+          algorithm is not recoverable, or another recovery is in flight.
+          The caller does not hold the lock afterwards — it re-contends.
+
+          Recoverability matrix: every base and composite algorithm except
+          [Spin_then_block] (blocked waiters are the scheduler's, beyond
+          the lock's reach) and [Null]; a [Cohort] is recoverable iff both
+          constituents are. Ticket is recoverable despite being
+          non-abortable — its waiters run the dead-holder check inside
+          their own spin. *)
+  recoverable : bool;
   is_free : unit -> bool;
   acquires : int ref;
   wait_cycles : int ref;
@@ -60,6 +75,12 @@ type algo =
 
 val algo_name : algo -> string
 
+(** [true] iff {!make} demands a compare&swap machine for this algorithm
+    ([Mcs_cas], [Ticket], [Anderson], or a cohort containing one) — lets a
+    workload sweeping the family upgrade its configuration
+    ([Config.with_cas]) for exactly the algorithms that need it. *)
+val needs_cas : algo -> bool
+
 (** The five algorithms of Figure 5: MCS, H1-MCS, H2-MCS, spin with 35 µs
     cap, spin with 2 ms cap. *)
 val all_paper_algos : algo list
@@ -88,6 +109,16 @@ val null : t
 
 val of_spin : Spin_lock.t -> t
 val of_mcs : Mcs.t -> t
+
+(** Crash-tolerant acquire: timed-acquisition slices of [check_period]
+    cycles (default 2000) with a dead-holder {!recover} between them, so a
+    waiter never waits forever on a corpse. Degrades to a plain blocking
+    [acquire] when the algorithm is not both abortable and recoverable
+    (Ticket still recovers — in-spin). The inter-slice backoff pause is
+    load-bearing: a fail-fast timed attempt costs zero virtual time while
+    the waiter's abandoned node is still queued, and the pause is what
+    lets simulated time advance to the hand-off that reclaims it. *)
+val acquire_recoverable : ?check_period:int -> t -> Ctx.t -> unit
 
 (** Run [f] holding the lock, with the processor's soft interrupt mask set
     for the duration (the paper's Stodolsky-style deadlock avoidance for

@@ -28,10 +28,13 @@ module type OPS = sig
   val try_acquire : t -> Ctx.t -> bool
   val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
   val abortable : bool
+  val recover : t -> Ctx.t -> bool
+  val recoverable : bool
   val is_free : t -> bool
   val waiters : t -> bool
   val acquisitions : t -> int
   val vclass : t -> Verify.lock_class
+  val vid : t -> int
 end
 
 module type S = sig
@@ -55,6 +58,15 @@ let p_try_acquire_for (Packed ((module M), v)) ctx ~deadline =
   M.try_acquire_for v ctx ~deadline
 
 let p_abortable (Packed ((module M), _)) = M.abortable
+let p_recover (Packed ((module M), v)) ctx = M.recover v ctx
+let p_recoverable (Packed ((module M), _)) = M.recoverable
 let p_is_free (Packed ((module M), v)) = M.is_free v
 let p_waiters (Packed ((module M), v)) = M.waiters v
 let p_acquisitions (Packed ((module M), v)) = M.acquisitions v
+
+(* Tell the checker the calling processor inherited this (still-held) lock:
+   a cohort pass moves the session to a cluster-mate without the global
+   constituent changing hands, so the checker's registered holder must
+   follow or the eventual release looks foreign. *)
+let p_transferred (Packed ((module M), v)) ctx =
+  Vhook.transferred ctx ~cls:(M.vclass v) ~id:(M.vid v)

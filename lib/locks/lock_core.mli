@@ -49,6 +49,19 @@ module type OPS = sig
       past the deadline rather than degenerate to a blocking acquire. *)
   val abortable : bool
 
+  (** Dead-holder recovery. If the current holder has fail-stopped
+      ([Machine.proc_alive] is the detector — fail-stop crashes are
+      detectable), force the hand-off the corpse will never perform and
+      return [true]; return [false] (with no effect on the lock) when the
+      lock is free, the holder is alive, or another recovery is already in
+      flight. The caller does {e not} hold the lock afterwards: recovery
+      re-opens the normal hand-off path and the recoverer re-contends. *)
+  val recover : t -> Ctx.t -> bool
+
+  (** Capability probe: [true] iff {!recover} can actually repair a dead
+      holder rather than being a constant [false]. *)
+  val recoverable : bool
+
   (** Untimed, for assertions. *)
   val is_free : t -> bool
 
@@ -63,6 +76,10 @@ module type OPS = sig
 
   (** The lock-order class this instance reports to {!Verify}. *)
   val vclass : t -> Verify.lock_class
+
+  (** The {!Verify} instance identity this lock reports under (drawn from
+      {!Verify.fresh_id} at creation). *)
+  val vid : t -> int
 end
 
 (** A full algorithm: instance operations plus construction. *)
@@ -87,6 +104,13 @@ val p_release : packed -> Ctx.t -> unit
 val p_try_acquire : packed -> Ctx.t -> bool
 val p_try_acquire_for : packed -> Ctx.t -> deadline:int -> bool
 val p_abortable : packed -> bool
+val p_recover : packed -> Ctx.t -> bool
+val p_recoverable : packed -> bool
 val p_is_free : packed -> bool
 val p_waiters : packed -> bool
 val p_acquisitions : packed -> int
+
+(** Report to the installed checker (if any) that the calling processor
+    inherited this still-held lock — see {!Verify.transferred}. Fired by
+    {!Cohort} when a pass recipient inherits the global constituent. *)
+val p_transferred : packed -> Ctx.t -> unit

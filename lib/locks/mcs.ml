@@ -68,6 +68,7 @@ type t = {
   mutable try_failures : int;
   mutable gc_count : int; (* abandoned nodes collected by release *)
   mutable timeouts : int; (* acquire_with_timeout deadline expiries *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -116,6 +117,7 @@ let create ?(variant = H2) ?(home = 0) ?(use_cas_release = false)
     try_failures = 0;
     gc_count = 0;
     timeouts = 0;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -296,6 +298,11 @@ and collect t ctx succ =
 let release_with_node t ctx node =
   assert (t.holder = id_of_node t node);
   t.holder <- nil;
+  (* Hook before the successor hunt: [successor_after]'s fetch&store window
+     is itself a transfer point (a usurper acquires the instant the tail
+     reads nil), so an observer must order our release before any
+     successor's acquisition — and never the reverse. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   if t.track_in_use then Ctx.write ctx node.mark 0;
   let successor =
     if t.use_cas_release then successor_after_cas t ctx node
@@ -304,7 +311,6 @@ let release_with_node t ctx node =
          fetch&store path. *)
       successor_after t ctx node ~check_next:(t.variant <> H2)
   in
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   (match successor with
   | `Free -> Ctx.instr ctx ~br:1 ()
   | `Grafted -> ()
@@ -329,6 +335,26 @@ let release t ctx =
     else regular_node t (Ctx.proc ctx)
   in
   release_with_node t ctx node
+
+(* Dead-holder recovery: the queue bookkeeping names the holder's qnode
+   ([t.holder]), so [release] already runs correctly from any processor —
+   recovery is that release performed by a detector on the corpse's
+   behalf, hand-off (and abandoned-node GC) included. The recoverer does
+   not end up holding the lock; it re-contends normally. *)
+let recover t ctx =
+  if t.recovering then false
+  else
+    match holder_proc t with
+    | None -> false
+    | Some dead when Machine.proc_alive t.machine dead -> false
+    | Some dead ->
+      t.recovering <- true;
+      Fun.protect
+        ~finally:(fun () -> t.recovering <- false)
+        (fun () ->
+          release t ctx;
+          Vhook.recovered ctx ~cls:t.vcls ~dead;
+          true)
 
 (* TryLock variant 1: an interrupt handler may wait for the lock only when
    the in-use flag shows it did not interrupt the lock holder (or a waiter)
@@ -494,10 +520,13 @@ module Core = struct
   let try_acquire = try_acquire_v2
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
   let waiters t = t.holder <> nil && Cell.peek t.tail <> t.holder
   let acquisitions = acquisitions
   let vclass = vclass
+  let vid t = t.vid
 end
 
 (* The H1 face, for compositions. H2's removed successor check means every

@@ -101,3 +101,10 @@ val acquire_with_timeout : t -> Ctx.t -> timeout:int -> bool
 (** {!acquire_with_timeout} against an absolute deadline ([Machine.now]
     units) — the {!Lock_core.OPS.try_acquire_for} face. *)
 val try_acquire_for : t -> Ctx.t -> deadline:int -> bool
+
+(** Dead-holder recovery, the {!Lock_core.OPS.recover} face: if the
+    current holder has fail-stopped (per the machine's liveness oracle),
+    run {!release} on the corpse's behalf — hand-off and abandoned-node GC
+    included — and return [true]. Returns [false] when the lock is free,
+    the holder is alive, or another recoverer is already at work. *)
+val recover : t -> Ctx.t -> bool

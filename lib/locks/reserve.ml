@@ -77,6 +77,27 @@ let clear ctx status =
       Obs.reserve_clear o ~proc:(Ctx.proc ctx) ~word:(Cell.id status)
         ~now:(Ctx.now ctx))
 
+(* Crash repair: clear a write reservation abandoned by a fail-stopped
+   holder. The abandoned reservation pins the word at [write_bit] (the
+   same argument that makes [clear] a single store), so the sweep is that
+   same store, issued on the corpse's behalf by whoever detects it. The
+   installed checker sees the foreign clear but waives it because the
+   recorded owner is dead. Returns [false] — touching no simulated memory
+   beyond one probe load — when [dead] is still alive or the bit is not
+   set, so callers can speculatively sweep every reservation they track. *)
+let clear_orphan ?(cls = default_cls) ctx status ~dead =
+  if dead < 0 || Machine.proc_alive (Ctx.machine ctx) dead then false
+  else begin
+    let v = Ctx.read ctx status in
+    Ctx.instr ctx ~br:1 ();
+    if v land write_bit = 0 then false
+    else begin
+      clear ctx status;
+      Vhook.recovered ctx ~cls ~dead;
+      true
+    end
+  end
+
 let try_reserve_read ?(cls = default_cls) ctx status =
   let v = Ctx.read ctx status in
   Ctx.instr ctx ~br:1 ();

@@ -40,6 +40,18 @@ val try_reserve : ?known:int -> ?cls:Verify.lock_class -> Ctx.t -> Cell.t -> boo
     (see the clearing-protocol note above). *)
 val clear : Ctx.t -> Cell.t -> unit
 
+(** Crash repair: clear a write reservation abandoned by processor [dead]
+    if it has fail-stopped. The abandoned reservation pins the word at the
+    write bit, so the sweep is the same single store as {!clear}, issued
+    on the corpse's behalf; an installed checker waives the foreign clear
+    because the recorded owner is dead, and the recovery (with its
+    kill-to-sweep latency) is reported to an installed {!Obs} observer
+    under [cls]. Returns [false], touching nothing beyond one probe load,
+    when [dead] is alive, negative, or the bit is already clear — callers
+    may speculatively sweep every reservation they track. *)
+val clear_orphan :
+  ?cls:Verify.lock_class -> Ctx.t -> Cell.t -> dead:int -> bool
+
 (** Add a read reservation if no writer holds the word. Under the coarse
     lock. *)
 val try_reserve_read : ?cls:Verify.lock_class -> Ctx.t -> Cell.t -> bool

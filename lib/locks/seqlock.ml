@@ -12,7 +12,9 @@ open Hector
 type t = {
   seq : Cell.t;
   mutable shadow : int; (* last value stored; valid under the writer lock *)
+  mutable writer : int; (* proc inside a write section, -1 otherwise *)
   mutable writes : int;
+  mutable repairs : int;
   mutable read_hits : int;
   mutable read_aborts : int;
   vcls : Verify.lock_class;
@@ -23,7 +25,9 @@ let create machine ?(home = 0) ?(vclass = "seqlock") () =
   {
     seq = Machine.alloc machine ~label:vclass ~home 0;
     shadow = 0;
+    writer = -1;
     writes = 0;
+    repairs = 0;
     read_hits = 0;
     read_aborts = 0;
     vcls = Verify.lock_class vclass;
@@ -33,6 +37,7 @@ let create machine ?(home = 0) ?(vclass = "seqlock") () =
 let peek t = Cell.peek t.seq
 let write_in_progress t = Cell.peek t.seq land 1 <> 0
 let writes t = t.writes
+let repairs t = t.repairs
 let read_hits t = t.read_hits
 let read_aborts t = t.read_aborts
 let vclass t = t.vcls
@@ -42,14 +47,34 @@ let write_begin t ctx =
      value: no read-modify-write needed, just the store (the same argument
      that lets [Reserve.clear] be a single store). *)
   assert (t.shadow land 1 = 0);
+  t.writer <- Ctx.proc ctx;
   t.shadow <- t.shadow + 1;
   Ctx.write ctx t.seq t.shadow
 
 let write_end t ctx =
   assert (t.shadow land 1 = 1);
+  t.writer <- -1;
   t.shadow <- t.shadow + 1;
   t.writes <- t.writes + 1;
   Ctx.write ctx t.seq t.shadow
+
+(* A writer that fail-stopped between [write_begin] and [write_end] leaves
+   the sequence word odd forever, so every optimistic reader falls back to
+   the locked path. Roll the sequence forward to even on the corpse's
+   behalf: one timed store from the recoverer. Safe because the corpse
+   still "holds" the external writer lock while its shard is repaired, so
+   no live writer can be inside. *)
+let recover_write t ctx =
+  if
+    t.shadow land 1 = 1
+    && t.writer >= 0
+    && not (Machine.proc_alive (Ctx.machine ctx) t.writer)
+  then begin
+    write_end t ctx;
+    t.repairs <- t.repairs + 1;
+    true
+  end
+  else false
 
 let with_write t ctx f =
   write_begin t ctx;

@@ -37,6 +37,9 @@ val write_in_progress : t -> bool
 (** Completed write sections. *)
 val writes : t -> int
 
+(** Sequence words rolled forward by {!recover_write}. *)
+val repairs : t -> int
+
 (** Successful optimistic reads ({!read_validate} returning [true]). *)
 val read_hits : t -> int
 
@@ -57,6 +60,14 @@ val write_end : t -> Ctx.t -> unit
 
 (** [write_begin]/[write_end] around [f], exception-safe. *)
 val with_write : t -> Ctx.t -> (unit -> 'a) -> 'a
+
+(** Crash repair: if the last [write_begin] was issued by a processor that
+    has since fail-stopped, roll the sequence forward to even on its
+    behalf (one timed store, charged to the recoverer) and return [true].
+    The caller must guarantee no live writer can be inside — in
+    {!Hkernel.Khash}, the corpse still holds the shard lock while its
+    shard is repaired, which excludes them. *)
+val recover_write : t -> Ctx.t -> bool
 
 (** {2 Reader side — no lock held} *)
 

@@ -16,6 +16,10 @@ type t = {
   backoff : Backoff.t;
   mutable acquisitions : int;
   mutable failed_attempts : int;
+  mutable holder_proc : int; (* processor holding the lock, -1 = free;
+                                host-side bookkeeping for dead-holder
+                                recovery, not simulated state *)
+  mutable recovering : bool; (* serialises recoverers host-side *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -26,6 +30,8 @@ let create machine ?(home = 0) ?(vclass = "spinlock") backoff =
     backoff;
     acquisitions = 0;
     failed_attempts = 0;
+    holder_proc = -1;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -46,6 +52,7 @@ let acquire t ctx =
          acquire side. *)
       Ctx.instr ctx ~reg:1 ~br:2 ();
       t.acquisitions <- t.acquisitions + 1;
+      t.holder_proc <- Ctx.proc ctx;
       Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
     end
     else begin
@@ -58,13 +65,38 @@ let acquire t ctx =
   attempt (Backoff.initial t.backoff)
 
 let release t ctx =
+  t.holder_proc <- -1;
+  (* Hook before the clearing swap — the swap is the transfer point, so an
+     observer must order our release before the successor's acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   (* swap(L, 0): the MC88100 has no plain "atomic" store-release; the paper
      counts the release as an atomic as well. *)
   ignore (Ctx.fetch_and_store ctx t.flag 0);
-  Ctx.instr ctx ~br:1 ();
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid
+  Ctx.instr ctx ~br:1 ()
 
 let vclass t = t.vcls
+
+(* Dead-holder recovery: the release is a plain swap(L, 0), so any
+   processor can perform it on the corpse's behalf — [holder_proc] is the
+   evidence the holder really died mid-section (fail-stop crashes are
+   detectable, so the liveness read is legitimate). The recoverer does not
+   end up holding the lock; it re-contends through the normal acquire. *)
+let recover t ctx =
+  let dead = t.holder_proc in
+  if
+    t.recovering || dead < 0
+    || Machine.proc_alive (Ctx.machine ctx) dead
+    || not (is_held t)
+  then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
 
 (* Single attempt; used where a TryLock is meaningful for comparison. *)
 let try_acquire t ctx =
@@ -72,6 +104,7 @@ let try_acquire t ctx =
   Ctx.instr ctx ~reg:1 ~br:2 ();
   if old = 0 then begin
     t.acquisitions <- t.acquisitions + 1;
+    t.holder_proc <- Ctx.proc ctx;
     Vhook.try_acquired ctx ~cls:t.vcls ~id:t.vid;
     true
   end
@@ -93,6 +126,7 @@ let try_acquire_for t ctx ~deadline =
       if old = 0 then begin
         Ctx.instr ctx ~reg:1 ~br:2 ();
         t.acquisitions <- t.acquisitions + 1;
+        t.holder_proc <- Ctx.proc ctx;
         Vhook.acquired ctx ~cls:t.vcls ~id:t.vid;
         true
       end
@@ -131,8 +165,11 @@ module Core = struct
   let try_acquire = try_acquire
   let try_acquire_for = try_acquire_for
   let abortable = true
+  let recover = recover
+  let recoverable = true
   let is_free t = not (is_held t)
   let waiters _ = false
   let acquisitions = acquisitions
   let vclass = vclass
+  let vid t = t.vid
 end

@@ -101,6 +101,11 @@ let try_acquire t ctx =
   else false
 
 let release t ctx =
+  (* Hook first: both branches below can transfer the lock (the clearing
+     swap, or the hand-off whose wake-up work suspends us while the woken
+     waiter runs), so an observer must order our release before the
+     successor's acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
   if Queue.is_empty t.waiters then begin
     ignore (Ctx.fetch_and_store ctx t.flag 0);
     Ctx.instr ctx ~br:1 ();
@@ -121,5 +126,4 @@ let release t ctx =
     Ctx.work ctx 20 (* wake-up IPI / scheduler insertion *);
     Engine.schedule_after (Machine.engine t.machine) ~delay:0 w.resume;
     Ctx.instr ctx ~br:1 ()
-  end;
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid
+  end

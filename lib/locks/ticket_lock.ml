@@ -20,6 +20,8 @@ type t = {
   machine : Machine.t;
   mutable acquisitions : int;
   mutable holder : int; (* ticket currently served; bookkeeping *)
+  mutable holder_proc : int; (* processor holding the lock, -1 = free *)
+  mutable recovering : bool; (* serialises dead-holder recoverers *)
   vcls : Verify.lock_class;
   vid : int;
 }
@@ -34,6 +36,8 @@ let create ?(home = 0) ?(spin_unit = 40) ?(vclass = "ticket") machine =
     machine;
     acquisitions = 0;
     holder = -1;
+    holder_proc = -1;
+    recovering = false;
     vcls = Verify.lock_class vclass;
     vid = Verify.fresh_id ();
   }
@@ -51,6 +55,35 @@ let take_ticket t ctx =
   in
   loop ()
 
+(* Thread-oblivious: the served ticket comes from the bookkeeping, so any
+   processor can advance [owner] on the holder's behalf. *)
+let release t ctx =
+  assert (t.holder >= 0);
+  let my = t.holder in
+  t.holder <- -1;
+  t.holder_proc <- -1;
+  (* Hook before the owner write — the write is the transfer point, so an
+     observer must order our release before the successor's acquisition. *)
+  Vhook.released ctx ~cls:t.vcls ~id:t.vid;
+  Ctx.write ctx t.owner (my + 1);
+  Ctx.instr ctx ~br:1 ()
+
+(* Dead-holder recovery: advance [owner] past the corpse's ticket. A
+   ticket, once granted, must be retired or every later waiter stalls —
+   which is exactly what a dead holder causes and this repairs. *)
+let recover t ctx =
+  let dead = t.holder_proc in
+  if t.recovering || dead < 0 || Machine.proc_alive t.machine dead then false
+  else begin
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead;
+        true)
+  end
+
 let acquire t ctx =
   Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
   let my = take_ticket t ctx in
@@ -58,26 +91,33 @@ let acquire t ctx =
     let cur = Ctx.read ctx t.owner in
     Ctx.instr ctx ~br:1 ();
     if cur <> my then begin
-      (* Proportional backoff: roughly one critical section per waiter
-         ahead. *)
-      let ahead = my - cur in
-      Ctx.interruptible_pause ctx (max 1 (ahead * t.spin_unit));
+      (if
+         t.holder = cur && t.holder_proc >= 0
+         && not (Machine.proc_alive t.machine t.holder_proc)
+       then begin
+         (* A ticket waiter cannot abort ([abortable = false]), so crash
+            tolerance lives in the spin itself: the ticket being served
+            belongs to a dead processor — retire it on the corpse's
+            behalf. The liveness test is a host-side read, free when
+            nobody dies; a lost recovery race just backs off and
+            re-reads. *)
+         if not (recover t ctx) then Ctx.interruptible_pause ctx t.spin_unit
+       end
+       else begin
+         (* Proportional backoff: roughly one critical section per waiter
+            ahead. *)
+         let ahead = my - cur in
+         Ctx.interruptible_pause ctx (max 1 (ahead * t.spin_unit))
+       end);
       wait ()
     end
   in
   wait ();
   assert (t.holder = -1);
   t.holder <- my;
+  t.holder_proc <- Ctx.proc ctx;
   t.acquisitions <- t.acquisitions + 1;
   Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
-
-let release t ctx =
-  assert (t.holder >= 0);
-  let my = t.holder in
-  t.holder <- -1;
-  Ctx.write ctx t.owner (my + 1);
-  Ctx.instr ctx ~br:1 ();
-  Vhook.released ctx ~cls:t.vcls ~id:t.vid
 
 (* Core-interface view; [try_acquire] takes a ticket and waits (a true
    TryLock would need fetch&decrement to give the ticket back). *)
@@ -104,10 +144,16 @@ module Core = struct
     true
 
   let abortable = false
+
+  (* Recoverable despite not being abortable: waiters recover in-spin (see
+     [acquire]), and a detector can call [recover] directly. *)
+  let recover = recover
+  let recoverable = true
   let is_free = is_free
 
   (* More than one ticket outstanding past the one being served. *)
   let waiters t = t.holder >= 0 && Cell.peek t.next > t.holder + 1
   let acquisitions = acquisitions
   let vclass t = t.vcls
+  let vid t = t.vid
 end

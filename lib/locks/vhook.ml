@@ -46,6 +46,17 @@ let wait_abandoned ctx =
   obs ctx (fun o ->
       Obs.lock_wait_abandoned o ~proc:(Ctx.proc ctx) ~now:(Ctx.now ctx))
 
+let recovered ctx ~cls ~dead =
+  obs ctx (fun o ->
+      let now = Ctx.now ctx in
+      let killed = Machine.killed_at (Ctx.machine ctx) dead in
+      let latency = if killed >= 0 && killed <= now then now - killed else 0 in
+      Obs.lock_recovered o ~proc:(Ctx.proc ctx) ~cls ~dead ~latency ~now)
+
+let transferred ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.transferred v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
 let released ctx ~cls ~id =
   on ctx (fun v ->
       Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));

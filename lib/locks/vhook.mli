@@ -34,4 +34,17 @@ val abandon_repaired : Ctx.t -> cls:Verify.lock_class -> unit
 (** The blocking acquisition timed out and gave up. *)
 val wait_abandoned : Ctx.t -> unit
 
+(** A recovery forced the hand-off a dead holder [dead] will never
+    perform; the observer records it against the {e victim's} cluster with
+    the detection-to-repair latency (now minus the kill time). The checker
+    needs no call of its own: the forced release reaches it through
+    {!released}, which legalises the transfer when the registered holder is
+    dead. *)
+val recovered : Ctx.t -> cls:Verify.lock_class -> dead:int -> unit
+
+(** Ownership of a held lock moved to the calling processor without a
+    release/acquire pair (a cohort pass recipient inheriting the global
+    constituent lock). Checker only. *)
+val transferred : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
 val released : Ctx.t -> cls:Verify.lock_class -> id:int -> unit

@@ -63,24 +63,28 @@ type kind =
   | Lock_released
   | Lock_try
   | Lock_abandoned
+  | Lock_recovered
   | Reserve_set
   | Reserve_cleared
   | Reserve_spin
   | Rpc_issue
   | Rpc_retry
   | Rpc_reply
+  | Proc_crash
 
 let kind_name = function
   | Lock_acquired -> "lock_acquired"
   | Lock_released -> "lock_released"
   | Lock_try -> "lock_try"
   | Lock_abandoned -> "lock_abandoned"
+  | Lock_recovered -> "lock_recovered"
   | Reserve_set -> "reserve_set"
   | Reserve_cleared -> "reserve_cleared"
   | Reserve_spin -> "reserve_spin"
   | Rpc_issue -> "rpc_issue"
   | Rpc_retry -> "rpc_retry"
   | Rpc_reply -> "rpc_reply"
+  | Proc_crash -> "proc_crash"
 
 type event = {
   kind : kind;
@@ -102,6 +106,23 @@ type frame =
 
 type hold = { h_id : int; h_cls : int; h_since : int }
 
+(* Crash/recovery accounting lives beside the profile buckets, not inside
+   them: the [cells] record is schema-stable (profile rows and their JSON
+   export are byte-compared across versions), and crash evidence wants
+   per-event latency samples, which buckets do not keep. *)
+type crash_bucket = {
+  mutable cb_crashes : int;
+  mutable cb_recoveries : int;
+  mutable cb_latencies_rev : int list; (* recovery latencies, newest first *)
+}
+
+type crash_row = {
+  cr_cluster : int;
+  cr_crashes : int;
+  cr_recoveries : int;
+  cr_latencies : int list; (* chronological *)
+}
+
 type t = {
   n_clusters : int;
   cluster_of : int -> int;
@@ -117,6 +138,7 @@ type t = {
   trace_cap : int;
   ring : event array;
   mutable recorded : int; (* monotonic; ring index = recorded mod cap *)
+  crash : crash_bucket array; (* per cluster *)
 }
 
 let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
@@ -144,6 +166,9 @@ let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
     trace_cap = trace;
     ring = Array.make (max trace 1) dummy;
     recorded = 0;
+    crash =
+      Array.init n_clusters (fun _ ->
+          { cb_crashes = 0; cb_recoveries = 0; cb_latencies_rev = [] });
   }
 
 let cluster t proc =
@@ -279,6 +304,47 @@ let lock_released t ~proc ~cls ~id ~now =
     let b = bucket t ~cls ~proc in
     b.b_handoffs <- b.b_handoffs + 1
   end
+
+(* -- crash hooks ---------------------------------------------------------- *)
+
+let crash_class = Verify.lock_class "crash"
+
+let proc_crashed t ~proc ~now =
+  let cb = t.crash.(cluster t proc) in
+  cb.cb_crashes <- cb.cb_crashes + 1;
+  emit t Proc_crash ~proc ~cls:crash_class ~time:now ~dur:0
+
+(* A recoverer ([proc]) released lock [cls] on a dead holder's behalf.
+   Attributed — crash and latency both — to the {e dead} processor's
+   cluster: recovery latency measures how long that cluster's casualty
+   wedged the lock, wherever the rescuer happened to run. *)
+let lock_recovered t ~proc ~cls ~dead ~latency ~now =
+  let cb = t.crash.(cluster t dead) in
+  cb.cb_recoveries <- cb.cb_recoveries + 1;
+  cb.cb_latencies_rev <- latency :: cb.cb_latencies_rev;
+  emit t Lock_recovered ~proc ~cls ~time:now ~dur:latency
+
+let crash_rows t =
+  let rows = ref [] in
+  Array.iteri
+    (fun c cb ->
+      if cb.cb_crashes <> 0 || cb.cb_recoveries <> 0 then
+        rows :=
+          {
+            cr_cluster = c;
+            cr_crashes = cb.cb_crashes;
+            cr_recoveries = cb.cb_recoveries;
+            cr_latencies = List.rev cb.cb_latencies_rev;
+          }
+          :: !rows)
+    t.crash;
+  List.rev !rows
+
+let crashes_observed t =
+  Array.fold_left (fun acc cb -> acc + cb.cb_crashes) 0 t.crash
+
+let recoveries_observed t =
+  Array.fold_left (fun acc cb -> acc + cb.cb_recoveries) 0 t.crash
 
 (* -- reserve hooks -------------------------------------------------------- *)
 
@@ -442,23 +508,27 @@ let span_name e =
   | Lock_released -> cls ^ " hold"
   | Lock_try -> cls ^ " try"
   | Lock_abandoned -> cls ^ " abandon"
+  | Lock_recovered -> cls ^ " recover"
   | Reserve_set -> cls ^ " set"
   | Reserve_cleared -> cls ^ " held"
   | Reserve_spin -> cls ^ " spin"
   | Rpc_issue -> "rpc issue"
   | Rpc_retry -> "rpc retry"
   | Rpc_reply -> "rpc"
+  | Proc_crash -> "crash"
 
 let category = function
-  | Lock_acquired | Lock_released | Lock_try | Lock_abandoned -> "lock"
+  | Lock_acquired | Lock_released | Lock_try | Lock_abandoned | Lock_recovered
+    -> "lock"
   | Reserve_set | Reserve_cleared | Reserve_spin -> "reserve"
   | Rpc_issue | Rpc_retry | Rpc_reply -> "rpc"
+  | Proc_crash -> "crash"
 
 let is_span e =
   match e.kind with
-  | Lock_acquired | Lock_released | Lock_abandoned | Reserve_cleared
-  | Reserve_spin | Rpc_reply -> true
-  | Lock_try | Reserve_set | Rpc_issue | Rpc_retry -> false
+  | Lock_acquired | Lock_released | Lock_abandoned | Lock_recovered
+  | Reserve_cleared | Reserve_spin | Rpc_reply -> true
+  | Lock_try | Reserve_set | Rpc_issue | Rpc_retry | Proc_crash -> false
 
 let trace_json t ~us_per_cycle =
   let us c = float_of_int c *. us_per_cycle in

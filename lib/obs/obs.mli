@@ -73,6 +73,43 @@ val rpc_issue : t -> proc:int -> target:int -> now:int -> unit
 val rpc_retry : t -> proc:int -> now:int -> unit
 val rpc_reply : t -> proc:int -> now:int -> unit
 
+(** {2 Crash and recovery}
+
+    Kept beside the profile, not inside {!cells}: the profile schema is
+    stable across versions, and crash evidence wants per-event latency
+    samples. *)
+
+(** The interned class crash instants are traced under. *)
+val crash_class : Verify.lock_class
+
+(** Processor [proc] fail-stopped (called by [Machine.kill_proc]). *)
+val proc_crashed : t -> proc:int -> now:int -> unit
+
+(** Recoverer [proc] released lock class [cls] on dead processor [dead]'s
+    behalf, [latency] cycles after the kill. Crash-bucket attribution goes
+    to [dead]'s cluster. *)
+val lock_recovered :
+  t ->
+  proc:int ->
+  cls:Verify.lock_class ->
+  dead:int ->
+  latency:int ->
+  now:int ->
+  unit
+
+type crash_row = {
+  cr_cluster : int;
+  cr_crashes : int;
+  cr_recoveries : int;
+  cr_latencies : int list;  (** recovery latencies in cycles, chronological *)
+}
+
+(** One row per cluster with any crash/recovery activity. *)
+val crash_rows : t -> crash_row list
+
+val crashes_observed : t -> int
+val recoveries_observed : t -> int
+
 (** {2 Contention profile} *)
 
 type cells = {
@@ -112,12 +149,14 @@ type kind =
   | Lock_released  (** span: acquisition to release *)
   | Lock_try  (** instant: non-blocking acquisition *)
   | Lock_abandoned  (** span: wait start to timeout *)
+  | Lock_recovered  (** span: kill to recovery release (dur = latency) *)
   | Reserve_set  (** instant *)
   | Reserve_cleared  (** span: set to clear *)
   | Reserve_spin  (** span: spin-wait on a reserve bit *)
   | Rpc_issue  (** instant *)
   | Rpc_retry  (** instant: [Would_deadlock] resend/backoff *)
   | Rpc_reply  (** span: issue to reply *)
+  | Proc_crash  (** instant: a processor fail-stopped *)
 
 val kind_name : kind -> string
 

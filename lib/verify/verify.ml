@@ -155,6 +155,10 @@ type t = {
   mutable violations : violation list; (* newest first *)
   mutable last_progress : int;
   mutable watchdog_live : bool;
+  dead : bool array; (* fail-stopped processors (Machine.kill_proc) *)
+  mutable recoveries : int;
+      (* dead-holder ownership transfers + orphaned-reserve sweeps
+         legalized below — the "recovery is not a violation" count *)
 }
 
 let create ?(mode = `Record) ~n_procs () =
@@ -173,6 +177,8 @@ let create ?(mode = `Record) ~n_procs () =
     violations = [];
     last_progress = 0;
     watchdog_live = false;
+    dead = Array.make n_procs false;
+    recoveries = 0;
   }
 
 let violations t = List.rev t.violations
@@ -194,6 +200,20 @@ let report_fatal t ~kind ~proc ~now msg =
   raise (Violation v)
 
 let progress t ~now = t.last_progress <- now
+let recoveries t = t.recoveries
+let proc_dead t proc = t.dead.(proc)
+
+(* A processor fail-stopped. Its held entries stay — it really does still
+   own what it owned, and recovery transfers ownership via [released] —
+   but its wait frames and in-flight RPC are dropped: the parked fiber
+   will never resume them, and the watchdog must not chase a ghost. *)
+let proc_crashed t ~proc ~now =
+  t.dead.(proc) <- true;
+  t.waits.(proc) <- [];
+  t.rpc_to.(proc) <- -1;
+  progress t ~now
+
+let proc_revived t ~proc = t.dead.(proc) <- false
 
 (* -- diagnostics ---------------------------------------------------------- *)
 
@@ -410,10 +430,59 @@ let released t ~proc ~cls ~id ~now =
         else true)
       t.held.(proc);
   if !found then Hashtbl.remove t.lock_holder id
-  else
-    report t ~kind:Bad_release ~proc ~now
-      (Printf.sprintf "released %s without holding it"
-         (describe_instance cls id));
+  else begin
+    (* Recovery is a legal ownership transfer: a releaser that does not
+       hold the lock, when the registered holder fail-stopped, is a
+       recoverer running the dead holder's release on its behalf. Move
+       the held entry off the corpse instead of reporting. *)
+    match Hashtbl.find_opt t.lock_holder id with
+    | Some owner when t.dead.(owner) ->
+      t.held.(owner) <-
+        List.filter
+          (fun h -> not (h.h_kind = Hlock && h.h_id = id))
+          t.held.(owner);
+      Hashtbl.remove t.lock_holder id;
+      t.recoveries <- t.recoveries + 1
+    | _ ->
+      report t ~kind:Bad_release ~proc ~now
+        (Printf.sprintf "released %s without holding it"
+           (describe_instance cls id))
+  end;
+  progress t ~now
+
+(* A legal ownership hand-off with no release/acquire pair: a cohort's
+   local pass moves the critical section to a cluster-mate while the
+   still-held global constituent lock stays put, so the registered holder
+   must follow the session or the eventual release looks foreign. The
+   recipient inherits the held entry (original acquisition time included —
+   the lock has been continuously held); inheriting off a fail-stopped
+   holder is the same move and equally legal, the recovery accounting
+   having been done by the composite's own release. *)
+let transferred t ~proc ~cls ~id ~now =
+  (match Hashtbl.find_opt t.lock_holder id with
+  | Some owner when owner = proc -> ()
+  | Some owner ->
+    let frame = ref None in
+    t.held.(owner) <-
+      List.filter
+        (fun h ->
+          if !frame = None && h.h_kind = Hlock && h.h_id = id then begin
+            frame := Some h;
+            false
+          end
+          else true)
+        t.held.(owner);
+    let since = match !frame with Some h -> h.h_since | None -> now in
+    t.held.(proc) <-
+      { h_cls = cls; h_id = id; h_kind = Hlock; h_since = since }
+      :: t.held.(proc);
+    Hashtbl.replace t.lock_holder id proc
+  | None ->
+    (* No registered holder (checker installed mid-session): adopt. *)
+    t.held.(proc) <-
+      { h_cls = cls; h_id = id; h_kind = Hlock; h_since = now }
+      :: t.held.(proc);
+    Hashtbl.replace t.lock_holder id proc);
   progress t ~now
 
 (* -- reserve events ------------------------------------------------------- *)
@@ -459,9 +528,13 @@ let reserve_clear t ~proc ~word ~now =
     ignore (remove_held_word t ~proc ~word)
   | Some (Wwrite { owner; since }) ->
     ignore (remove_held_word t ~proc:owner ~word);
-    report t ~kind:Bad_clear ~proc ~now
-      (Printf.sprintf "cleared %s owned by p%d since %d" (word_desc t word)
-         owner since)
+    (* Sweeping a reservation orphaned by a fail-stopped owner is legal
+       recovery, not a foreign clear. *)
+    if t.dead.(owner) then t.recoveries <- t.recoveries + 1
+    else
+      report t ~kind:Bad_clear ~proc ~now
+        (Printf.sprintf "cleared %s owned by p%d since %d" (word_desc t word)
+           owner since)
   | Some Wfree ->
     report t ~kind:Bad_clear ~proc ~now
       (Printf.sprintf "cleared %s which is not reserved (double clear?)"

@@ -115,7 +115,37 @@ val try_acquired :
 (** The blocking acquisition of [wait_acquire] timed out and gave up. *)
 val wait_abandoned : t -> proc:int -> now:int -> unit
 
+(** A release. If the releasing processor does not hold the lock but the
+    registered holder has fail-stopped ({!proc_crashed}), the release is a
+    legal recovery transfer: the corpse's held entry is removed and
+    {!recoveries} incremented instead of reporting [Bad_release]. *)
 val released : t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
+
+(** A legal ownership hand-off with no release/acquire pair: [proc]
+    inherits the lock from its registered holder (a cohort's local pass
+    moves the session to a cluster-mate while the global constituent lock
+    stays held). The held entry moves to [proc], keeping its original
+    acquisition time; a transfer to the registered holder itself is a
+    no-op, and inheriting off a fail-stopped holder is equally legal. *)
+val transferred :
+  t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
+
+(** {1 Crash hooks} (called by [Hector.Machine.kill_proc]/[revive]) *)
+
+(** Processor [proc] fail-stopped: its wait frames and in-flight RPC are
+    dropped (the parked fiber never resumes them); its held entries stay
+    until recovery transfers them. Clears by recoverers of reserve words
+    owned by a dead processor become legal sweeps, not [Bad_clear]s. *)
+val proc_crashed : t -> proc:int -> now:int -> unit
+
+val proc_revived : t -> proc:int -> unit
+
+(** Is the processor currently marked fail-stopped? *)
+val proc_dead : t -> int -> bool
+
+(** Dead-holder ownership transfers and orphaned-reserve sweeps legalized
+    so far. *)
+val recoveries : t -> int
 
 (** {1 Reserve hooks} (called by [Locks.Reserve]; [word] is the status
     cell's [Cell.id], [label] its allocation label for diagnostics) *)

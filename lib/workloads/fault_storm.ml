@@ -291,7 +291,7 @@ let run ?(cfg = Config.hector) ?(config = default_config) ?verify ?obs
               server_service
           with
           | Rpc.Ok _ -> incr rpc_ok
-          | Rpc.Gave_up ->
+          | Rpc.Gave_up | Rpc.Dead_target ->
             (* Degraded: do the op's worth of work locally and move on. *)
             Ctx.work ctx 60
           | Rpc.Absent | Rpc.Would_deadlock -> ()

@@ -25,6 +25,7 @@ type probe =
   | Stalled_holder
   | Deadlock
   | Aborted_waiter
+  | Dead_owner
   | Clean
 
 let probe_name = function
@@ -34,10 +35,20 @@ let probe_name = function
   | Stalled_holder -> "stalled-holder"
   | Deadlock -> "deadlock"
   | Aborted_waiter -> "aborted-waiter"
+  | Dead_owner -> "dead-owner"
   | Clean -> "clean"
 
 let all =
-  [ Abba; Leak; Interrupt_spin; Stalled_holder; Deadlock; Aborted_waiter; Clean ]
+  [
+    Abba;
+    Leak;
+    Interrupt_spin;
+    Stalled_holder;
+    Deadlock;
+    Aborted_waiter;
+    Dead_owner;
+    Clean;
+  ]
 
 type result = {
   probe : probe;
@@ -56,6 +67,7 @@ let expected_kind = function
   | Stalled_holder -> Some Verify.Stall
   | Deadlock -> Some Verify.Deadlock_cycle
   | Aborted_waiter -> None
+  | Dead_owner -> None
   | Clean -> None
 
 let setup () =
@@ -220,6 +232,39 @@ let run_aborted_waiter () =
   ignore machine;
   (v, aborted)
 
+(* The second negative probe, for the crash path: the holder fail-stops
+   mid-critical-section and a survivor force-releases the corpse's hold
+   exactly as [Lock.acquire_recoverable]'s detector does. The checker saw
+   the crash ([Verify.proc_crashed]), so the foreign release must be
+   legalised as a recovery transfer — [ok] demands zero violations AND a
+   recorded recovery, so a checker that silently dropped the crash
+   bookkeeping (reporting nothing but transferring nothing) still fails. *)
+let run_dead_owner () =
+  let eng, machine, ctxs, v = setup () in
+  let l = Mcs.create ~home:0 ~vclass:"probe.dead" machine in
+  Process.spawn eng (fun () ->
+      let ctx = ctxs.(0) in
+      Mcs.acquire l ctx;
+      (* A hold far past every deadline below: the kill lands mid-way. *)
+      Ctx.work ctx 1_000_000);
+  Process.spawn_at eng ~at:500 (fun () ->
+      let ctx = ctxs.(1) in
+      Machine.kill_proc machine 0;
+      (* The detector loop [Lock.acquire_recoverable] runs, inlined: timed
+         slices, and on each expiry a recovery pass against the oracle. *)
+      let rec go () =
+        if not (Mcs.acquire_with_timeout l ctx ~timeout:2_000) then begin
+          ignore (Mcs.recover l ctx);
+          go ()
+        end
+      in
+      go ();
+      Ctx.work ctx 200;
+      Mcs.release l ctx);
+  Engine.run eng;
+  Verify.finish v ~now:(Engine.now eng);
+  (v, false)
+
 (* A fault-free storm is real concurrent traffic over every checked
    mechanism — MCS (timed and plain), reserve bits, RPC; the checker must
    stay silent on it. *)
@@ -242,6 +287,7 @@ let run probe =
     | Stalled_holder -> run_stalled_holder ()
     | Deadlock -> run_deadlock ()
     | Aborted_waiter -> run_aborted_waiter ()
+    | Dead_owner -> run_dead_owner ()
     | Clean -> run_clean ()
   in
   let expected = expected_kind probe in
@@ -250,7 +296,11 @@ let run probe =
     match expected with None -> 0 | Some k -> Verify.count_kind v k
   in
   let ok =
-    match expected with None -> violations = 0 | Some _ -> hits > 0
+    match expected with
+    | None ->
+      violations = 0
+      && (probe <> Dead_owner || Verify.recoveries v > 0)
+    | Some _ -> hits > 0
   in
   let first =
     match Verify.violations v with

@@ -14,6 +14,10 @@ type probe =
       (** ABBA shape with {e timed} inner acquisitions that expire,
           retreat and retry — self-resolving, so the checker must stay
           silent: no phantom order/deadlock report, no stall *)
+  | Dead_owner
+      (** holder fail-stops mid-critical-section; a survivor's detector
+          force-releases the corpse's hold — the checker must legalise it
+          as a recovery transfer: zero violations and [recoveries] > 0 *)
   | Clean  (** fault-free storm under the checker: zero violations *)
 
 val probe_name : probe -> string

@@ -46,6 +46,20 @@ let test_validate () =
        Fault.validate { d with rpc_drop_rate = 0.5; reply_timeout = 400 }
      with
     | _ -> true
+    | exception Invalid_argument _ -> false);
+  Alcotest.(check bool) "crash rate > 1" true
+    (rejects { d with crash_rate = 1.5 });
+  Alcotest.(check bool) "negative crash-schedule time" true
+    (rejects { d with crash_at = [ (-5, 0) ] });
+  Alcotest.(check bool) "negative crash-schedule processor" true
+    (rejects { d with crash_at = [ (100, -1) ] });
+  Alcotest.(check bool) "negative restart delay" true
+    (rejects { d with restart_after = -1 });
+  Alcotest.(check bool) "crash schedule with restart passes" true
+    (match
+       Fault.validate { d with crash_at = [ (100, 3) ]; restart_after = 50 }
+     with
+    | _ -> true
     | exception Invalid_argument _ -> false)
 
 let test_draw_determinism () =
@@ -65,8 +79,8 @@ let test_draw_determinism () =
     let t = Fault.create cfg in
     List.init 100 (fun i ->
         ( Fault.draw_stall t ~site:0 ~now:i,
-          Fault.draw_rpc_delay t,
-          Fault.draw_rpc_drop t ))
+          Fault.draw_rpc_delay t ~now:i,
+          Fault.draw_rpc_drop t ~now:i ))
   in
   Alcotest.(check bool) "same seed, same draws" true (trace () = trace ());
   let t = Fault.create cfg in
@@ -95,6 +109,45 @@ let test_scheduled_stalls () =
   Alcotest.(check int) "per site" 3 (Fault.stalls_at t ~site:1);
   Alcotest.(check (list (pair int int)))
     "chronological log" [ (100, 5); (200, 5); (950, 5) ] (Fault.stall_log t)
+
+(* Scheduled dosing as an executable spec, over arbitrary visit patterns:
+   the first visit on or after the arming point doses and re-arms one
+   period later, so consecutive doses are at least a period apart, a quiet
+   stretch is skipped rather than repaid in a burst, and the total dosage
+   is bounded by elapsed time over the period. *)
+let prop_stall_every_dosing =
+  QCheck.Test.make ~name:"stall_every: period-boundary dosing, no bursts"
+    ~count:100
+    QCheck.(pair (int_range 1 500) (small_list (int_range 0 10_000)))
+    (fun (period, visits) ->
+      let visits = List.sort_uniq compare visits in
+      let t =
+        Fault.create
+          { Fault.disabled with stall_every = period; stall_cycles = 7 }
+      in
+      let next = ref period in
+      let spec_ok =
+        List.for_all
+          (fun now ->
+            let expect = now >= !next in
+            if expect then next := now + period;
+            Fault.draw_stall t ~site:0 ~now <> None = expect)
+          visits
+      in
+      let starts = List.map fst (Fault.stall_log t) in
+      let rec spaced = function
+        | a :: (b :: _ as rest) -> b - a >= period && spaced rest
+        | _ -> true
+      in
+      let bounded =
+        match List.rev visits with
+        | [] -> Fault.stalls_injected t = 0
+        | last :: _ -> Fault.stalls_injected t <= last / period
+      in
+      spec_ok
+      && spaced starts
+      && List.for_all (fun s -> s >= period) starts
+      && bounded)
 
 let test_hotspot_window () =
   let t =
@@ -350,6 +403,7 @@ let suite =
       test_draw_determinism;
     Alcotest.test_case "scheduled stalls: one per period" `Quick
       test_scheduled_stalls;
+    QCheck_alcotest.to_alcotest prop_stall_every_dosing;
     Alcotest.test_case "hot-spot windows" `Quick test_hotspot_window;
     Alcotest.test_case "fault point spends the stall" `Quick
       test_fault_point_stalls;

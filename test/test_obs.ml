@@ -288,6 +288,7 @@ let test_bench_json_schema () =
       "fig7c";
       "fig7d";
       "abort_storm";
+      "crash_storm";
     ]
   in
   let doc =
@@ -358,6 +359,31 @@ let test_bench_json_schema () =
           (d.Experiments.aremote_aborts > 0))
       rows direct
   | _ -> Alcotest.fail "abort_storm not a list");
+  (* crash_storm: rows equal a direct deterministic rerun, and carry the
+     acceptance facts (every kill recovered, the checker legalised every
+     forced release with zero violations, lock free after the drain). *)
+  (match Json.get exps "crash_storm" with
+  | Json.List rows ->
+    let direct = Experiments.crash_storm () in
+    Alcotest.(check int) "crash rows" (List.length direct) (List.length rows);
+    List.iter2
+      (fun row (d : Experiments.crash_point) ->
+        Alcotest.(check bool) "crash algo" true
+          (Json.get row "algo"
+          = Json.String (Locks.Lock.algo_name d.Experiments.calgo));
+        Alcotest.(check int) "crash kills" d.Experiments.ckills
+          (match Json.get row "kills" with Json.Int i -> i | _ -> -1);
+        Alcotest.(check int) "crash recovery samples" d.Experiments.ckills
+          (match Json.get row "recovery_n" with Json.Int i -> i | _ -> -1);
+        Alcotest.(check (float 0.0)) "crash recovery p99"
+          d.Experiments.crec_p99_us
+          (get_float row "recovery_p99_us");
+        Alcotest.(check bool) "crash zero violations" true
+          (Json.get row "lockdep_violations" = Json.Int 0);
+        Alcotest.(check bool) "crash final free" true
+          (Json.get row "final_free" = Json.Bool true))
+      rows direct
+  | _ -> Alcotest.fail "crash_storm not a list");
   (* fig5a on the same knobs: series values equal the in-process sweep. *)
   let direct5 = Experiments.fig5a ~procs:[ 2 ] () in
   match Json.get (Json.get exps "fig5a") "series" with
