@@ -93,6 +93,7 @@ let run_numa () = Report.numa_locks ppf (Experiments.numa_locks ())
 let run_hash () = Report.hash_scaling ppf (Experiments.hash_scaling ())
 let run_abort () = Report.abort_storm ppf (Experiments.abort_storm ())
 let run_crash () = Report.crash_storm ppf (Experiments.crash_storm ())
+let run_rw () = Report.rw_scaling ppf (Experiments.rw_scaling ())
 
 let experiments =
   [
@@ -127,6 +128,7 @@ let experiments =
     ("hash", run_hash);
     ("abort-storm", run_abort);
     ("crash-storm", run_crash);
+    ("rw", run_rw);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

@@ -662,6 +662,108 @@ let crash_cmd =
       const run $ algo_arg $ clusters $ kills $ check_period $ hold $ window
       $ seed_arg)
 
+(* -- rw subcommand ------------------------------------------------------------ *)
+
+let rw_cmd =
+  let run algo style_name p clusters read_ratio ops reader_pref centralised
+      seed =
+    let policy =
+      if reader_pref then Locks.Rwlock.Reader_preference
+      else Locks.Rwlock.Writer_blocking
+    in
+    let style =
+      match String.lowercase_ascii style_name with
+      | "mutex" -> Rw_scaling.Mutex algo
+      | "rw" -> Rw_scaling.Rw_lock { writer = algo; policy; centralised }
+      | "seqlock" -> Rw_scaling.Seqlock_style { writer = algo }
+      | "replicated" -> Rw_scaling.Replicated { writer = algo }
+      | other ->
+        Format.eprintf "unknown style %S (mutex | rw | seqlock | replicated)@."
+          other;
+        exit 2
+    in
+    let r =
+      Rw_scaling.run
+        ~config:
+          {
+            Rw_scaling.default_config with
+            p;
+            n_clusters = clusters;
+            ops;
+            read_ratio;
+            style;
+            seed;
+          }
+        ()
+    in
+    Format.fprintf ppf "reads:  %a@." Measure.pp r.Rw_scaling.read_summary;
+    Format.fprintf ppf "writes: %a@." Measure.pp r.Rw_scaling.write_summary;
+    Format.fprintf ppf
+      "%s: reads=%d writes=%d throughput=%.1f ops/ms (reads %.1f/ms) \
+       peak-readers=%d read-remote=%d seq-aborts=%d lockdep-violations=%d@."
+      r.Rw_scaling.style_name r.Rw_scaling.reads_done r.Rw_scaling.writes_done
+      r.Rw_scaling.throughput_ops_ms r.Rw_scaling.read_throughput_ops_ms
+      r.Rw_scaling.peak_readers r.Rw_scaling.read_remote
+      r.Rw_scaling.seq_aborts r.Rw_scaling.lockdep_violations;
+    if r.Rw_scaling.lockdep_violations > 0 then exit 1
+  in
+  let style =
+    Arg.(
+      value & opt string "rw"
+      & info [ "style" ] ~docv:"STYLE"
+          ~doc:
+            "Read-path style: mutex (exclusive lock), rw (distributed RW \
+             lock over the writer algorithm), seqlock, or replicated.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 8
+      & info [ "p"; "procs" ] ~docv:"P" ~doc:"Contending processors.")
+  in
+  let clusters =
+    Arg.(
+      value & opt int 2
+      & info [ "clusters" ] ~docv:"C"
+          ~doc:"Clusters the processors are spread across.")
+  in
+  let read_ratio =
+    Arg.(
+      value & opt float 0.99
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of operations that are read-only lookups.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per processor.")
+  in
+  let reader_pref =
+    Arg.(
+      value & flag
+      & info [ "reader-preference" ]
+          ~doc:
+            "Use the reader-preference sweep order (close and drain one \
+             cluster gate at a time) instead of writer-blocking.")
+  in
+  let centralised =
+    Arg.(
+      value & flag
+      & info [ "centralised" ]
+          ~doc:
+            "Home every reader indicator on one cluster (the layout \
+             baseline) instead of distributing them.")
+  in
+  Cmd.v
+    (Cmd.info "rw"
+       ~doc:
+         "Read-mostly lookups: distributed reader-writer lock vs seqlock vs \
+          per-cluster replication vs one exclusive lock (experiment \
+          RW-SCALING). Reports reader-parallelism peaks, remote read-path \
+          traffic, and lockdep violations (non-zero exit on any violation).")
+    Term.(
+      const run $ algo_arg $ style $ procs $ clusters $ read_ratio $ ops
+      $ reader_pref $ centralised $ seed_arg)
+
 (* -- hash subcommand --------------------------------------------------------- *)
 
 let hash_cmd =
@@ -787,6 +889,7 @@ let figure_cmd =
     | "hash" -> Report.hash_scaling ppf (Experiments.hash_scaling ())
     | "abort-storm" -> Report.abort_storm ppf (Experiments.abort_storm ())
     | "crash-storm" -> Report.crash_storm ppf (Experiments.crash_storm ())
+    | "rw" -> Report.rw_scaling ppf (Experiments.rw_scaling ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -817,6 +920,7 @@ let main_cmd =
       numa_cmd;
       abort_cmd;
       crash_cmd;
+      rw_cmd;
       hash_cmd;
       figure_cmd;
     ]

@@ -17,8 +17,12 @@ open Workloads
    Version 5: added the "crash_storm" experiment (fail-stop kills planted
    mid-critical-section: conservation, lockdep-legalised recovery
    transfers, kill-to-forced-release latency per algorithm and worst
-   cluster). *)
-let schema_version = 5
+   cluster).
+   Version 6: added the "rw_scaling" experiment (read-mostly lookups:
+   distributed RW lock vs its centralised baseline vs seqlock vs
+   per-cluster replication, with reader-parallelism peaks and remote
+   read-path traffic) and the "p999_us" field in every latency summary. *)
+let schema_version = 6
 
 let default_names =
   [
@@ -36,6 +40,7 @@ let default_names =
     "hash_scaling";
     "abort_storm";
     "crash_storm";
+    "rw_scaling";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -85,6 +90,7 @@ let summary_fields (s : Measure.summary) =
     ("p50_us", Json.Float s.Measure.p50_us);
     ("p90_us", Json.Float s.Measure.p90_us);
     ("p99_us", Json.Float s.Measure.p99_us);
+    ("p999_us", Json.Float s.Measure.p999_us);
     ("min_us", Json.Float s.Measure.min_us);
     ("max_us", Json.Float s.Measure.max_us);
     ("frac_above_2ms", Json.Float s.Measure.frac_above_2ms);
@@ -236,6 +242,33 @@ let crash_storm_json (rows : Experiments.crash_point list) =
            ])
        rows)
 
+let rw_scaling_json (rows : Experiments.rw_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.rw_point) ->
+         Json.Obj
+           [
+             ("style", Json.String r.Experiments.rstyle_name);
+             ("read_ratio", Json.Float r.Experiments.rread_ratio);
+             ("clusters", Json.Int r.Experiments.rclusters);
+             ("p", Json.Int r.Experiments.rp);
+             ("read_mean_us", Json.Float r.Experiments.rread_mean_us);
+             ("read_p99_us", Json.Float r.Experiments.rread_p99_us);
+             ("read_p999_us", Json.Float r.Experiments.rread_p999_us);
+             ("write_mean_us", Json.Float r.Experiments.rwrite_mean_us);
+             ("throughput_ops_ms", Json.Float r.Experiments.rthroughput);
+             ("read_throughput_ops_ms",
+              Json.Float r.Experiments.rread_throughput);
+             ("reads", Json.Int r.Experiments.rreads);
+             ("writes", Json.Int r.Experiments.rwrites);
+             ("peak_readers", Json.Int r.Experiments.rpeak_readers);
+             ("read_remote", Json.Int r.Experiments.rread_remote);
+             ("seq_aborts", Json.Int r.Experiments.rseq_aborts);
+             ("lockdep_violations",
+              Json.Int r.Experiments.rlockdep_violations);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -270,6 +303,7 @@ let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
     | "hash_scaling" -> hash_scaling_json (Experiments.hash_scaling ?cfg ())
     | "abort_storm" -> abort_storm_json (Experiments.abort_storm ?cfg ())
     | "crash_storm" -> crash_storm_json (Experiments.crash_storm ?cfg ())
+    | "rw_scaling" -> rw_scaling_json (Experiments.rw_scaling ?cfg ())
     | other ->
       invalid_arg
         (Printf.sprintf "Bench_json.document: unknown experiment %S" other)

@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 5,
+    { "schema_version": 6,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -15,10 +15,10 @@
         "uncontended": [ {algo, pair_us, predicted_us|null} ],
         "fig5a"/"fig5b": { hold_us,
                            series: [ {algo, points: [ {p, n, mean_us,
-                             p50_us, p99_us, max_us, frac_above_2ms,
-                             acquisitions} ]} ] },
-        "starvation":  {n, mean_us, p50_us, p90_us, p99_us, min_us,
-                        max_us, frac_above_2ms},
+                             p50_us, p99_us, p999_us, max_us,
+                             frac_above_2ms, acquisitions} ]} ] },
+        "starvation":  {n, mean_us, p50_us, p90_us, p99_us, p999_us,
+                        min_us, max_us, frac_above_2ms},
         "fig7a".."fig7d": { xlabel,
                             series: [ {algo, points: [ {x, mean_us,
                               p99_us, retries, rpcs} ]} ] },
@@ -39,7 +39,12 @@
                           obs_recoveries, lockdep_recoveries,
                           lockdep_violations, recovery_mean_us,
                           recovery_p99_us, recovery_max_us, recovery_n,
-                          clusters_hit, worst_cluster_p99_us, final_free} ]
+                          clusters_hit, worst_cluster_p99_us, final_free} ],
+        "rw_scaling":  [ {style, read_ratio, clusters, p, read_mean_us,
+                          read_p99_us, read_p999_us, write_mean_us,
+                          throughput_ops_ms, read_throughput_ops_ms, reads,
+                          writes, peak_readers, read_remote, seq_aborts,
+                          lockdep_violations} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
@@ -55,6 +60,10 @@
     mid-critical-section: conservation, lockdep-legalised recovery
     transfers, kill-to-forced-release latency per algorithm and worst
     cluster).
+    Version 6 added "rw_scaling" (read-mostly lookups: distributed RW lock
+    vs its centralised-indicator baseline vs seqlock vs per-cluster
+    replication, with reader-parallelism peaks and remote read-path
+    traffic) and "p999_us" in every latency summary.
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -65,7 +74,7 @@ val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
     "constants"; "numa_locks"; "hash_scaling"; "abort_storm";
-    "crash_storm"] — what a bare [--json] exports. *)
+    "crash_storm"; "rw_scaling"] — what a bare [--json] exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

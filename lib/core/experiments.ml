@@ -722,6 +722,96 @@ let abort_storm ?(cfg = Config.hector) ?(algos = numa_algos) () =
       })
     algos
 
+(* -- RW-SCALING: read-mostly lookups, reader parallelism --------------------- *)
+
+type rw_point = {
+  rstyle : Rw_scaling.style;
+  rstyle_name : string;
+  rread_ratio : float;
+  rclusters : int;
+  rp : int;
+  rread_mean_us : float;
+  rread_p99_us : float;
+  rread_p999_us : float;
+  rwrite_mean_us : float;
+  rthroughput : float; (* all completed ops per virtual ms *)
+  rread_throughput : float;
+  rreads : int;
+  rwrites : int;
+  rpeak_readers : int;
+  rread_remote : int;
+  rseq_aborts : int;
+  rlockdep_violations : int;
+}
+
+(* The read-mostly candidates, one per strategy family: the exclusive-lock
+   baseline every writer-serialising algorithm is stuck at, the RW lock
+   over the MCS cohort (plus its centralised-indicator baseline — the
+   remote-traffic comparator), the seqlock optimistic path, and
+   HURRICANE-shaped per-cluster replication. *)
+let rw_styles =
+  [
+    Rw_scaling.Mutex Lock.c_mcs_mcs;
+    Rw_scaling.Rw_lock
+      {
+        writer = Lock.c_mcs_mcs;
+        policy = Rwlock.Writer_blocking;
+        centralised = false;
+      };
+    Rw_scaling.Rw_lock
+      {
+        writer = Lock.Mcs_h2;
+        policy = Rwlock.Writer_blocking;
+        centralised = true;
+      };
+    Rw_scaling.Seqlock_style { writer = Lock.Mcs_h2 };
+    Rw_scaling.Replicated { writer = Lock.Mcs_h2 };
+  ]
+
+let rw_scaling ?(cfg = Config.hector) ?(styles = rw_styles)
+    ?(ratios = [ 0.95; 0.99; 0.999 ]) ?(clusters = [ 1; 2; 4 ]) ?(ops = 200)
+    () =
+  List.concat_map
+    (fun rstyle ->
+      List.concat_map
+        (fun rread_ratio ->
+          List.map
+            (fun rclusters ->
+              let r =
+                Rw_scaling.run ~cfg
+                  ~config:
+                    {
+                      Rw_scaling.default_config with
+                      Rw_scaling.style = rstyle;
+                      read_ratio = rread_ratio;
+                      n_clusters = rclusters;
+                      ops;
+                    }
+                  ()
+              in
+              {
+                rstyle;
+                rstyle_name = r.Rw_scaling.style_name;
+                rread_ratio;
+                rclusters;
+                rp = r.Rw_scaling.p;
+                rread_mean_us = r.Rw_scaling.read_summary.Measure.mean_us;
+                rread_p99_us = r.Rw_scaling.read_summary.Measure.p99_us;
+                rread_p999_us = r.Rw_scaling.read_summary.Measure.p999_us;
+                rwrite_mean_us = r.Rw_scaling.write_summary.Measure.mean_us;
+                rthroughput = r.Rw_scaling.throughput_ops_ms;
+                rread_throughput = r.Rw_scaling.read_throughput_ops_ms;
+                rreads = r.Rw_scaling.reads_done;
+                rwrites = r.Rw_scaling.writes_done;
+                rpeak_readers = r.Rw_scaling.peak_readers;
+                rread_remote = r.Rw_scaling.read_remote;
+                rseq_aborts = r.Rw_scaling.seq_aborts;
+                rlockdep_violations = r.Rw_scaling.lockdep_violations;
+              })
+            clusters)
+        ratios)
+    styles
+
 (* -- CRASH-STORM: fail-stop mid-CS kills, crash-recoverable locking --------- *)
 
 type crash_point = {

@@ -295,6 +295,46 @@ type abort_point = {
 val abort_storm :
   ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> abort_point list
 
+(** RW-SCALING — read-mostly page-descriptor lookups
+    ({!Workloads.Rw_scaling}): the exclusive-lock baseline against the
+    distributed RW lock (plus its centralised-indicator comparator), the
+    seqlock optimistic path and per-cluster replication, sweeping read
+    ratio and cluster count. [rpeak_readers] > 1 is the reader-parallelism
+    evidence; [rread_remote] = 0 the distributed layout's locality
+    evidence. *)
+
+type rw_point = {
+  rstyle : Rw_scaling.style;
+  rstyle_name : string;
+  rread_ratio : float;
+  rclusters : int;
+  rp : int;
+  rread_mean_us : float;
+  rread_p99_us : float;
+  rread_p999_us : float;
+  rwrite_mean_us : float;
+  rthroughput : float;  (** all completed ops per virtual ms *)
+  rread_throughput : float;
+  rreads : int;
+  rwrites : int;
+  rpeak_readers : int;
+  rread_remote : int;
+  rseq_aborts : int;
+  rlockdep_violations : int;  (** must be 0 *)
+}
+
+(** The candidate styles RW-SCALING compares. *)
+val rw_styles : Rw_scaling.style list
+
+val rw_scaling :
+  ?cfg:Config.t ->
+  ?styles:Rw_scaling.style list ->
+  ?ratios:float list ->
+  ?clusters:int list ->
+  ?ops:int ->
+  unit ->
+  rw_point list
+
 (** CRASH-STORM — fail-stop processor crashes planted mid-critical-section
     ({!Workloads.Crash_storm}): representative flat queue locks and the
     NUMA composites, each with victims dying while holding the lock and

@@ -431,6 +431,32 @@ let crash_storm ppf (rows : Experiments.crash_point list) =
         (if r.Experiments.cfinal_free then "yes" else "NO"))
     rows
 
+let rw_scaling ppf (rows : Experiments.rw_point list) =
+  section ppf "RW-SCALING - read-mostly lookups: RW lock vs seqlock vs replication"
+    "every writer-serialising lock queues readers like writers (peak \
+     concurrent readers 1 by construction); per-cluster reader indicators \
+     let readers CAS their own cluster's word and run in parallel, the \
+     seqlock serves reads for a pair of loads, and replication reads a \
+     local copy but pays an update broadcast per write. rd-rem counts \
+     read-path indicator ops that crossed a cluster boundary - zero for \
+     the distributed layout, the centralised baseline's defining cost";
+  Format.fprintf ppf
+    "%-22s %5s %4s %3s %9s %8s %9s %9s %7s %5s %7s %6s@." "style" "read"
+    "clus" "p" "read(us)" "p99.9" "write(us)" "rdthr/ms" "peak-rd" "rd-rem"
+    "sq-ab" "viol";
+  List.iter
+    (fun (r : Experiments.rw_point) ->
+      Format.fprintf ppf
+        "%-22s %4.1f%% %4d %3d %9.2f %8.1f %9.2f %9.1f %7d %5d %7d %6d@."
+        r.Experiments.rstyle_name
+        (100.0 *. r.Experiments.rread_ratio)
+        r.Experiments.rclusters r.Experiments.rp r.Experiments.rread_mean_us
+        r.Experiments.rread_p999_us r.Experiments.rwrite_mean_us
+        r.Experiments.rread_throughput r.Experiments.rpeak_readers
+        r.Experiments.rread_remote r.Experiments.rseq_aborts
+        r.Experiments.rlockdep_violations)
+    rows
+
 let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
   section ppf "OBS - where did the cycles go (dosed fault storm)"
     "the argument of Figures 5/7 is made by attributing waiting time to \

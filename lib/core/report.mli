@@ -71,6 +71,7 @@ val hash_scaling : Format.formatter -> Experiments.hash_point list -> unit
 
 val abort_storm : Format.formatter -> Experiments.abort_point list -> unit
 val crash_storm : Format.formatter -> Experiments.crash_point list -> unit
+val rw_scaling : Format.formatter -> Experiments.rw_point list -> unit
 
 val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit

@@ -35,6 +35,8 @@ type algo =
     (* lock cohorting: [local] per cluster under one [global] *)
   | Hmcs of { threshold : int } (* hierarchical MCS: two-level MCS tree *)
   | Cna of { threshold : int } (* compact NUMA-aware MCS: secondary queue *)
+  | Rw of { writer : algo; policy : Rwlock.policy; centralised : bool }
+    (* distributed RW lock: per-cluster reader indicators over [writer] *)
 
 let rec algo_name = function
   | Spin { max_backoff_us } ->
@@ -54,12 +56,20 @@ let rec algo_name = function
     Printf.sprintf "C-%s-%s" (algo_name local) (algo_name global)
   | Hmcs _ -> "HMCS"
   | Cna _ -> "CNA"
+  | Rw { writer; policy; centralised } ->
+    Printf.sprintf "RW%s%s-%s"
+      (match policy with
+      | Rwlock.Writer_blocking -> ""
+      | Rwlock.Reader_preference -> "(rp)")
+      (if centralised then "(1w)" else "")
+      (algo_name writer)
 
 (* Whether [make] will demand a compare&swap machine for this algorithm —
    so workloads sweeping the whole family can upgrade the configuration
    ({!Config.with_cas}) for exactly the algorithms that need it. *)
 let rec needs_cas = function
   | Mcs_cas | Ticket | Anderson -> true
+  | Rw _ -> true (* reader admission is a CAS retry loop *)
   | Cohort { local; global; _ } -> needs_cas local || needs_cas global
   | Spin _ | Mcs_original | Mcs_h1 | Mcs_h2 | Clh | Spin_then_block _ | Null
   | Hmcs _ | Cna _ ->
@@ -204,11 +214,65 @@ let packed_of_algo machine ~home ~vclass algo : Lock_core.packed =
     Lock_core.pack
       (module Anderson_lock.Core)
       (Anderson_lock.create ~home ~vclass machine)
-  | Spin_then_block _ | Null | Cohort _ | Hmcs _ | Cna _ ->
+  | Spin_then_block _ | Null | Cohort _ | Hmcs _ | Cna _ | Rw _ ->
     invalid_arg
       (Printf.sprintf
          "Lock.make: %s cannot be a cohort constituent (base algorithms only)"
          (algo_name algo))
+
+(* An algorithm as an RW writer constituent: any base algorithm, or one of
+   the NUMA composites — which is the point of building RW over [packed]:
+   RW-cohort and RW-CNA fall out of the existing combinators. Returns the
+   instance's *dynamic* abortable/recoverable capabilities alongside: a
+   runtime-composed cohort's packed view only knows the module's static
+   flags, which may be wrong for these constituents. *)
+let rw_writer machine ~home ~topo algo ~vclass :
+    Lock_core.packed * bool * bool =
+  match algo with
+  | Cohort { local; global; max_handoffs } ->
+    let c =
+      Cohort.create_packed ~vclass ~max_handoffs ~name:(algo_name algo) ~topo
+        ~local:(fun ~cluster:_ ~home ~vclass ->
+          packed_of_algo machine ~home ~vclass local)
+        ~global:(fun ~vclass -> packed_of_algo machine ~home ~vclass global)
+        machine
+    in
+    ( Lock_core.pack (module Cohort.C_mcs_mcs) c,
+      Cohort.abortable c,
+      Cohort.recoverable c )
+  | Hmcs { threshold } ->
+    let l = Hmcs.create ~home ~threshold ~vclass ~topo machine in
+    (Lock_core.pack (module Hmcs.Core) l, true, true)
+  | Cna { threshold } ->
+    let l = Cna.create ~home ~threshold ~vclass ~topo machine in
+    (Lock_core.pack (module Cna.Core) l, true, true)
+  | Null | Spin_then_block _ | Rw _ ->
+    invalid_arg
+      (Printf.sprintf "Lock.make: %s cannot be an RW writer constituent"
+         (algo_name algo))
+  | Spin _ | Mcs_original | Mcs_h1 | Mcs_h2 | Mcs_cas | Clh | Ticket | Anderson
+    ->
+    let p = packed_of_algo machine ~home ~vclass algo in
+    (p, Lock_core.p_abortable p, Lock_core.p_recoverable p)
+
+(* The RW composite itself, with both faces — workloads that want the
+   reader side use this directly; [make (Rw ...)] wraps the writer face in
+   the uniform record. *)
+let make_rw machine ?home ?(vclass = "rwlock") ?topo ~policy ~centralised
+    writer_algo =
+  let topo =
+    match topo with Some t -> t | None -> Lock_core.topo_of_machine machine
+  in
+  let name = algo_name (Rw { writer = writer_algo; policy; centralised }) in
+  let p, writer_abortable, writer_recoverable =
+    rw_writer machine
+      ~home:(match home with Some h -> h | None -> 0)
+      ~topo writer_algo
+      ~vclass:(vclass ^ ".writer")
+  in
+  Rwlock.create ?home ~vclass ~policy ~centralised ~name ~topo
+    ~writer:(fun ~vclass:_ -> p)
+    ~writer_abortable ~writer_recoverable machine
 
 let make machine ?(home = 0) ?vclass ?topo algo =
   let cfg = Machine.config machine in
@@ -337,6 +401,23 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~recover:(fun ctx -> Cna.Core.recover lock ctx)
       ~is_free:(fun () -> Cna.is_free lock)
       ()
+  | Rw { writer; policy; centralised } ->
+    (* The uniform record is the *writer* face; workloads wanting the
+       reader side build the lock with [make_rw] instead. *)
+    let lock = make_rw machine ~home ?vclass ~topo ~policy ~centralised writer in
+    instrumented ~name:(algo_name algo)
+      ~acquire:(fun ctx -> Rwlock.acquire lock ctx)
+      ~release:(fun ctx -> Rwlock.release lock ctx)
+      ~try_acquire:(fun ctx -> Rwlock.try_acquire lock ctx)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Rwlock.try_acquire_for lock ctx ~deadline)
+      ~abortable:(Rwlock.abortable lock)
+      ?recover:
+        (if Rwlock.recoverable lock then
+           Some (fun ctx -> Rwlock.recover lock ctx)
+         else None)
+      ~is_free:(fun () -> Rwlock.is_free lock)
+      ()
 
 (* Crash-tolerant acquire: poll in bounded slices so a dead holder is
    noticed and repaired instead of being waited on forever. Each slice is a
@@ -421,3 +502,9 @@ let rec space_words ?(n_clusters = 1) ~n_procs = function
        locked, cluster). Independent of the cluster count — CNA's "compact"
        claim. *)
     3 + (3 * n_procs)
+  | Rw { writer; centralised; _ } ->
+    (* The writer constituent plus one reader-indicator word per cluster
+       (count and gate bit share the word), or a single word for the
+       centralised baseline. *)
+    space_words ~n_clusters ~n_procs writer
+    + (if centralised then 1 else n_clusters)

@@ -72,11 +72,18 @@ type algo =
       (** Compact NUMA-aware MCS: release shunts remote-cluster waiters
           onto a secondary queue, spliced back after [threshold]
           consecutive local hand-offs. *)
+  | Rw of { writer : algo; policy : Rwlock.policy; centralised : bool }
+      (** Distributed reader–writer lock: per-cluster reader indicators
+          (single word when [centralised]) over any exclusive [writer]
+          constituent — a base algorithm or a NUMA composite, so RW-cohort
+          and RW-CNA come free; not [Null], STB, or another [Rw]. The
+          uniform record carries the {e writer} face; workloads that want
+          the reader side build with {!make_rw}. Requires compare&swap. *)
 
 val algo_name : algo -> string
 
 (** [true] iff {!make} demands a compare&swap machine for this algorithm
-    ([Mcs_cas], [Ticket], [Anderson], or a cohort containing one) — lets a
+    ([Mcs_cas], [Ticket], [Anderson], [Rw], or a cohort containing one) — lets a
     workload sweeping the family upgrade its configuration
     ([Config.with_cas]) for exactly the algorithms that need it. *)
 val needs_cas : algo -> bool
@@ -102,6 +109,23 @@ val all_numa_algos : algo list
     stations; base algorithms ignore it. *)
 val make :
   Machine.t -> ?home:int -> ?vclass:string -> ?topo:Lock_core.topo -> algo -> t
+
+(** The RW composite with both faces exposed: [make_rw m ~policy
+    ~centralised writer] is the lock behind [make (Rw {writer; policy;
+    centralised})], as an {!Rwlock.t} so the reader side
+    ([Rwlock.acquire_read] and friends) is reachable. The writer
+    constituent reports under [vclass ^ ".writer"], readers under
+    [vclass ^ ".read"]. Raises [Invalid_argument] on a machine without
+    compare&swap or an invalid writer constituent. *)
+val make_rw :
+  Machine.t ->
+  ?home:int ->
+  ?vclass:string ->
+  ?topo:Lock_core.topo ->
+  policy:Rwlock.policy ->
+  centralised:bool ->
+  algo ->
+  Rwlock.t
 
 (** A lock that does nothing; calibration probes use it to measure a path
     with locking subtracted. *)
@@ -144,7 +168,11 @@ val with_lock : t -> Ctx.t -> (unit -> 'a) -> 'a
     - [Hmcs]: 1 + 3C + 2P (root tail; root node and local tail per
       cluster; queue node per processor);
     - [Cna]: 3 + 3P regardless of C — CNA's "compact" claim (lock word,
-      secondary-queue head/tail, three-word nodes).
+      secondary-queue head/tail, three-word nodes);
+    - [Rw]: space(writer) + C reader-indicator words (count and gate bit
+      share a word; 1 word when [centralised]) — the read-parallelism
+      upgrade costs one word per cluster on top of whatever exclusive
+      lock serialises the writers.
 
     Timed-acquisition state is {e excluded}, by the same convention that
     excludes MCS's per-processor interrupt nodes: the timed twin nodes

@@ -70,8 +70,14 @@ let recover_write t ctx =
     && t.writer >= 0
     && not (Machine.proc_alive (Ctx.machine ctx) t.writer)
   then begin
-    write_end t ctx;
+    (* Not [write_end]: a repair rolls the sequence forward but is not a
+       completed write, so [writes] must not move — CRASH-STORM repair
+       rows would otherwise overstate write throughput. *)
+    assert (t.shadow land 1 = 1);
+    t.writer <- -1;
+    t.shadow <- t.shadow + 1;
     t.repairs <- t.repairs + 1;
+    Ctx.write ctx t.seq t.shadow;
     true
   end
   else false
@@ -86,6 +92,7 @@ let read_begin t ctx =
   if v land 1 = 0 then Some v
   else begin
     t.read_aborts <- t.read_aborts + 1;
+    Vhook.optimistic_abort ctx ~cls:t.vcls;
     None
   end
 
@@ -103,5 +110,6 @@ let read_validate t ctx seq =
   end
   else begin
     t.read_aborts <- t.read_aborts + 1;
+    Vhook.optimistic_abort ctx ~cls:t.vcls;
     false
   end

@@ -34,7 +34,8 @@ val peek : t -> int
 (** Untimed: is a writer inside a critical section? *)
 val write_in_progress : t -> bool
 
-(** Completed write sections. *)
+(** Completed write sections. Crash repairs ({!recover_write}) roll the
+    sequence forward without counting here — a repair is not a write. *)
 val writes : t -> int
 
 (** Sequence words rolled forward by {!recover_write}. *)
@@ -44,7 +45,9 @@ val repairs : t -> int
 val read_hits : t -> int
 
 (** Failed validations plus writer-busy samples — optimistic attempts that
-    had to fall back to the caller's locked path. *)
+    had to fall back to the caller's locked path. Each is also reported to
+    an installed observer ([Obs.lock_optimistic_abort]) under the lock's
+    class, at zero simulated cost. *)
 val read_aborts : t -> int
 
 val vclass : t -> Verify.lock_class

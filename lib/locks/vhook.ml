@@ -62,3 +62,53 @@ let released ctx ~cls ~id =
       Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
   obs ctx (fun o ->
       Obs.lock_released o ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx))
+
+(* An optimistic read (seqlock sample) aborted: no lock was ever held, so
+   only the profile hears about it — there is nothing for lockdep to
+   balance. *)
+let optimistic_abort ctx ~cls =
+  obs ctx (fun o ->
+      Obs.lock_optimistic_abort o ~proc:(Ctx.proc ctx) ~cls ~now:(Ctx.now ctx))
+
+(* Shared (reader-side) faces of an RW lock. Same lockdep entry points as
+   the exclusive ones — the checker's per-processor held lists make
+   concurrent shared holders legal without special casing — plus the
+   observer's reader-concurrency gauge. *)
+let acquired_shared ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      let proc = Ctx.proc ctx in
+      let now = Ctx.now ctx in
+      Obs.lock_acquired o ~proc ~cls ~id ~now;
+      Obs.rw_read_enter o ~proc ~cls)
+
+let try_acquired_shared ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.try_acquired v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      let proc = Ctx.proc ctx in
+      let now = Ctx.now ctx in
+      Obs.lock_try_acquired o ~proc ~cls ~id ~now;
+      Obs.rw_read_enter o ~proc ~cls)
+
+let released_shared ctx ~cls ~id =
+  on ctx (fun v ->
+      Verify.released v ~proc:(Ctx.proc ctx) ~cls ~id ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      let proc = Ctx.proc ctx in
+      let now = Ctx.now ctx in
+      Obs.lock_released o ~proc ~cls ~id ~now;
+      Obs.rw_read_exit o ~proc ~cls)
+
+(* A recoverer sweeps a shared hold off fail-stopped processor [dead].
+   [Verify.released] cannot legalise this one — its dead-holder path keys
+   on the single registered holder, and a shared lock has many — so the
+   corpse is named explicitly. *)
+let released_dead ctx ~cls ~id ~dead =
+  on ctx (fun v ->
+      Verify.released_dead v ~proc:(Ctx.proc ctx) ~dead ~cls ~id
+        ~now:(Ctx.now ctx));
+  obs ctx (fun o ->
+      Obs.lock_released o ~proc:dead ~cls ~id ~now:(Ctx.now ctx);
+      Obs.rw_read_exit o ~proc:dead ~cls)

@@ -48,3 +48,35 @@ val recovered : Ctx.t -> cls:Verify.lock_class -> dead:int -> unit
 val transferred : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
 
 val released : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** An optimistic read (seqlock sample) aborted: observer only — nothing
+    was ever held, so there is nothing for the checker to balance. *)
+val optimistic_abort : Ctx.t -> cls:Verify.lock_class -> unit
+
+(** {2 Shared (reader-side) faces of an RW lock}
+
+    Lockdep-wise these are ordinary acquisitions — the checker's
+    per-processor held lists make concurrent shared holders of one
+    instance legal without special casing; a blocking shared acquire
+    still records order edges because a reader {e can} be the waiting
+    side of a deadlock when a writer gates it. The observer additionally
+    tracks the concurrent-reader gauge ({!Obs.rw_read_peak}). Use a
+    distinct reader class (e.g. ["foo.read"]) so reader and writer rows
+    separate in the profile while sharing the composite's instance id
+    for hand-off locality. *)
+
+(** The blocking shared acquisition of a {!wait_acquire} succeeded. *)
+val acquired_shared : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** A non-blocking shared acquisition succeeded. *)
+val try_acquired_shared : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** A shared hold ended. *)
+val released_shared : Ctx.t -> cls:Verify.lock_class -> id:int -> unit
+
+(** A recoverer swept a shared hold off fail-stopped processor [dead]
+    (maps to {!Verify.released_dead}: the dead-holder legalisation of
+    {!released} cannot apply, since the registered holder of a shared
+    instance may be a different, live reader). *)
+val released_dead :
+  Ctx.t -> cls:Verify.lock_class -> id:int -> dead:int -> unit

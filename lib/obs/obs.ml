@@ -123,6 +123,12 @@ type crash_row = {
   cr_latencies : int list; (* chronological *)
 }
 
+(* Reader-concurrency gauge for shared (RW reader-side) classes: like the
+   crash buckets it lives beside the profile, not inside it — the [cells]
+   record is schema-stable, and a concurrency high-water mark is a gauge,
+   not a counter. *)
+type rw_bucket = { mutable rw_now : int; mutable rw_peak : int }
+
 type t = {
   n_clusters : int;
   cluster_of : int -> int;
@@ -139,6 +145,7 @@ type t = {
   ring : event array;
   mutable recorded : int; (* monotonic; ring index = recorded mod cap *)
   crash : crash_bucket array; (* per cluster *)
+  rw : (int, rw_bucket array) Hashtbl.t; (* class id -> total :: per-cluster *)
 }
 
 let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
@@ -169,6 +176,7 @@ let create ?(trace = 0) ?cluster_of ?(n_clusters = 1) ~n_procs () =
     crash =
       Array.init n_clusters (fun _ ->
           { cb_crashes = 0; cb_recoveries = 0; cb_latencies_rev = [] });
+    rw = Hashtbl.create 8;
   }
 
 let cluster t proc =
@@ -304,6 +312,56 @@ let lock_released t ~proc ~cls ~id ~now =
     let b = bucket t ~cls ~proc in
     b.b_handoffs <- b.b_handoffs + 1
   end
+
+(* An optimistic read sampled the lock and had to abort (writer in
+   progress, or the sequence moved under it). Nothing was ever held, so no
+   frames or holder tables move: the abort is charged to the sampling
+   processor's cluster as a contended non-acquisition. *)
+let lock_optimistic_abort t ~proc ~cls ~now =
+  let b = bucket t ~cls ~proc in
+  b.b_contended <- b.b_contended + 1;
+  b.b_aborts <- b.b_aborts + 1;
+  emit t Lock_abandoned ~proc ~cls ~time:now ~dur:0
+
+(* -- reader-concurrency gauge --------------------------------------------- *)
+
+let rw_buckets t ~cls =
+  match Hashtbl.find_opt t.rw cls with
+  | Some bs -> bs
+  | None ->
+    let bs =
+      Array.init (t.n_clusters + 1) (fun _ -> { rw_now = 0; rw_peak = 0 })
+    in
+    Hashtbl.replace t.rw cls bs;
+    bs
+
+let rw_read_enter t ~proc ~cls =
+  let bs = rw_buckets t ~cls in
+  let up b =
+    b.rw_now <- b.rw_now + 1;
+    if b.rw_now > b.rw_peak then b.rw_peak <- b.rw_now
+  in
+  up bs.(0);
+  up bs.(1 + cluster t proc)
+
+let rw_read_exit t ~proc ~cls =
+  match Hashtbl.find_opt t.rw cls with
+  | None -> ()
+  | Some bs ->
+    let down b = if b.rw_now > 0 then b.rw_now <- b.rw_now - 1 in
+    down bs.(0);
+    down bs.(1 + cluster t proc)
+
+let rw_read_peak t ~cls =
+  match Hashtbl.find_opt t.rw cls with None -> 0 | Some bs -> bs.(0).rw_peak
+
+let rw_read_peak_by_cluster t ~cls =
+  match Hashtbl.find_opt t.rw cls with
+  | None -> []
+  | Some bs ->
+    List.filteri (fun i _ -> i > 0) (Array.to_list bs)
+    |> List.mapi (fun c b -> (c, b.rw_peak))
+    |> List.filter (fun (_, p) -> p > 0)
 
 (* -- crash hooks ---------------------------------------------------------- *)
 

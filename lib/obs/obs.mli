@@ -54,6 +54,35 @@ val lock_abandon_repaired :
 val lock_released :
   t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
 
+(** An optimistic read sampled the lock and aborted (seqlock validation
+    failure or writer-in-progress). Charged to [proc]'s cluster as a
+    contended non-acquisition ([contended] and [aborts] both bump); no
+    frame or holder state moves since nothing was ever held. *)
+val lock_optimistic_abort :
+  t -> proc:int -> cls:Verify.lock_class -> now:int -> unit
+
+(** {2 Reader concurrency}
+
+    A gauge of concurrent shared (reader-side) holders per lock class,
+    fed by [Vhook.acquired_shared]/[released_shared]. Kept beside the
+    profile like the crash buckets: {!cells} is schema-stable and a
+    high-water mark is a gauge, not a counter. *)
+
+(** A shared acquisition of class [cls] completed on [proc]. *)
+val rw_read_enter : t -> proc:int -> cls:Verify.lock_class -> unit
+
+(** A shared hold of class [cls] ended on [proc] (possibly swept off a
+    corpse by a recoverer — pass the dead processor as [proc]). *)
+val rw_read_exit : t -> proc:int -> cls:Verify.lock_class -> unit
+
+(** Peak concurrent shared holders observed for [cls]; 0 if never held.
+    Readers > 1 is the reader-parallelism evidence no exclusive
+    [Lock.algo] can produce. *)
+val rw_read_peak : t -> cls:Verify.lock_class -> int
+
+(** Per-cluster peaks, clusters with no shared activity omitted. *)
+val rw_read_peak_by_cluster : t -> cls:Verify.lock_class -> (int * int) list
+
 val reserve_set :
   t -> proc:int -> cls:Verify.lock_class -> word:int -> now:int -> unit
 

@@ -450,6 +450,42 @@ let released t ~proc ~cls ~id ~now =
   end;
   progress t ~now
 
+(* A recoverer sweeps a hold left by fail-stopped processor [dead]. The
+   [released] dead-holder path cannot legalise this one: [lock_holder]
+   remembers only the *last* acquirer of an instance, and a shared (RW
+   reader-side) instance has many concurrent holders, so the registered
+   holder may well be a live reader while the corpse being swept is not.
+   Naming the corpse removes the ambiguity: legal exactly when [dead]
+   fail-stopped and holds the instance. *)
+let released_dead t ~proc ~dead ~cls ~id ~now =
+  if not t.dead.(dead) then
+    report t ~kind:Bad_release ~proc ~now
+      (Printf.sprintf "swept %s off p%d, which is alive"
+         (describe_instance cls id) dead)
+  else begin
+    let found = ref false in
+    t.held.(dead) <-
+      List.filter
+        (fun h ->
+          if (not !found) && h.h_kind = Hlock && h.h_id = id then begin
+            found := true;
+            false
+          end
+          else true)
+        t.held.(dead);
+    if !found then begin
+      (match Hashtbl.find_opt t.lock_holder id with
+      | Some owner when owner = dead -> Hashtbl.remove t.lock_holder id
+      | _ -> ());
+      t.recoveries <- t.recoveries + 1
+    end
+    else
+      report t ~kind:Bad_release ~proc ~now
+        (Printf.sprintf "swept %s off p%d, which does not hold it"
+           (describe_instance cls id) dead)
+  end;
+  progress t ~now
+
 (* A legal ownership hand-off with no release/acquire pair: a cohort's
    local pass moves the critical section to a cluster-mate while the
    still-held global constituent lock stays put, so the registered holder

@@ -121,6 +121,17 @@ val wait_abandoned : t -> proc:int -> now:int -> unit
     {!recoveries} incremented instead of reporting [Bad_release]. *)
 val released : t -> proc:int -> cls:lock_class -> id:int -> now:int -> unit
 
+(** A recoverer ([proc]) sweeps a hold off fail-stopped processor [dead].
+    Unlike the dead-holder path of {!released} this names the corpse
+    explicitly: the holder table keeps only the last acquirer of an
+    instance, and a shared (RW reader-side) instance has many concurrent
+    holders, so the registered holder may be a live reader while the
+    processor being swept is not. Legal — the held entry is removed and
+    {!recoveries} incremented — exactly when [dead] fail-stopped and holds
+    the instance; a [Bad_release] otherwise. *)
+val released_dead :
+  t -> proc:int -> dead:int -> cls:lock_class -> id:int -> now:int -> unit
+
 (** A legal ownership hand-off with no release/acquire pair: [proc]
     inherits the lock from its registered holder (a cohort's local pass
     moves the session to a cluster-mate while the global constituent lock

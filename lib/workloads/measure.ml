@@ -15,6 +15,7 @@ type summary = {
   p50_us : float;
   p90_us : float;
   p99_us : float;
+  p999_us : float;
   min_us : float;
   max_us : float;
   frac_above_2ms : float;
@@ -29,6 +30,7 @@ let of_stat cfg ~label stat =
     p50_us = us (Stat.median stat);
     p90_us = us (Stat.percentile stat 0.90);
     p99_us = us (Stat.percentile stat 0.99);
+    p999_us = us (Stat.percentile stat 0.999);
     min_us = us (Stat.min_value stat);
     max_us = us (Stat.max_value stat);
     frac_above_2ms = Stat.fraction_above stat (Config.cycles_of_us cfg 2000.0);
@@ -36,6 +38,7 @@ let of_stat cfg ~label stat =
 
 let pp ppf s =
   Format.fprintf ppf
-    "%-14s n=%6d mean=%8.2fus p50=%8.2f p99=%9.2f max=%9.2f >2ms=%5.1f%%"
-    s.label s.n s.mean_us s.p50_us s.p99_us s.max_us
+    "%-14s n=%6d mean=%8.2fus p50=%8.2f p99=%9.2f p99.9=%9.2f max=%9.2f \
+     >2ms=%5.1f%%"
+    s.label s.n s.mean_us s.p50_us s.p99_us s.p999_us s.max_us
     (100.0 *. s.frac_above_2ms)

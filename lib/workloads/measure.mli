@@ -11,6 +11,9 @@ type summary = {
   p50_us : float;
   p90_us : float;
   p99_us : float;
+  p999_us : float;
+      (** nearest-rank p99.9 — the ROADMAP SLO axis; equals [max_us] at
+          small sample counts (n < 1000) by the nearest-rank convention *)
   min_us : float;
   max_us : float;
   frac_above_2ms : float;

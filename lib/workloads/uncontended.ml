@@ -24,7 +24,8 @@ let model_algo = function
   | Lock.Mcs_h2 -> Some Instr_model.Mcs_h2
   | Lock.Spin _ -> Some Instr_model.Spin
   | Lock.Mcs_cas | Lock.Null | Lock.Clh | Lock.Ticket | Lock.Anderson
-  | Lock.Spin_then_block _ | Lock.Cohort _ | Lock.Hmcs _ | Lock.Cna _ ->
+  | Lock.Spin_then_block _ | Lock.Cohort _ | Lock.Hmcs _ | Lock.Cna _
+  | Lock.Rw _ ->
     None
 
 let run ?(cfg = Config.hector) ?(iters = 2000) algo =

@@ -35,4 +35,5 @@ let () =
       ("integration", Test_integration.suite);
       ("verify", Test_verify.suite);
       ("obs", Test_obs.suite);
+      ("rw", Test_rw.suite);
     ]

@@ -250,6 +250,8 @@ let test_khash_crash_repair () =
     (Seqlock.write_in_progress (Khash.seqlock t s));
   Alcotest.(check int) "seqlock repair counted" 1
     (Seqlock.repairs (Khash.seqlock t s));
+  Alcotest.(check int) "a repair is not a completed write" 0
+    (Seqlock.writes (Khash.seqlock t s));
   Alcotest.(check bool) "shard lock free" true
     ((Khash.shard_lock t s).Lock.is_free ());
   match !reserved with

@@ -59,6 +59,24 @@ let test_single_sample () =
     (Stat.fraction_above s 41);
   Alcotest.(check (float 0.0)) "not above itself" 0.0 (Stat.fraction_above s 42)
 
+(* The p99.9 column added for the SLO axis: nearest-rank means the figure
+   degrades to [max] below 1000 samples and only separates from it at
+   n >= 1000 — the small-n behaviour a reader of the column must know. *)
+let test_p999_small_counts () =
+  let s1 = with_samples [ 7 ] in
+  Alcotest.(check int) "n=1: the sample" 7 (Stat.percentile s1 0.999);
+  let s2 = with_samples [ 1; 9 ] in
+  Alcotest.(check int) "n=2: the max" 9 (Stat.percentile s2 0.999);
+  let s10 = with_samples (List.init 10 (fun i -> i + 1)) in
+  Alcotest.(check int) "n=10: the max" 10 (Stat.percentile s10 0.999);
+  let s999 = with_samples (List.init 999 (fun i -> i + 1)) in
+  Alcotest.(check int) "n=999: still the max" 999 (Stat.percentile s999 0.999);
+  let s1000 = with_samples (List.init 1000 (fun i -> i + 1)) in
+  Alcotest.(check int) "n=1000: first below the max" 999
+    (Stat.percentile s1000 0.999);
+  Alcotest.(check int) "n=1000: p99 further down" 990
+    (Stat.percentile s1000 0.99)
+
 let test_fraction_above () =
   let s = with_samples [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
   Alcotest.(check (float 0.001)) "above 8" 0.2 (Stat.fraction_above s 8);
@@ -106,6 +124,8 @@ let suite =
       test_percentile_after_more_adds;
     Alcotest.test_case "percentile of empty stat" `Quick test_percentile_empty;
     Alcotest.test_case "single sample edges" `Quick test_single_sample;
+    Alcotest.test_case "p99.9 at small sample counts" `Quick
+      test_p999_small_counts;
     Alcotest.test_case "fraction above threshold" `Quick test_fraction_above;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "to_list keeps order" `Quick test_to_list;
