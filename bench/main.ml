@@ -94,6 +94,7 @@ let run_hash () = Report.hash_scaling ppf (Experiments.hash_scaling ())
 let run_abort () = Report.abort_storm ppf (Experiments.abort_storm ())
 let run_crash () = Report.crash_storm ppf (Experiments.crash_storm ())
 let run_rw () = Report.rw_scaling ppf (Experiments.rw_scaling ())
+let run_slo () = Report.slo ppf (Experiments.slo ())
 
 let experiments =
   [
@@ -129,6 +130,7 @@ let experiments =
     ("abort-storm", run_abort);
     ("crash-storm", run_crash);
     ("rw", run_rw);
+    ("slo", run_slo);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)
@@ -176,6 +178,29 @@ let bechamel_tests () =
            done;
            Eventsim.Engine.run eng))
   in
+  (* The flattened-core pin: schedule-then-dispatch of 100k thunks through
+     the structure-of-arrays heap, reported as events/sec so the engine's
+     raw dispatch rate is tracked across PRs (the interleaved variant keeps
+     the heap at working depth instead of draining a pre-filled one). *)
+  let engine_events_flat =
+    Test.make ~name:"substrate: 100k events pinned (events/sec)"
+      (Staged.stage (fun () ->
+           let eng = Eventsim.Engine.create () in
+           let remaining = ref 100_000 in
+           let rec feed () =
+             if !remaining > 0 then begin
+               decr remaining;
+               Eventsim.Engine.schedule_after eng ~delay:1 feed
+             end
+           in
+           (* 16 concurrent chains: the heap stays ~16 deep, as in a
+              16-processor simulation, rather than degenerating to a
+              FIFO drain. *)
+           for _ = 1 to 16 do
+             feed ()
+           done;
+           Eventsim.Engine.run eng))
+  in
   let machine_accesses =
     Test.make ~name:"substrate: 10k timed remote reads"
       (Staged.stage (fun () ->
@@ -188,12 +213,34 @@ let bechamel_tests () =
                done);
            Eventsim.Engine.run eng))
   in
-  [ uncontended_pair; fig5_step; fig7_fault; engine_events; machine_accesses ]
+  [
+    (uncontended_pair, None);
+    (fig5_step, None);
+    (fig7_fault, None);
+    (engine_events, Some 10_000);
+    (engine_events_flat, Some 100_000);
+    (machine_accesses, None);
+  ]
 
-let run_bechamel () =
+(* [filters] restricts to tests whose name contains one of the given
+   substrings (CI runs [--bechamel substrate] as a fast smoke step). *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let run_bechamel ?(filters = []) () =
   let open Bechamel in
+  let selected (test, _) =
+    filters = [] || List.exists (fun f -> contains ~sub:f (Test.name test)) filters
+  in
+  let tests = List.filter selected (bechamel_tests ()) in
+  if tests = [] then begin
+    Format.eprintf "no bechamel test matches %s@." (String.concat ", " filters);
+    exit 2
+  end;
   List.iter
-    (fun test ->
+    (fun (test, events_per_run) ->
       let instances = Toolkit.Instance.[ monotonic_clock ] in
       let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
       let results = Benchmark.all cfg instances test in
@@ -205,20 +252,47 @@ let run_bechamel () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "%-50s %14.1f ns/run@." name est
+          | Some [ est ] ->
+            let rate =
+              match events_per_run with
+              | Some n when est > 0.0 ->
+                Printf.sprintf " %11.0f events/sec" (float_of_int n /. est *. 1e9)
+              | _ -> ""
+            in
+            Format.printf "%-50s %14.1f ns/run%s@." name est rate
           | _ -> Format.printf "%-50s (no estimate)@." name)
         estimates)
-    (bechamel_tests ())
+    tests
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
-  | [ "--bechamel" ] -> run_bechamel ()
-  | "--json" :: names ->
-    (* Machine-readable export; [names] restricts to a subset (CI runs a
-       fast one). See Bench_json for the schema. *)
-    let path = "BENCH_results.json" in
-    (try Bench_json.write ~path (Bench_json.document ~names ())
+  | "--bechamel" :: filters -> run_bechamel ~filters ()
+  | "--json" :: rest ->
+    (* Machine-readable export; non-flag arguments restrict to a subset of
+       experiments (CI runs a fast one). [--jobs N] runs the independent
+       experiment cells on N domains — the file is byte-identical to a
+       sequential run — and [--out PATH] redirects the output. See
+       Bench_json for the schema. *)
+    let rec parse names jobs path = function
+      | [] -> (List.rev names, jobs, path)
+      | "--jobs" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse names j path tl
+        | _ ->
+          Format.eprintf "--jobs expects a positive integer, got %S@." n;
+          exit 2)
+      | [ "--jobs" ] ->
+        Format.eprintf "--jobs expects a positive integer@.";
+        exit 2
+      | "--out" :: p :: tl -> parse names jobs p tl
+      | [ "--out" ] ->
+        Format.eprintf "--out expects a path@.";
+        exit 2
+      | name :: tl -> parse (name :: names) jobs path tl
+    in
+    let names, jobs, path = parse [] 1 "BENCH_results.json" rest in
+    (try Bench_json.write ~path (Bench_json.document ~jobs ~names ())
      with Invalid_argument msg ->
        Format.eprintf "%s; available: %s@." msg
          (String.concat ", " Bench_json.default_names);

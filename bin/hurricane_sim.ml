@@ -854,6 +854,97 @@ let hash_cmd =
       const run $ algo_arg $ granularity $ procs $ shards $ read_ratio
       $ locked $ churn $ seed_arg)
 
+(* -- slo subcommand ----------------------------------------------------------- *)
+
+let slo_cmd =
+  let run algo p elements rate requests shards read_ratio work_us seed =
+    let r =
+      Slo_stream.run
+        ~config:
+          {
+            Slo_stream.default_config with
+            Slo_stream.p;
+            elements;
+            rate_per_ms = rate;
+            requests;
+            shards;
+            read_ratio;
+            element_work_us = work_us;
+            lock_algo = algo;
+            seed;
+          }
+        ()
+    in
+    Format.fprintf ppf "reads:   %a@." Measure.pp r.Slo_stream.read_summary;
+    Format.fprintf ppf "updates: %a@." Measure.pp r.Slo_stream.update_summary;
+    Format.fprintf ppf
+      "offered=%.1f/ms achieved=%.1f/ms completed=%d makespan=%.0fus \
+       peak-backlog=%d opt-hits=%d opt-fallbacks=%d atomics=%d \
+       lockdep-violations=%d@."
+      r.Slo_stream.offered_per_ms r.Slo_stream.achieved_per_ms
+      r.Slo_stream.completed r.Slo_stream.makespan_us
+      r.Slo_stream.peak_backlog r.Slo_stream.optimistic_hits
+      r.Slo_stream.optimistic_fallbacks r.Slo_stream.atomics
+      r.Slo_stream.lockdep_violations;
+    if r.Slo_stream.lockdep_violations > 0 then exit 1
+  in
+  let procs =
+    Arg.(
+      value
+      & opt int Slo_stream.default_config.Slo_stream.p
+      & info [ "p"; "procs" ] ~docv:"P" ~doc:"Server processors.")
+  in
+  let elements =
+    Arg.(
+      value
+      & opt int Slo_stream.default_config.Slo_stream.elements
+      & info [ "elements" ] ~docv:"N"
+          ~doc:"Keys pre-inserted into the table (requests target these).")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float Slo_stream.default_config.Slo_stream.rate_per_ms
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered load: requests per virtual millisecond, total.")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int Slo_stream.default_config.Slo_stream.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Arrivals generated.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int Slo_stream.default_config.Slo_stream.shards
+      & info [ "shards" ] ~docv:"S" ~doc:"Table shard count.")
+  in
+  let read_ratio =
+    Arg.(
+      value
+      & opt float Slo_stream.default_config.Slo_stream.read_ratio
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of requests that are read-only lookups.")
+  in
+  let work_us =
+    Arg.(
+      value
+      & opt float Slo_stream.default_config.Slo_stream.element_work_us
+      & info [ "work" ] ~docv:"US" ~doc:"Update work under the element, us.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Open-loop sustained-request stream over the sharded \
+          million-element table: exponential arrivals at a fixed offered \
+          rate, FIFO queueing behind a random server, \
+          arrival-to-completion p50/p99/p99.9 (experiment SLO). Exits \
+          non-zero on lockdep violations.")
+    Term.(
+      const run $ algo_arg $ procs $ elements $ rate $ requests $ shards
+      $ read_ratio $ work_us $ seed_arg)
+
 (* -- figure subcommand -------------------------------------------------------- *)
 
 let figure_cmd =
@@ -890,6 +981,7 @@ let figure_cmd =
     | "abort-storm" -> Report.abort_storm ppf (Experiments.abort_storm ())
     | "crash-storm" -> Report.crash_storm ppf (Experiments.crash_storm ())
     | "rw" -> Report.rw_scaling ppf (Experiments.rw_scaling ())
+    | "slo" -> Report.slo ppf (Experiments.slo ())
     | other ->
       Format.eprintf "unknown figure %S@." other;
       exit 2
@@ -922,6 +1014,7 @@ let main_cmd =
       crash_cmd;
       rw_cmd;
       hash_cmd;
+      slo_cmd;
       figure_cmd;
     ]
 

@@ -1,6 +1,15 @@
 (* JSON benchmark export (schema in bench_json.mli). Each experiment's
    encoder works from the same result values the text reports print, so the
-   file and the tables can never disagree. *)
+   file and the tables can never disagree.
+
+   Every experiment is decomposed into independent *cells* — one value of
+   its outermost sweep axis (an algorithm, a style, a processor count, an
+   offered rate) — each of which builds its own Engine/Machine/Rng from a
+   fixed seed. [document ~jobs] runs the cells of all requested experiments
+   through {!Par.map}, which returns fragments in input order, and
+   reassembles them by concatenation — the outermost axis is also the
+   outermost loop of every runner, so the parallel export is byte-identical
+   to the sequential one. *)
 
 open Locks
 open Workloads
@@ -21,8 +30,12 @@ open Workloads
    Version 6: added the "rw_scaling" experiment (read-mostly lookups:
    distributed RW lock vs its centralised baseline vs seqlock vs
    per-cluster replication, with reader-parallelism peaks and remote
-   read-path traffic) and the "p999_us" field in every latency summary. *)
-let schema_version = 6
+   read-path traffic) and the "p999_us" field in every latency summary.
+   Version 7: added the "slo" experiment (open-loop request stream over
+   the sharded million-element table: offered vs achieved rate,
+   arrival-to-completion p50/p99/p99.9 per offered load, peak backlog,
+   zero lockdep violations). All pre-v7 experiment values unchanged. *)
+let schema_version = 7
 
 let default_names =
   [
@@ -41,6 +54,7 @@ let default_names =
     "abort_storm";
     "crash_storm";
     "rw_scaling";
+    "slo";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -96,59 +110,38 @@ let summary_fields (s : Measure.summary) =
     ("frac_above_2ms", Json.Float s.Measure.frac_above_2ms);
   ]
 
-let fig5_json ~hold_us (series : Experiments.fig5_series list) =
+let fig5_series_json (s : Experiments.fig5_series) =
   Json.Obj
     [
-      ("hold_us", Json.Float hold_us);
-      ("series",
+      ("algo", Json.String (Lock.algo_name s.Experiments.algo));
+      ("points",
        Json.List
          (List.map
-            (fun (s : Experiments.fig5_series) ->
+            (fun (p, (r : Lock_stress.result)) ->
               Json.Obj
-                [
-                  ("algo", Json.String (Lock.algo_name s.Experiments.algo));
-                  ("points",
-                   Json.List
-                     (List.map
-                        (fun (p, (r : Lock_stress.result)) ->
-                          Json.Obj
-                            (("p", Json.Int p)
-                             :: summary_fields r.Lock_stress.summary
-                            @ [
-                                ("acquisitions",
-                                 Json.Int r.Lock_stress.acquisitions);
-                              ]))
-                        s.Experiments.points));
-                ])
-            series));
+                (("p", Json.Int p)
+                 :: summary_fields r.Lock_stress.summary
+                @ [ ("acquisitions", Json.Int r.Lock_stress.acquisitions) ]))
+            s.Experiments.points));
     ]
 
-let fig7_json ~xlabel (series : Experiments.fig7_series list) =
+let fig7_series_json (s : Experiments.fig7_series) =
   Json.Obj
     [
-      ("xlabel", Json.String xlabel);
-      ("series",
+      ("algo", Json.String (Lock.algo_name s.Experiments.lock_algo));
+      ("points",
        Json.List
          (List.map
-            (fun (s : Experiments.fig7_series) ->
+            (fun (p : Experiments.fig7_point) ->
               Json.Obj
                 [
-                  ("algo", Json.String (Lock.algo_name s.Experiments.lock_algo));
-                  ("points",
-                   Json.List
-                     (List.map
-                        (fun (p : Experiments.fig7_point) ->
-                          Json.Obj
-                            [
-                              ("x", Json.Int p.Experiments.x);
-                              ("mean_us", Json.Float p.Experiments.mean_us);
-                              ("p99_us", Json.Float p.Experiments.p99_us);
-                              ("retries", Json.Int p.Experiments.retries);
-                              ("rpcs", Json.Int p.Experiments.rpcs);
-                            ])
-                        s.Experiments.series));
+                  ("x", Json.Int p.Experiments.x);
+                  ("mean_us", Json.Float p.Experiments.mean_us);
+                  ("p99_us", Json.Float p.Experiments.p99_us);
+                  ("retries", Json.Int p.Experiments.retries);
+                  ("rpcs", Json.Int p.Experiments.rpcs);
                 ])
-            series));
+            s.Experiments.series));
     ]
 
 let numa_locks_json (rows : Experiments.numa_point list) =
@@ -269,6 +262,27 @@ let rw_scaling_json (rows : Experiments.rw_point list) =
            ])
        rows)
 
+let slo_json (rows : Experiments.slo_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.slo_point) ->
+         Json.Obj
+           [
+             ("offered_per_ms", Json.Float r.Experiments.srate);
+             ("p", Json.Int r.Experiments.sp);
+             ("elements", Json.Int r.Experiments.selements);
+             ("shards", Json.Int r.Experiments.sshards);
+             ("completed", Json.Int r.Experiments.scompleted);
+             ("achieved_per_ms", Json.Float r.Experiments.sachieved);
+             ("read", Json.Obj (summary_fields r.Experiments.sread));
+             ("update", Json.Obj (summary_fields r.Experiments.supdate));
+             ("peak_backlog", Json.Int r.Experiments.speak_backlog);
+             ("optimistic_hits", Json.Int r.Experiments.sopt_hits);
+             ("optimistic_fallbacks", Json.Int r.Experiments.sopt_fallbacks);
+             ("lockdep_violations", Json.Int r.Experiments.sviolations);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -280,40 +294,168 @@ let constants_json (r : Calibration.result) =
       ("replicate_extra_us", Json.Float r.Calibration.replicate_extra_us);
     ]
 
-(* -- document ------------------------------------------------------------- *)
+(* -- cells and document ---------------------------------------------------- *)
 
-let document ?cfg ?procs ?sizes ?iters ?rounds ~names () =
+(* A cell is one independent simulation slice of an experiment; a plan is
+   the cell list plus how to reassemble the fragments (returned in input
+   order by {!Par.map}) into the experiment's JSON value. Splitting is
+   always along the runner's *outermost* sweep axis, so concatenating the
+   per-cell row lists reproduces the sequential row order exactly. *)
+
+type plan = {
+  cells : (unit -> Json.t) list;
+  assemble : Json.t list -> Json.t;
+}
+
+let single run = { cells = [ run ]; assemble = List.hd }
+
+let rows_of = function
+  | Json.List rows -> rows
+  | _ -> invalid_arg "Bench_json: cell fragment is not a list"
+
+let concat_rows frags = Json.List (List.concat_map rows_of frags)
+
+let plan_of ?cfg ?procs ?sizes ?iters ?rounds name =
+  let per_algo algos run = List.map (fun a () -> run a) algos in
+  match name with
+  | "fig4" -> single (fun () -> fig4_json (Experiments.fig4 ?cfg ()))
+  | "uncontended" ->
+    single (fun () -> uncontended_json (Experiments.uncontended ?cfg ()))
+  | "fig5a" ->
+    {
+      cells =
+        per_algo Experiments.fig5_algos (fun a ->
+            Json.List
+              (List.map fig5_series_json
+                 (Experiments.fig5a ?cfg ?procs ~algos:[ a ] ())));
+      assemble =
+        (fun frags ->
+          Json.Obj
+            [ ("hold_us", Json.Float 0.0); ("series", concat_rows frags) ]);
+    }
+  | "fig5b" ->
+    {
+      cells =
+        per_algo Experiments.fig5_algos (fun a ->
+            Json.List
+              (List.map fig5_series_json
+                 (Experiments.fig5b ?cfg ?procs ~algos:[ a ] ())));
+      assemble =
+        (fun frags ->
+          Json.Obj
+            [ ("hold_us", Json.Float 25.0); ("series", concat_rows frags) ]);
+    }
+  | "starvation" ->
+    single (fun () -> Json.Obj (summary_fields (Experiments.starvation ?cfg ())))
+  | "fig7a" | "fig7b" | "fig7c" | "fig7d" ->
+    let run, xlabel =
+      match name with
+      | "fig7a" ->
+        ( (fun a -> Experiments.fig7a ?cfg ?procs ?iters ~algos:[ a ] ()),
+          "p" )
+      | "fig7b" ->
+        ( (fun a -> Experiments.fig7b ?cfg ?procs ?rounds ~algos:[ a ] ()),
+          "p" )
+      | "fig7c" ->
+        ( (fun a -> Experiments.fig7c ?cfg ?sizes ?iters ~algos:[ a ] ()),
+          "cluster_size" )
+      | _ ->
+        ( (fun a -> Experiments.fig7d ?cfg ?sizes ?rounds ~algos:[ a ] ()),
+          "cluster_size" )
+    in
+    {
+      cells =
+        per_algo Experiments.fig7_algos (fun a ->
+            Json.List (List.map fig7_series_json (run a)));
+      assemble =
+        (fun frags ->
+          Json.Obj
+            [ ("xlabel", Json.String xlabel); ("series", concat_rows frags) ]);
+    }
+  | "constants" -> single (fun () -> constants_json (Experiments.constants ?cfg ()))
+  | "numa_locks" ->
+    {
+      cells =
+        per_algo Experiments.numa_algos (fun a ->
+            numa_locks_json (Experiments.numa_locks ?cfg ~algos:[ a ] ()));
+      assemble = concat_rows;
+    }
+  | "hash_scaling" ->
+    {
+      cells =
+        List.map
+          (fun p () ->
+            hash_scaling_json (Experiments.hash_scaling ?cfg ~procs:[ p ] ()))
+          [ 4; 8; 16 ];
+      assemble = concat_rows;
+    }
+  | "abort_storm" ->
+    {
+      cells =
+        per_algo Experiments.numa_algos (fun a ->
+            abort_storm_json (Experiments.abort_storm ?cfg ~algos:[ a ] ()));
+      assemble = concat_rows;
+    }
+  | "crash_storm" ->
+    {
+      cells =
+        per_algo Experiments.crash_algos (fun a ->
+            crash_storm_json (Experiments.crash_storm ?cfg ~algos:[ a ] ()));
+      assemble = concat_rows;
+    }
+  | "rw_scaling" ->
+    {
+      cells =
+        List.map
+          (fun style () ->
+            rw_scaling_json (Experiments.rw_scaling ?cfg ~styles:[ style ] ()))
+          Experiments.rw_styles;
+      assemble = concat_rows;
+    }
+  | "slo" ->
+    {
+      cells =
+        List.map
+          (fun rate () -> slo_json (Experiments.slo ?cfg ~rates:[ rate ] ()))
+          Experiments.slo_rates;
+      assemble = concat_rows;
+    }
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Bench_json.document: unknown experiment %S" other)
+
+let document ?cfg ?procs ?sizes ?iters ?rounds ?(jobs = 1) ~names () =
   let names = if names = [] then default_names else names in
-  let run name =
-    match name with
-    | "fig4" -> fig4_json (Experiments.fig4 ?cfg ())
-    | "uncontended" -> uncontended_json (Experiments.uncontended ?cfg ())
-    | "fig5a" -> fig5_json ~hold_us:0.0 (Experiments.fig5a ?cfg ?procs ())
-    | "fig5b" -> fig5_json ~hold_us:25.0 (Experiments.fig5b ?cfg ?procs ())
-    | "starvation" -> Json.Obj (summary_fields (Experiments.starvation ?cfg ()))
-    | "fig7a" -> fig7_json ~xlabel:"p" (Experiments.fig7a ?cfg ?procs ?iters ())
-    | "fig7b" ->
-      fig7_json ~xlabel:"p" (Experiments.fig7b ?cfg ?procs ?rounds ())
-    | "fig7c" ->
-      fig7_json ~xlabel:"cluster_size" (Experiments.fig7c ?cfg ?sizes ?iters ())
-    | "fig7d" ->
-      fig7_json ~xlabel:"cluster_size" (Experiments.fig7d ?cfg ?sizes ?rounds ())
-    | "constants" -> constants_json (Experiments.constants ?cfg ())
-    | "numa_locks" -> numa_locks_json (Experiments.numa_locks ?cfg ())
-    | "hash_scaling" -> hash_scaling_json (Experiments.hash_scaling ?cfg ())
-    | "abort_storm" -> abort_storm_json (Experiments.abort_storm ?cfg ())
-    | "crash_storm" -> crash_storm_json (Experiments.crash_storm ?cfg ())
-    | "rw_scaling" -> rw_scaling_json (Experiments.rw_scaling ?cfg ())
-    | other ->
-      invalid_arg
-        (Printf.sprintf "Bench_json.document: unknown experiment %S" other)
+  (* Resolve every plan first so an unknown name fails before any cell has
+     burned simulation time. *)
+  let plans =
+    List.map (fun n -> (n, plan_of ?cfg ?procs ?sizes ?iters ?rounds n)) names
   in
+  let cells = List.concat_map (fun (_, p) -> p.cells) plans in
+  let fragments = Par.map ~jobs (fun cell -> cell ()) cells in
+  let experiments, rest =
+    List.fold_left
+      (fun (acc, frags) (n, p) ->
+        let rec take k fr =
+          if k = 0 then ([], fr)
+          else
+            match fr with
+            | [] -> invalid_arg "Bench_json.document: missing cell result"
+            | f :: tl ->
+              let mine, rest = take (k - 1) tl in
+              (f :: mine, rest)
+        in
+        let mine, rest = take (List.length p.cells) frags in
+        ((n, p.assemble mine) :: acc, rest))
+      ([], fragments) plans
+  in
+  assert (rest = []);
   Json.Obj
     [
       ("schema_version", Json.Int schema_version);
       ("config", Json.String "hector");
       ("units", Json.Obj [ ("latency", Json.String "us") ]);
-      ("experiments", Json.Obj (List.map (fun n -> (n, run n)) names));
+      ("experiments", Json.Obj (List.rev experiments));
     ]
 
 let write ~path doc =

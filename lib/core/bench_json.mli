@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 6,
+    { "schema_version": 7,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -44,7 +44,12 @@
                           read_p99_us, read_p999_us, write_mean_us,
                           throughput_ops_ms, read_throughput_ops_ms, reads,
                           writes, peak_readers, read_remote, seq_aborts,
-                          lockdep_violations} ]
+                          lockdep_violations} ],
+        "slo":         [ {offered_per_ms, p, elements, shards, completed,
+                          achieved_per_ms, read:{n, mean_us, p50_us, p90_us,
+                          p99_us, p999_us, min_us, max_us, frac_above_2ms},
+                          update:{...}, peak_backlog, optimistic_hits,
+                          optimistic_fallbacks, lockdep_violations} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
@@ -64,6 +69,10 @@
     vs its centralised-indicator baseline vs seqlock vs per-cluster
     replication, with reader-parallelism peaks and remote read-path
     traffic) and "p999_us" in every latency summary.
+    Version 7 added "slo" (open-loop request stream over the sharded
+    million-element table: offered vs achieved rate, arrival-to-completion
+    p50/p99/p99.9 per offered load, peak backlog, zero lockdep
+    violations); all pre-v7 experiment values unchanged.
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -74,19 +83,24 @@ val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
     "constants"; "numa_locks"; "hash_scaling"; "abort_storm";
-    "crash_storm"; "rw_scaling"] — what a bare [--json] exports. *)
+    "crash_storm"; "rw_scaling"; "slo"] — what a bare [--json] exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise
     [Invalid_argument]). The sweep knobs ([procs]/[sizes]/[iters]/[rounds])
     default to the paper's full settings; tests and CI pass reduced ones
-    through the same code path. *)
+    through the same code path. [jobs] runs the independent experiment
+    cells on that many OCaml domains via {!Par.map}; the document is
+    byte-identical to a [jobs = 1] run (each cell owns its Engine, Machine
+    and seeded Rng, and fragments are reassembled in the sequential
+    order). *)
 val document :
   ?cfg:Config.t ->
   ?procs:int list ->
   ?sizes:int list ->
   ?iters:int ->
   ?rounds:int ->
+  ?jobs:int ->
   names:string list ->
   unit ->
   Json.t

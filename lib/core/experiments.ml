@@ -53,7 +53,7 @@ type fig5_series = {
 }
 
 let fig5 ?(cfg = Config.hector) ?(hold_us = 0.0) ?(procs = paper_procs)
-    ?(window_us = 20_000.0) () =
+    ?(window_us = 20_000.0) ?(algos = fig5_algos) () =
   List.map
     (fun algo ->
       {
@@ -68,10 +68,10 @@ let fig5 ?(cfg = Config.hector) ?(hold_us = 0.0) ?(procs = paper_procs)
                   algo ))
             procs;
       })
-    fig5_algos
+    algos
 
-let fig5a ?cfg ?procs () = fig5 ?cfg ~hold_us:0.0 ?procs ()
-let fig5b ?cfg ?procs () = fig5 ?cfg ~hold_us:25.0 ?procs ()
+let fig5a ?cfg ?procs ?algos () = fig5 ?cfg ~hold_us:0.0 ?procs ?algos ()
+let fig5b ?cfg ?procs ?algos () = fig5 ?cfg ~hold_us:25.0 ?procs ?algos ()
 
 (* The Section 4.1.2 starvation observation: fraction of acquisitions of
    the 2 ms-backoff spin lock taking more than 2 ms, at p = 16 and a 25 us
@@ -102,7 +102,8 @@ type fig7_point = {
 
 type fig7_series = { lock_algo : Lock.algo; series : fig7_point list }
 
-let fig7a ?(cfg = Config.hector) ?(procs = paper_procs) ?(iters = 100) () =
+let fig7a ?(cfg = Config.hector) ?(procs = paper_procs) ?(iters = 100)
+    ?(algos = fig7_algos) () =
   List.map
     (fun lock_algo ->
       {
@@ -130,9 +131,10 @@ let fig7a ?(cfg = Config.hector) ?(procs = paper_procs) ?(iters = 100) () =
               })
             procs;
       })
-    fig7_algos
+    algos
 
-let fig7b ?(cfg = Config.hector) ?(procs = paper_procs) ?(rounds = 20) () =
+let fig7b ?(cfg = Config.hector) ?(procs = paper_procs) ?(rounds = 20)
+    ?(algos = fig7_algos) () =
   List.map
     (fun lock_algo ->
       {
@@ -155,12 +157,12 @@ let fig7b ?(cfg = Config.hector) ?(procs = paper_procs) ?(rounds = 20) () =
               })
             procs;
       })
-    fig7_algos
+    algos
 
 (* -- FIG7c/d: fault latency vs cluster size at p = 16 ---------------------- *)
 
 let fig7c ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(iters = 100)
-    () =
+    ?(algos = fig7_algos) () =
   List.map
     (fun lock_algo ->
       {
@@ -189,10 +191,10 @@ let fig7c ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(iters = 100)
               })
             sizes;
       })
-    fig7_algos
+    algos
 
 let fig7d ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(rounds = 15)
-    () =
+    ?(algos = fig7_algos) () =
   List.map
     (fun lock_algo ->
       {
@@ -221,7 +223,7 @@ let fig7d ?(cfg = Config.hector) ?(sizes = paper_cluster_sizes) ?(rounds = 15)
               })
             sizes;
       })
-    fig7_algos
+    algos
 
 (* -- CONST: absolute anchors ----------------------------------------------- *)
 
@@ -536,7 +538,7 @@ let numa_algos = Lock.Mcs_h2 :: Lock.all_numa_algos
    more than one cluster; at hold > 0 the locality should also buy back
    latency (the protected data stops migrating every hand-off). *)
 let numa_locks ?(cfg = Config.hector) ?(clusters = [ 1; 2; 4 ])
-    ?(holds_us = [ 0.0; 10.0 ]) () =
+    ?(holds_us = [ 0.0; 10.0 ]) ?(algos = numa_algos) () =
   List.concat_map
     (fun nalgo ->
       List.concat_map
@@ -568,7 +570,7 @@ let numa_locks ?(cfg = Config.hector) ?(clusters = [ 1; 2; 4 ])
               })
             holds_us)
         clusters)
-    numa_algos
+    algos
 
 (* -- HASH-SCALING: sharded table + optimistic reads ------------------------- *)
 
@@ -862,3 +864,59 @@ let crash_storm ?(cfg = Config.hector) ?(algos = crash_algos) () =
         cfinal_free = r.Crash_storm.final_free;
       })
     algos
+
+(* -- SLO: open-loop sustained-request stream -------------------------------- *)
+
+type slo_point = {
+  srate : float; (* offered requests per virtual ms *)
+  sp : int;
+  selements : int;
+  sshards : int;
+  scompleted : int;
+  sachieved : float; (* completed requests per virtual ms *)
+  sread : Measure.summary; (* arrival-to-completion, reads *)
+  supdate : Measure.summary;
+  speak_backlog : int;
+  sopt_hits : int;
+  sopt_fallbacks : int;
+  sviolations : int; (* must be 0 *)
+}
+
+(* Offered-load sweep: comfortable, near the knee, and past it — the top
+   rate exceeds the measured table capacity (~300 requests/ms for the
+   default 16 servers over a 16-shard million-element table), so its tail
+   percentiles are dominated by queueing; the low rate's tails stay within
+   a small multiple of the service time. *)
+let slo_rates = [ 150.0; 250.0; 350.0 ]
+
+let slo ?(cfg = Config.hector) ?(rates = slo_rates)
+    ?(elements = Slo_stream.default_config.Slo_stream.elements)
+    ?(requests = Slo_stream.default_config.Slo_stream.requests) () =
+  List.map
+    (fun rate ->
+      let r =
+        Slo_stream.run ~cfg
+          ~config:
+            {
+              Slo_stream.default_config with
+              Slo_stream.rate_per_ms = rate;
+              elements;
+              requests;
+            }
+          ()
+      in
+      {
+        srate = rate;
+        sp = Slo_stream.default_config.Slo_stream.p;
+        selements = elements;
+        sshards = Slo_stream.default_config.Slo_stream.shards;
+        scompleted = r.Slo_stream.completed;
+        sachieved = r.Slo_stream.achieved_per_ms;
+        sread = r.Slo_stream.read_summary;
+        supdate = r.Slo_stream.update_summary;
+        speak_backlog = r.Slo_stream.peak_backlog;
+        sopt_hits = r.Slo_stream.optimistic_hits;
+        sopt_fallbacks = r.Slo_stream.optimistic_fallbacks;
+        sviolations = r.Slo_stream.lockdep_violations;
+      })
+    rates

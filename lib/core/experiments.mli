@@ -43,11 +43,23 @@ val fig5 :
   ?hold_us:float ->
   ?procs:int list ->
   ?window_us:float ->
+  ?algos:Lock.algo list ->
   unit ->
   fig5_series list
 
-val fig5a : ?cfg:Config.t -> ?procs:int list -> unit -> fig5_series list
-val fig5b : ?cfg:Config.t -> ?procs:int list -> unit -> fig5_series list
+val fig5a :
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig5_series list
+
+val fig5b :
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig5_series list
 
 (** The Section 4.1.2 starvation measurement (2 ms spin lock, p=16,
     25 µs hold). *)
@@ -66,16 +78,36 @@ type fig7_point = {
 type fig7_series = { lock_algo : Lock.algo; series : fig7_point list }
 
 val fig7a :
-  ?cfg:Config.t -> ?procs:int list -> ?iters:int -> unit -> fig7_series list
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?iters:int ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig7_series list
 
 val fig7b :
-  ?cfg:Config.t -> ?procs:int list -> ?rounds:int -> unit -> fig7_series list
+  ?cfg:Config.t ->
+  ?procs:int list ->
+  ?rounds:int ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig7_series list
 
 val fig7c :
-  ?cfg:Config.t -> ?sizes:int list -> ?iters:int -> unit -> fig7_series list
+  ?cfg:Config.t ->
+  ?sizes:int list ->
+  ?iters:int ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig7_series list
 
 val fig7d :
-  ?cfg:Config.t -> ?sizes:int list -> ?rounds:int -> unit -> fig7_series list
+  ?cfg:Config.t ->
+  ?sizes:int list ->
+  ?rounds:int ->
+  ?algos:Lock.algo list ->
+  unit ->
+  fig7_series list
 
 (** CONST — the absolute anchors. *)
 val constants : ?cfg:Config.t -> unit -> Calibration.result
@@ -225,6 +257,7 @@ val numa_locks :
   ?cfg:Config.t ->
   ?clusters:int list ->
   ?holds_us:float list ->
+  ?algos:Lock.algo list ->
   unit ->
   numa_point list
 
@@ -361,5 +394,41 @@ type crash_point = {
   cfinal_free : bool;  (** lock free after the surviving-processor drain *)
 }
 
+(** The algorithms CRASH-STORM kills and recovers. *)
+val crash_algos : Lock.algo list
+
 val crash_storm :
   ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> crash_point list
+
+(** SLO — open-loop sustained-request stream over the sharded
+    million-element table ({!Workloads.Slo_stream}): exponential arrivals
+    at a fixed offered rate, FIFO queueing behind a random server,
+    arrival-to-completion latency with p50/p99/p99.9 tails. One point per
+    offered rate; the top rate sits past the knee so the tails visibly
+    leave the service time while the stream still drains. *)
+
+type slo_point = {
+  srate : float;  (** offered requests per virtual ms *)
+  sp : int;
+  selements : int;
+  sshards : int;
+  scompleted : int;
+  sachieved : float;  (** completed requests per virtual ms *)
+  sread : Measure.summary;  (** arrival-to-completion, reads *)
+  supdate : Measure.summary;
+  speak_backlog : int;
+  sopt_hits : int;
+  sopt_fallbacks : int;
+  sviolations : int;  (** must be 0 *)
+}
+
+(** The offered-load sweep the SLO experiment runs. *)
+val slo_rates : float list
+
+val slo :
+  ?cfg:Config.t ->
+  ?rates:float list ->
+  ?elements:int ->
+  ?requests:int ->
+  unit ->
+  slo_point list

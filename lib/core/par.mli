@@ -1,0 +1,13 @@
+(** Domain pool for independent experiment cells.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    OCaml domains (the calling domain is one of them) and returns the
+    results in input order — byte-for-byte the same list the sequential
+    [List.map f xs] would produce, provided each [f x] is independent of the
+    others. With [jobs <= 1] (the default) it is exactly [List.map f xs] on
+    the calling domain.
+
+    If any application raises, the exception raised by the earliest failing
+    input is re-raised (with its backtrace) after all domains have joined. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -490,3 +490,26 @@ let obs ?(cfg = Hector.Config.hector) ppf (r : Experiments.obs_result) =
     s.Fault_storm.ops s.Fault_storm.deferred s.Fault_storm.rpc_ok
     s.Fault_storm.rpc_calls s.Fault_storm.stalls_injected
     (Fault_storm.mechanism_name s.Fault_storm.mechanism)
+
+let slo ppf (rows : Experiments.slo_point list) =
+  section ppf "SLO - open-loop request stream over the million-element table"
+    "requests arrive on their own clock and queue behind a random server, \
+     so latency includes queueing delay: as the offered rate approaches \
+     the table's capacity the p99/p99.9 tails leave the service time long \
+     before the mean moves - the closed-loop workloads cannot show this. \
+     every point runs under the lockdep checker (viol must be 0)";
+  Format.fprintf ppf
+    "%-9s %3s %9s %7s %9s %8s %8s %9s %9s %8s %6s %5s@." "rate/ms" "p"
+    "elements" "done" "ach/ms" "rd-p50" "rd-p99" "rd-p99.9" "up-p99" "backlog"
+    "opt-h" "viol";
+  List.iter
+    (fun (r : Experiments.slo_point) ->
+      Format.fprintf ppf
+        "%9.1f %3d %9d %7d %9.1f %8.2f %8.2f %9.2f %9.2f %8d %6d %5d@."
+        r.Experiments.srate r.Experiments.sp r.Experiments.selements
+        r.Experiments.scompleted r.Experiments.sachieved
+        r.Experiments.sread.Measure.p50_us r.Experiments.sread.Measure.p99_us
+        r.Experiments.sread.Measure.p999_us
+        r.Experiments.supdate.Measure.p99_us r.Experiments.speak_backlog
+        r.Experiments.sopt_hits r.Experiments.sviolations)
+    rows

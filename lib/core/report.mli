@@ -75,3 +75,5 @@ val rw_scaling : Format.formatter -> Experiments.rw_point list -> unit
 
 val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit
+
+val slo : Format.formatter -> Experiments.slo_point list -> unit

@@ -2,7 +2,12 @@
 
    The engine owns the virtual clock and an event heap of thunks. Simulated
    code never blocks the OCaml runtime: anything that must wait re-schedules
-   itself (see {!Process}). Time is measured in integer machine cycles. *)
+   itself (see {!Process}). Time is measured in integer machine cycles.
+
+   The dispatch loop is allocation-free: it reads the earliest timestamp with
+   [Pqueue.min_time] (an int, [max_int] when drained) and takes the thunk
+   with [Pqueue.pop_payload], so sustained runs cost the heap sift plus the
+   thunk itself and nothing else. *)
 
 exception Deadlock of string
 
@@ -36,35 +41,35 @@ let schedule_after t ~delay f =
 let pending t = Pqueue.length t.events
 
 let step t =
-  match Pqueue.pop t.events with
-  | None -> false
-  | Some { time; payload = f; _ } ->
+  if Pqueue.is_empty t.events then false
+  else begin
+    let time = Pqueue.min_time t.events in
+    let f = Pqueue.pop_payload t.events in
     t.now <- time;
     t.executed <- t.executed + 1;
     f ();
     true
+  end
+
+let budget_exhausted t =
+  raise
+    (Deadlock
+       (Printf.sprintf "event budget exhausted (%d events executed)"
+          t.max_events))
 
 let run ?until t =
-  let continue_past_time () =
-    match until with
-    | None -> true
-    | Some limit -> (
-      match Pqueue.peek_time t.events with
-      | None -> false
-      | Some next -> next <= limit)
-  in
-  let rec loop () =
-    if t.executed > t.max_events then
-      raise
-        (Deadlock
-           (Printf.sprintf "event budget exhausted (%d events executed)"
-              t.max_events));
-    if (not (Pqueue.is_empty t.events)) && continue_past_time () then begin
-      ignore (step t);
-      loop ()
-    end
-  in
-  loop ();
+  (* [Pqueue.min_time] reads the earliest timestamp as a bare int, so the
+     loop condition is two comparisons and allocates nothing. *)
+  let limit = match until with None -> max_int | Some l -> l in
+  if t.executed > t.max_events then budget_exhausted t;
+  while (not (Pqueue.is_empty t.events)) && Pqueue.min_time t.events <= limit do
+    let time = Pqueue.min_time t.events in
+    let f = Pqueue.pop_payload t.events in
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    if t.executed > t.max_events then budget_exhausted t
+  done;
   match until with
   | Some limit when t.now < limit && Pqueue.is_empty t.events -> t.now <- limit
   | _ -> ()

@@ -1,81 +1,136 @@
-(* Binary min-heap of timestamped events.
+(* Binary min-heap of timestamped events, flattened to structure-of-arrays.
 
    Events are ordered by (time, seq): the sequence number breaks ties so that
    events scheduled for the same instant run in FIFO order, which keeps every
-   simulation deterministic. *)
+   simulation deterministic.
+
+   The heap stores its three columns in parallel arrays ([times], [seqs],
+   [payloads]) instead of an array of records. Push and pop then compare and
+   move unboxed ints, and the hot path ([push] / [min_time] / [pop_payload])
+   allocates nothing: the only allocations ever made are the occasional
+   capacity doublings. The record-returning [peek] / [pop] / [drain] views are
+   kept for tests and casual callers. *)
 
 type 'a entry = { time : int; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
 }
 
-let create () = { data = [||]; len = 0 }
+let create () = { times = [||]; seqs = [||]; payloads = [||]; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* (time, seq) at index [i] sorts before (time, seq) at index [j]. *)
+let before t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj || (ti = tj && t.seqs.(i) < t.seqs.(j))
 
-let grow t entry =
-  let cap = Array.length t.data in
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let pl = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- pl
+
+let grow t payload =
+  let cap = Array.length t.times in
   if t.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let data = Array.make ncap entry in
-    Array.blit t.data 0 data 0 t.len;
-    t.data <- data
+    let times = Array.make ncap 0 in
+    let seqs = Array.make ncap 0 in
+    (* Fresh payload slots are filled with [payload]; it is about to be
+       stored at [t.len] anyway, so no foreign value is retained. *)
+    let payloads = Array.make ncap payload in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
+    Array.blit t.payloads 0 payloads 0 t.len;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.payloads <- payloads
   end
 
 let push t ~time ~seq payload =
-  let entry = { time; seq; payload } in
-  grow t entry;
-  t.data.(t.len) <- entry;
+  grow t payload;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.payloads.(i) <- payload;
   t.len <- t.len + 1;
   (* Sift the new entry up to its place. *)
   let rec up i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
-      if before t.data.(i) t.data.(parent) then begin
-        let tmp = t.data.(i) in
-        t.data.(i) <- t.data.(parent);
-        t.data.(parent) <- tmp;
+      if before t i parent then begin
+        swap t i parent;
         up parent
       end
     end
   in
-  up (t.len - 1)
+  up i
 
-let peek t = if t.len = 0 then None else Some t.data.(0)
+let peek t =
+  if t.len = 0 then None
+  else Some { time = t.times.(0); seq = t.seqs.(0); payload = t.payloads.(0) }
 
-let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+let peek_time t = if t.len = 0 then None else Some t.times.(0)
+
+(* Allocation-free view of the earliest timestamp: [max_int] when empty, so
+   the engine's run loop can compare against a limit without an option. *)
+let min_time t = if t.len = 0 then max_int else t.times.(0)
+
+let sift_down t =
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && before t l !smallest then smallest := l;
+    if r < t.len && before t r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      down !smallest
+    end
+  in
+  down 0
+
+(* Remove the root, returning only its payload; allocation-free. The vacated
+   slot is overwritten with a live payload so popped closures are not
+   retained by the heap (at most one stale payload survives in slot 0 when
+   the heap drains completely). *)
+let pop_payload t =
+  if t.len = 0 then invalid_arg "Pqueue.pop_payload: empty";
+  let top = t.payloads.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.times.(0) <- t.times.(t.len);
+    t.seqs.(0) <- t.seqs.(t.len);
+    t.payloads.(0) <- t.payloads.(t.len);
+    (* Drop the moved copy's old slot so the heap keeps no extra reference. *)
+    t.payloads.(t.len) <- t.payloads.(0);
+    sift_down t
+  end;
+  top
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      (* Sift the displaced entry down. *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i in
-        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> i then begin
-          let tmp = t.data.(i) in
-          t.data.(i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some top
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let payload = pop_payload t in
+    Some { time; seq; payload }
   end
 
-let clear t = t.len <- 0
+let clear t =
+  (* Release payload references beyond slot 0 (see [pop_payload]). *)
+  if Array.length t.payloads > 0 then
+    Array.fill t.payloads 1 (Array.length t.payloads - 1) t.payloads.(0);
+  t.len <- 0
 
 (* Pop all entries in order; used by tests. *)
 let drain t =

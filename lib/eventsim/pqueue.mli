@@ -2,7 +2,13 @@
 
     The sequence number breaks ties between events scheduled for the same
     instant, so the queue pops same-time events in insertion (FIFO) order and
-    every simulation run is deterministic. *)
+    every simulation run is deterministic.
+
+    Storage is structure-of-arrays ([times] / [seqs] / [payloads] columns):
+    the hot path ([push], [min_time], [pop_payload]) compares and moves
+    unboxed ints and allocates nothing except occasional capacity doublings.
+    The [entry]-record views ([peek] / [pop] / [drain]) are convenience
+    wrappers that do allocate. *)
 
 type 'a entry = { time : int; seq : int; payload : 'a }
 
@@ -15,17 +21,26 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 (** [push t ~time ~seq payload] inserts an event. [seq] must be unique per
-    queue for deterministic ordering; the engine supplies a counter. *)
+    queue for deterministic ordering; the engine supplies a counter.
+    Allocation-free except when the heap grows. *)
 val push : 'a t -> time:int -> seq:int -> 'a -> unit
 
-(** Earliest entry without removing it. *)
+(** Earliest entry without removing it. Allocates the record. *)
 val peek : 'a t -> 'a entry option
 
-(** Timestamp of the earliest entry. *)
+(** Timestamp of the earliest entry. Allocates the option. *)
 val peek_time : 'a t -> int option
 
-(** Remove and return the earliest entry. *)
+(** Timestamp of the earliest entry, or [max_int] when the queue is empty.
+    Allocation-free; this is what the engine's run loop compares against. *)
+val min_time : 'a t -> int
+
+(** Remove and return the earliest entry. Allocates the record. *)
 val pop : 'a t -> 'a entry option
+
+(** Remove the earliest entry and return only its payload; allocation-free.
+    @raise Invalid_argument on an empty queue — callers check [is_empty]. *)
+val pop_payload : 'a t -> 'a
 
 val clear : 'a t -> unit
 

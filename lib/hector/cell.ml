@@ -17,11 +17,15 @@ type t = {
   mutable excl : int; (* processor id or -1 *)
 }
 
-let counter = ref 0
+(* Atomic so that independent experiment cells built on parallel domains
+   (Hurricane.Par) allocate distinct debug ids without a data race. Ids are
+   never exported — they only label diagnostics — so the cross-domain
+   numbering order being nondeterministic is harmless. *)
+let counter = Atomic.make 0
 
 let make ?(label = "") ~home value =
-  incr counter;
-  { value; home; id = !counter; label; cached_by = 0; excl = -1 }
+  let id = 1 + Atomic.fetch_and_add counter 1 in
+  { value; home; id; label; cached_by = 0; excl = -1 }
 
 let home t = t.home
 let id t = t.id

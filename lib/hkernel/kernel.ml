@@ -198,11 +198,19 @@ let count_invalidation t = t.invalidations <- t.invalidations + 1
 let count_degradation t = t.degradations <- t.degradations + 1
 
 (* Spawn idle RPC-service loops on every processor not in [active], so RPCs
-   directed at them are served. *)
+   directed at them are served. The membership test is a host-side bitset
+   indexed by processor id — O(1) per context instead of scanning the
+   [active] list once per processor. *)
 let spawn_idle_except t ~active =
-  let is_active p = List.mem p active in
+  let is_active = Array.make (Array.length t.ctxs) false in
+  List.iter
+    (fun p ->
+      if p >= 0 && p < Array.length is_active then is_active.(p) <- true)
+    active;
   Array.iter
-    (fun c -> if not (is_active (Ctx.proc c)) then Process.spawn (engine t) (fun () -> Ctx.idle_loop c))
+    (fun c ->
+      if not is_active.(Ctx.proc c) then
+        Process.spawn (engine t) (fun () -> Ctx.idle_loop c))
     t.ctxs
 
 (* Pre-populate a page descriptor at its master cluster (untimed setup).

@@ -165,7 +165,9 @@ let spawn_process_untimed t ~pid ~parent =
       | None -> invalid_arg "spawn_process_untimed: unknown parent"
       | Some pd ->
         pd.children := pid :: !(pd.children);
-        Cell.poke pd.nchildren (List.length !(pd.children)))
+        (* [nchildren] always equals the list length, so bump it
+           incrementally rather than rescanning the list. *)
+        Cell.poke pd.nchildren (Cell.peek pd.nchildren + 1))
     | Separate ->
       let found = ref None in
       Khash.iter_untimed (tree_table_of_pid t parent) (fun e ->
@@ -174,7 +176,7 @@ let spawn_process_untimed t ~pid ~parent =
       | None -> invalid_arg "spawn_process_untimed: unknown parent"
       | Some tn ->
         tn.t_children := pid :: !(tn.t_children);
-        Cell.poke tn.t_nchildren (List.length !(tn.t_children)))
+        Cell.poke tn.t_nchildren (Cell.peek tn.t_nchildren + 1))
   end
 
 let alive_untimed t pid =
@@ -218,8 +220,14 @@ let unlink_child_service t ~parent ~child tctx =
         if c <> child then scan rest
     in
     scan !(pd.children);
-    pd.children := List.filter (fun c -> c <> child) !(pd.children);
-    Ctx.write tctx pd.nchildren (List.length !(pd.children));
+    (* Count removals during the filter and decrement [nchildren] by that,
+       instead of recomputing the list length from scratch. *)
+    let removed = ref 0 in
+    pd.children :=
+      List.filter
+        (fun c -> if c = child then (incr removed; false) else true)
+        !(pd.children);
+    Ctx.write tctx pd.nchildren (Cell.peek pd.nchildren - !removed);
     Khash.release_reserve tctx e;
     Rpc.Ok 0
 
@@ -242,7 +250,7 @@ let adopt_service t ~child ~new_parent tctx =
   | `Reserved e ->
     let pd = e.Khash.payload in
     pd.children := child :: !(pd.children);
-    Ctx.write tctx pd.nchildren (List.length !(pd.children));
+    Ctx.write tctx pd.nchildren (Cell.peek pd.nchildren + 1);
     Khash.release_reserve tctx e;
     Rpc.Ok 0
 
@@ -262,8 +270,12 @@ let t_unlink_child_service t ~parent ~child tctx =
         if c <> child then scan rest
     in
     scan !(tn.t_children);
-    tn.t_children := List.filter (fun c -> c <> child) !(tn.t_children);
-    Ctx.write tctx tn.t_nchildren (List.length !(tn.t_children));
+    let removed = ref 0 in
+    tn.t_children :=
+      List.filter
+        (fun c -> if c = child then (incr removed; false) else true)
+        !(tn.t_children);
+    Ctx.write tctx tn.t_nchildren (Cell.peek tn.t_nchildren - !removed);
     Khash.release_reserve tctx e;
     Rpc.Ok 0
 
@@ -285,7 +297,7 @@ let t_adopt_service t ~child ~new_parent tctx =
   | `Reserved e ->
     let tn = e.Khash.payload in
     tn.t_children := child :: !(tn.t_children);
-    Ctx.write tctx tn.t_nchildren (List.length !(tn.t_children));
+    Ctx.write tctx tn.t_nchildren (Cell.peek tn.t_nchildren + 1);
     Khash.release_reserve tctx e;
     Rpc.Ok 0
 

@@ -229,6 +229,68 @@ let release t ctx =
   else t.node_of_proc.(proc) <- t.pred_of_proc.(proc);
   t.pred_of_proc.(proc) <- -1
 
+(* Force the corpse's release if the current holder has been dead longer
+   than any normal recovery would take (and nobody else is already doing
+   it). The grace period keeps this strictly a last resort: a waiter
+   running [recover] fires within its check period (well under a
+   millisecond), so whenever one exists it wins and this never triggers —
+   the rescue only matters when every remaining survivor is stuck inside a
+   pump and no recover call is ever coming. Detection is host-side
+   bookkeeping — it costs no simulated accesses — so callers may check on
+   every spin iteration. *)
+let rescue_grace_cycles = 16_000 (* 1 ms at 16 MHz *)
+
+let rescue_dead_holder t ctx =
+  match holder_proc t with
+  | Some dead
+    when (not (Machine.proc_alive t.machine dead))
+         && (not t.recovering)
+         && Machine.killed_at t.machine dead >= 0
+         && Machine.now t.machine - Machine.killed_at t.machine dead
+            > rescue_grace_cycles ->
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        release t ctx;
+        Vhook.recovered ctx ~cls:t.vcls ~dead)
+  | _ -> ()
+
+(* The queue pump used by [recover] on a free lock (below). It must spin
+   dead-aware: between the pump's enqueue and its grant, another processor
+   can acquire and fail-stop mid-critical-section, and if every remaining
+   survivor is itself inside a pump there is no one left outside to run
+   dead-holder recovery — the lock wedges with all survivors spinning on a
+   corpse's node. Identical to [acquire] except that each spin iteration
+   also rescues a dead holder. *)
+let rec pump_spin t ctx pred =
+  let v = Ctx.read ctx t.nodes.(pred) in
+  Ctx.instr ctx ~br:1 ();
+  if v = v_released then pred
+  else if v >= 2 then begin
+    let redirect = decode_abandoned v in
+    reclaim_abandoned t ctx pred;
+    pump_spin t ctx redirect
+  end
+  else begin
+    rescue_dead_holder t ctx;
+    pump_spin t ctx pred
+  end
+
+let pump_acquire t ctx =
+  Vhook.wait_acquire ctx ~cls:t.vcls ~id:t.vid;
+  let proc = Ctx.proc ctx in
+  let my = t.node_of_proc.(proc) in
+  Ctx.write ctx t.nodes.(my) v_locked;
+  let pred = Ctx.fetch_and_store ctx t.tail my in
+  Ctx.instr ctx ~reg:2 ~br:2 ();
+  let granted_through = pump_spin t ctx pred in
+  t.pred_of_proc.(proc) <- granted_through;
+  assert (t.holder < 0);
+  t.holder <- proc;
+  t.acquisitions <- t.acquisitions + 1;
+  Vhook.acquired ctx ~cls:t.vcls ~id:t.vid
+
 (* Dead-holder recovery: [release] is thread-oblivious, so recovery is the
    corpse's release run by the detector. The grant it publishes is
    level-triggered, so the successor picks it up exactly as if the dead
@@ -249,7 +311,7 @@ let recover t ctx =
        an ordinary acquire/release pair. *)
     let proc = Ctx.proc ctx in
     if t.timed_node_of_proc.(proc) < 0 then begin
-      acquire t ctx;
+      pump_acquire t ctx;
       release t ctx
     end;
     false

@@ -53,36 +53,54 @@ open Eventsim
 
 type lock_class = int
 
+(* The interning tables are the one piece of global mutable state the
+   checker keeps, so they are guarded by a host-side mutex: experiment cells
+   running on parallel domains (Hurricane.Par) all create locks. Ids stay
+   deterministic within a domain's creation order; across domains the
+   numbering depends on interleaving, which is fine because ids only name
+   graph nodes and diagnostics — no exported result depends on them. *)
+let intern_mu = Mutex.create ()
+
 let class_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let class_names : string array ref = ref (Array.make 64 "") (* index = id *)
 let n_classes = ref 0
 
 let lock_class name =
-  match Hashtbl.find_opt class_tbl name with
-  | Some id -> id
-  | None ->
-    let id = !n_classes in
-    n_classes := id + 1;
-    let cap = Array.length !class_names in
-    if id >= cap then begin
-      let bigger = Array.make (2 * cap) "" in
-      Array.blit !class_names 0 bigger 0 cap;
-      class_names := bigger
-    end;
-    !class_names.(id) <- name;
-    Hashtbl.replace class_tbl name id;
-    id
+  Mutex.lock intern_mu;
+  let id =
+    match Hashtbl.find_opt class_tbl name with
+    | Some id -> id
+    | None ->
+      let id = !n_classes in
+      n_classes := id + 1;
+      let cap = Array.length !class_names in
+      if id >= cap then begin
+        let bigger = Array.make (2 * cap) "" in
+        Array.blit !class_names 0 bigger 0 cap;
+        class_names := bigger
+      end;
+      !class_names.(id) <- name;
+      Hashtbl.replace class_tbl name id;
+      id
+  in
+  Mutex.unlock intern_mu;
+  id
 
 let class_name id =
-  if id < 0 || id >= !n_classes then
-    invalid_arg (Printf.sprintf "Verify.class_name: unknown class %d" id);
-  !class_names.(id)
+  Mutex.lock intern_mu;
+  let name =
+    if id < 0 || id >= !n_classes then begin
+      Mutex.unlock intern_mu;
+      invalid_arg (Printf.sprintf "Verify.class_name: unknown class %d" id)
+    end
+    else !class_names.(id)
+  in
+  Mutex.unlock intern_mu;
+  name
 
-let instance_counter = ref 0
+let instance_counter = Atomic.make 0
 
-let fresh_id () =
-  incr instance_counter;
-  !instance_counter
+let fresh_id () = 1 + Atomic.fetch_and_add instance_counter 1
 
 (* -- violations ----------------------------------------------------------- *)
 

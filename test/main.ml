@@ -36,4 +36,6 @@ let () =
       ("verify", Test_verify.suite);
       ("obs", Test_obs.suite);
       ("rw", Test_rw.suite);
+      ("par", Test_par.suite);
+      ("slo", Test_slo.suite);
     ]

@@ -145,6 +145,18 @@ let crash_stress ~algo ~p ~n_kills ~iters ~hold ~think ~seed =
   && Machine.crashes machine = n_kills
   && lock.Lock.is_free ()
 
+(* Regression: a qcheck-found input where CLH wedged. Two survivors both
+   ended up inside [recover]'s free-lock pump (their timed nodes were
+   abandoned in the queue) when the last victim acquired and fail-stopped
+   mid-critical-section — with every survivor pumping, no one was left to
+   run dead-holder recovery, and both pumps spun on the corpse's locked
+   node until the event budget blew. The pump is now a dead-aware rescuer
+   of last resort (clh.ml [rescue_dead_holder]). *)
+let test_clh_pump_rescue () =
+  Alcotest.(check bool) "CLH survives the all-survivors-pumping kill" true
+    (crash_stress ~algo:Lock.Clh ~p:4 ~n_kills:2 ~iters:6 ~hold:7 ~think:30
+       ~seed:4315)
+
 let prop_crash_safety =
   QCheck.Test.make
     ~name:"every recoverable Lock.algo: safety under planted mid-CS kills"
@@ -390,6 +402,8 @@ let suite =
     Alcotest.test_case "fail-restart revives through the handler" `Quick
       test_fail_restart_revives;
     QCheck_alcotest.to_alcotest prop_crash_safety;
+    Alcotest.test_case "CLH pump rescues a dead holder" `Quick
+      test_clh_pump_rescue;
     Alcotest.test_case "crash storm: recovery conservation per algorithm"
       `Quick test_crash_storm;
     Alcotest.test_case "khash repair: shard lock, seqlock, reserve bit" `Quick

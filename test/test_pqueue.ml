@@ -89,6 +89,42 @@ let prop_multiset_preserved =
       let out = List.map (fun e -> e.Pqueue.payload) (Pqueue.drain q) in
       List.sort compare out = List.sort compare times)
 
+(* Random interleavings of push and pop against a reference model: every
+   pop must return the exact (time, seq) minimum of what is currently in
+   the heap, with seq as the FIFO tie-break. [Some t] pushes at time [t];
+   [None] pops. This exercises sift-down paths that drain-only properties
+   never reach (pops from partially filled heaps mid-stream). *)
+let prop_interleaved_order =
+  QCheck.Test.make ~name:"interleaved push/pop pops exact (time, seq) minimum"
+    ~count:300
+    QCheck.(list (option (int_bound 50)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] (* (time, seq) pairs currently in the heap *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some time ->
+            Pqueue.push q ~time ~seq:!seq (time, !seq);
+            model := (time, !seq) :: !model;
+            incr seq
+          | None -> (
+            match (Pqueue.pop q, !model) with
+            | None, [] -> ()
+            | None, _ :: _ | Some _, [] -> ok := false
+            | Some e, entries ->
+              let expected =
+                List.fold_left min (List.hd entries) (List.tl entries)
+              in
+              if (e.Pqueue.time, e.Pqueue.seq) <> expected then ok := false;
+              model := List.filter (fun x -> x <> expected) entries))
+        ops;
+      (* Whatever survives must still drain in exact order. *)
+      let rest = List.map (fun e -> (e.Pqueue.time, e.Pqueue.seq)) (Pqueue.drain q) in
+      !ok && rest = List.sort compare !model)
+
 let suite =
   [
     Alcotest.test_case "empty queue" `Quick test_empty;
@@ -99,4 +135,5 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
     QCheck_alcotest.to_alcotest prop_drain_sorted;
     QCheck_alcotest.to_alcotest prop_multiset_preserved;
+    QCheck_alcotest.to_alcotest prop_interleaved_order;
   ]

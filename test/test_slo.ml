@@ -1,0 +1,72 @@
+(* The open-loop SLO stream at reduced scale: the structural invariants
+   that must hold at any size — every arrival completes, percentiles are
+   ordered, the lockdep checker stays clean, and tail latency grows as the
+   offered rate approaches capacity. *)
+
+open Workloads
+
+let small ?(rate = 100.0) ?(seed = 31) () =
+  {
+    Slo_stream.default_config with
+    Slo_stream.elements = 50_000;
+    nbins = 1 lsl 13;
+    requests = 1_000;
+    rate_per_ms = rate;
+    seed;
+  }
+
+let test_completes_all () =
+  let config = small () in
+  let r = Slo_stream.run ~config () in
+  Alcotest.(check int) "every arrival completes" config.Slo_stream.requests
+    r.Slo_stream.completed;
+  Alcotest.(check int)
+    "sample conservation" config.Slo_stream.requests
+    (r.Slo_stream.read_summary.Measure.n + r.Slo_stream.update_summary.Measure.n);
+  Alcotest.(check int) "lockdep clean" 0 r.Slo_stream.lockdep_violations;
+  Alcotest.(check bool) "achieved rate positive" true
+    (r.Slo_stream.achieved_per_ms > 0.0)
+
+let test_percentiles_ordered () =
+  let r = Slo_stream.run ~config:(small ()) () in
+  let ordered (s : Measure.summary) =
+    s.Measure.p50_us <= s.Measure.p99_us
+    && s.Measure.p99_us <= s.Measure.p999_us
+    && s.Measure.p999_us <= s.Measure.max_us
+    && s.Measure.min_us <= s.Measure.p50_us
+  in
+  Alcotest.(check bool) "read percentiles ordered" true
+    (ordered r.Slo_stream.read_summary);
+  Alcotest.(check bool) "update percentiles ordered" true
+    (ordered r.Slo_stream.update_summary)
+
+let test_overload_inflates_tail () =
+  (* Open-loop signature: pushing the offered rate well past capacity must
+     inflate the p99.9 arrival-to-completion latency, because the backlog
+     (queueing delay) is part of the measurement. *)
+  let light = Slo_stream.run ~config:(small ~rate:50.0 ()) () in
+  let heavy = Slo_stream.run ~config:(small ~rate:2000.0 ()) () in
+  Alcotest.(check bool) "overload p99.9 > light-load p99.9" true
+    (heavy.Slo_stream.read_summary.Measure.p999_us
+    > light.Slo_stream.read_summary.Measure.p999_us);
+  Alcotest.(check bool) "overload builds a backlog" true
+    (heavy.Slo_stream.peak_backlog > light.Slo_stream.peak_backlog)
+
+let test_deterministic () =
+  let a = Slo_stream.run ~config:(small ()) () in
+  let b = Slo_stream.run ~config:(small ()) () in
+  Alcotest.(check (float 0.0)) "same achieved rate" a.Slo_stream.achieved_per_ms
+    b.Slo_stream.achieved_per_ms;
+  Alcotest.(check (float 0.0)) "same read p99.9"
+    a.Slo_stream.read_summary.Measure.p999_us
+    b.Slo_stream.read_summary.Measure.p999_us
+
+let suite =
+  [
+    Alcotest.test_case "completes every arrival" `Quick test_completes_all;
+    Alcotest.test_case "percentiles are ordered" `Quick test_percentiles_ordered;
+    Alcotest.test_case "overload inflates the tail" `Slow
+      test_overload_inflates_tail;
+    Alcotest.test_case "deterministic for a fixed seed" `Quick
+      test_deterministic;
+  ]
