@@ -95,6 +95,7 @@ let run_abort () = Report.abort_storm ppf (Experiments.abort_storm ())
 let run_crash () = Report.crash_storm ppf (Experiments.crash_storm ())
 let run_rw () = Report.rw_scaling ppf (Experiments.rw_scaling ())
 let run_slo () = Report.slo ppf (Experiments.slo ())
+let run_adaptive () = Report.adaptive ppf (Experiments.adaptive ())
 
 let experiments =
   [
@@ -131,6 +132,7 @@ let experiments =
     ("crash-storm", run_crash);
     ("rw", run_rw);
     ("slo", run_slo);
+    ("adaptive", run_adaptive);
   ]
 
 (* -- Bechamel wall-clock micro-benchmarks ---------------------------------- *)

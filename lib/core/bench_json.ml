@@ -34,8 +34,12 @@ open Workloads
    Version 7: added the "slo" experiment (open-loop request stream over
    the sharded million-element table: offered vs achieved rate,
    arrival-to-completion p50/p99/p99.9 per offered load, peak backlog,
-   zero lockdep violations). All pre-v7 experiment values unchanged. *)
-let schema_version = 7
+   zero lockdep violations). All pre-v7 experiment values unchanged.
+   Version 8: added the "adaptive" experiment (the diurnal load cycle:
+   per-phase throughput of the morphing lock against every static shape,
+   with observer-counted promotions/demotions and the final shape gauge).
+   All pre-v8 experiment values unchanged. *)
+let schema_version = 8
 
 let default_names =
   [
@@ -55,6 +59,7 @@ let default_names =
     "crash_storm";
     "rw_scaling";
     "slo";
+    "adaptive";
   ]
 
 (* -- encoders ------------------------------------------------------------- *)
@@ -283,6 +288,28 @@ let slo_json (rows : Experiments.slo_point list) =
            ])
        rows)
 
+let adaptive_json (rows : Experiments.adaptive_point list) =
+  Json.List
+    (List.map
+       (fun (r : Experiments.adaptive_point) ->
+         Json.Obj
+           [
+             ("lock", Json.String r.Experiments.dname);
+             ("cold1_ops", Json.Int r.Experiments.dcold1_ops);
+             ("hot_ops", Json.Int r.Experiments.dhot_ops);
+             ("cold2_ops", Json.Int r.Experiments.dcold2_ops);
+             ("cold_throughput_ops_ms",
+              Json.Float r.Experiments.dcold_throughput);
+             ("hot_throughput_ops_ms",
+              Json.Float r.Experiments.dhot_throughput);
+             ("morphs_up", Json.Int r.Experiments.dmorphs_up);
+             ("morphs_down", Json.Int r.Experiments.dmorphs_down);
+             ("final_shape", Json.Int r.Experiments.dfinal_shape);
+             ("final_free", Json.Bool r.Experiments.dfinal_free);
+             ("lockdep_violations", Json.Int r.Experiments.dviolations);
+           ])
+       rows)
+
 let constants_json (r : Calibration.result) =
   Json.Obj
     [
@@ -307,7 +334,18 @@ type plan = {
   assemble : Json.t list -> Json.t;
 }
 
-let single run = { cells = [ run ]; assemble = List.hd }
+let single run =
+  {
+    cells = [ run ];
+    assemble =
+      (function
+      | [ frag ] -> frag
+      | frags ->
+        invalid_arg
+          (Printf.sprintf
+             "Bench_json: single-cell experiment got %d fragments"
+             (List.length frags)));
+  }
 
 let rows_of = function
   | Json.List rows -> rows
@@ -418,6 +456,13 @@ let plan_of ?cfg ?procs ?sizes ?iters ?rounds name =
         List.map
           (fun rate () -> slo_json (Experiments.slo ?cfg ~rates:[ rate ] ()))
           Experiments.slo_rates;
+      assemble = concat_rows;
+    }
+  | "adaptive" ->
+    {
+      cells =
+        per_algo Experiments.adaptive_algos (fun a ->
+            adaptive_json (Experiments.adaptive ?cfg ~algos:[ a ] ()));
       assemble = concat_rows;
     }
   | other ->

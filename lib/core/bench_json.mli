@@ -6,7 +6,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 7,
+    { "schema_version": 8,
       "config": "hector",
       "units": { "latency": "us" },
       "experiments": {
@@ -49,7 +49,11 @@
                           achieved_per_ms, read:{n, mean_us, p50_us, p90_us,
                           p99_us, p999_us, min_us, max_us, frac_above_2ms},
                           update:{...}, peak_backlog, optimistic_hits,
-                          optimistic_fallbacks, lockdep_violations} ]
+                          optimistic_fallbacks, lockdep_violations} ],
+        "adaptive":    [ {lock, cold1_ops, hot_ops, cold2_ops,
+                          cold_throughput_ops_ms, hot_throughput_ops_ms,
+                          morphs_up, morphs_down, final_shape, final_free,
+                          lockdep_violations} ]
       } }
     v}
     Version 2 added "numa_locks" (cross-cluster contention: NUMA-aware
@@ -73,6 +77,10 @@
     million-element table: offered vs achieved rate, arrival-to-completion
     p50/p99/p99.9 per offered load, peak backlog, zero lockdep
     violations); all pre-v7 experiment values unchanged.
+    Version 8 added "adaptive" (the diurnal load cycle: per-phase
+    throughput of the morphing lock against every static shape, with
+    observer-counted promotions/demotions and the final shape gauge); all
+    pre-v8 experiment values unchanged.
     Every number is the exact value the in-process runner returned — the
     schema test re-runs an experiment and compares the parsed file against
     it. *)
@@ -83,7 +91,8 @@ val schema_version : int
 
 (** ["fig4"; "uncontended"; "fig5a"; "fig5b"; "starvation"; "fig7a"-"d";
     "constants"; "numa_locks"; "hash_scaling"; "abort_storm";
-    "crash_storm"; "rw_scaling"; "slo"] — what a bare [--json] exports. *)
+    "crash_storm"; "rw_scaling"; "slo"; "adaptive"] — what a bare [--json]
+    exports. *)
 val default_names : string list
 
 (** Build the document for the named experiments (unknown names raise

@@ -39,7 +39,18 @@ let fig5 dir ~name (series : Experiments.fig5_series list) =
     ^ String.concat "\t"
         (List.map
            (fun (s : Experiments.fig5_series) ->
-             let r = List.assoc p s.Experiments.points in
+             let r =
+               (* Each series swept the same processor counts; a missing
+                  point means a runner bug, and a bare [Not_found] from
+                  deep inside the emitter names neither the figure nor
+                  the hole. *)
+               try List.assoc p s.Experiments.points
+               with Not_found ->
+                 failwith
+                   (Printf.sprintf
+                      "Dat.fig5 (%s): series %s has no point at p=%d" name
+                      (Lock.algo_name s.Experiments.algo) p)
+             in
              Printf.sprintf "%.2f" r.Lock_stress.summary.Measure.mean_us)
            series)
   in
@@ -64,7 +75,13 @@ let fig7 dir ~name (series : Experiments.fig7_series list) =
         (List.map
            (fun s ->
              let p =
-               List.find (fun p -> p.Experiments.x = x) s.Experiments.series
+               try
+                 List.find (fun p -> p.Experiments.x = x) s.Experiments.series
+               with Not_found ->
+                 failwith
+                   (Printf.sprintf
+                      "Dat.fig7 (%s): series %s has no point at x=%d" name
+                      (Lock.algo_name s.Experiments.lock_algo) x)
              in
              Printf.sprintf "%.2f" p.Experiments.mean_us)
            series)

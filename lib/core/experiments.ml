@@ -920,3 +920,54 @@ let slo ?(cfg = Config.hector) ?(rates = slo_rates)
         sviolations = r.Slo_stream.lockdep_violations;
       })
     rates
+
+(* -- ADAPTIVE: lock morphing over the diurnal load cycle -------------------- *)
+
+type adaptive_point = {
+  dalgo : Lock.algo;
+  dname : string;
+  dcold1_ops : int;
+  dhot_ops : int;
+  dcold2_ops : int;
+  dcold_throughput : float; (* ops per virtual ms, both cold plateaus *)
+  dhot_throughput : float;
+  dmorphs_up : int; (* observer-counted; 0 for the static shapes *)
+  dmorphs_down : int;
+  dfinal_shape : int;
+  dfinal_free : bool;
+  dviolations : int; (* must be 0 *)
+}
+
+(* The static field the morphing lock is raced against: the cold-phase
+   favourite (test&set), both flat MCS hybrids, all three NUMA
+   composites, and the morphing lock itself. No static row tops both
+   phase columns — test&set collapses at the peak, the composites pay
+   for their layers in the trickle — which is the regime gap Adaptive
+   exists to close. *)
+let adaptive_algos =
+  [ Lock.Spin { max_backoff_us = 35.0 }; Lock.Mcs_h1; Lock.Mcs_h2;
+    Lock.cna; Lock.c_mcs_mcs; Lock.hmcs; Lock.adaptive ]
+
+let adaptive ?(cfg = Config.hector) ?(algos = adaptive_algos) () =
+  List.map
+    (fun dalgo ->
+      let r =
+        Diurnal.run ~cfg
+          ~config:{ Diurnal.default_config with Diurnal.algo = dalgo }
+          ()
+      in
+      {
+        dalgo;
+        dname = r.Diurnal.algo_name;
+        dcold1_ops = r.Diurnal.cold1_ops;
+        dhot_ops = r.Diurnal.hot_ops;
+        dcold2_ops = r.Diurnal.cold2_ops;
+        dcold_throughput = r.Diurnal.cold_throughput_ops_ms;
+        dhot_throughput = r.Diurnal.hot_throughput_ops_ms;
+        dmorphs_up = r.Diurnal.morphs_up;
+        dmorphs_down = r.Diurnal.morphs_down;
+        dfinal_shape = r.Diurnal.final_shape;
+        dfinal_free = r.Diurnal.final_free;
+        dviolations = r.Diurnal.lockdep_violations;
+      })
+    algos

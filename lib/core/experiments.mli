@@ -432,3 +432,33 @@ val slo :
   ?requests:int ->
   unit ->
   slo_point list
+
+(** ADAPTIVE — lock morphing over the diurnal load cycle
+    ({!Workloads.Diurnal}): load ramps cold → hot → cold; no static shape
+    wins both phases, while the morphing {!Locks.Lock.Adaptive} lock
+    tracks the per-phase winner. One point per algorithm raced over the
+    identical cycle. *)
+
+type adaptive_point = {
+  dalgo : Lock.algo;
+  dname : string;
+  dcold1_ops : int;
+  dhot_ops : int;
+  dcold2_ops : int;
+  dcold_throughput : float;  (** ops per virtual ms, both cold plateaus *)
+  dhot_throughput : float;
+  dmorphs_up : int;  (** observer-counted promotions; 0 for static shapes *)
+  dmorphs_down : int;
+  dfinal_shape : int;
+  dfinal_free : bool;
+  dviolations : int;  (** must be 0 *)
+}
+
+(** The algorithms the ADAPTIVE experiment races: the morphing lock's own
+    three shapes (test&set, H1-MCS, CNA) plus H2-MCS, the cohort composite
+    and HMCS, and the morphing lock itself — a field wide enough that each
+    phase's winner is a different static shape. *)
+val adaptive_algos : Lock.algo list
+
+val adaptive :
+  ?cfg:Config.t -> ?algos:Lock.algo list -> unit -> adaptive_point list

@@ -513,3 +513,27 @@ let slo ppf (rows : Experiments.slo_point list) =
         r.Experiments.supdate.Measure.p99_us r.Experiments.speak_backlog
         r.Experiments.sopt_hits r.Experiments.sviolations)
     rows
+
+let adaptive ppf (rows : Experiments.adaptive_point list) =
+  section ppf "ADAPTIVE - lock morphing over the diurnal load cycle"
+    "load ramps cold -> hot -> cold in three equal plateaus: a same-cluster \
+     trickle where a test&set lock is unbeatable, then every processor \
+     across every cluster where hand-offs go mostly remote and the NUMA \
+     composite wins, then the trickle again. No static shape tops both \
+     phase columns; the morphing lock promotes through its shapes as the \
+     peak arrives (up/down count the observer's morph events) and demotes \
+     back once traffic cools, tracking the per-phase winner. Every row \
+     runs under the lockdep checker (viol must be 0)";
+  Format.fprintf ppf "%-16s %9s %9s %9s %9s %9s %4s %5s %6s %5s %5s@." "lock"
+    "cold1-ops" "hot-ops" "cold2-ops" "cold/ms" "hot/ms" "up" "down" "shape"
+    "free" "viol";
+  List.iter
+    (fun (r : Experiments.adaptive_point) ->
+      Format.fprintf ppf "%-16s %9d %9d %9d %9.1f %9.1f %4d %5d %6d %5s %5d@."
+        r.Experiments.dname r.Experiments.dcold1_ops r.Experiments.dhot_ops
+        r.Experiments.dcold2_ops r.Experiments.dcold_throughput
+        r.Experiments.dhot_throughput r.Experiments.dmorphs_up
+        r.Experiments.dmorphs_down r.Experiments.dfinal_shape
+        (if r.Experiments.dfinal_free then "yes" else "NO")
+        r.Experiments.dviolations)
+    rows

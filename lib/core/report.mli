@@ -77,3 +77,5 @@ val obs :
   ?cfg:Hector.Config.t -> Format.formatter -> Experiments.obs_result -> unit
 
 val slo : Format.formatter -> Experiments.slo_point list -> unit
+
+val adaptive : Format.formatter -> Experiments.adaptive_point list -> unit

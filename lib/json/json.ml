@@ -132,7 +132,13 @@ let of_string s =
         | 'f' -> Buffer.add_char buf '\012'
         | 'u' ->
           if !pos + 4 > n then fail "bad \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          (* [int_of_string_opt] so a non-hex digit fails with the
+             parser's position-carrying error, not a bare [Failure]. *)
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
           pos := !pos + 4;
           (* Basic-plane only; enough for our own output. *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)

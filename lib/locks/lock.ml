@@ -37,6 +37,8 @@ type algo =
   | Cna of { threshold : int } (* compact NUMA-aware MCS: secondary queue *)
   | Rw of { writer : algo; policy : Rwlock.policy; centralised : bool }
     (* distributed RW lock: per-cluster reader indicators over [writer] *)
+  | Adaptive of { numa : algo }
+    (* morphing lock: test&set -> H1-MCS -> [numa] by observed contention *)
 
 let rec algo_name = function
   | Spin { max_backoff_us } ->
@@ -63,6 +65,7 @@ let rec algo_name = function
       | Rwlock.Reader_preference -> "(rp)")
       (if centralised then "(1w)" else "")
       (algo_name writer)
+  | Adaptive { numa } -> Printf.sprintf "Adaptive(%s)" (algo_name numa)
 
 (* Whether [make] will demand a compare&swap machine for this algorithm —
    so workloads sweeping the whole family can upgrade the configuration
@@ -71,6 +74,10 @@ let rec needs_cas = function
   | Mcs_cas | Ticket | Anderson -> true
   | Rw _ -> true (* reader admission is a CAS retry loop *)
   | Cohort { local; global; _ } -> needs_cas local || needs_cas global
+  | Adaptive { numa } ->
+    (* The test&set and H1-MCS shapes are swap-only; only the NUMA
+       constituent can raise the requirement. *)
+    needs_cas numa
   | Spin _ | Mcs_original | Mcs_h1 | Mcs_h2 | Clh | Spin_then_block _ | Null
   | Hmcs _ | Cna _ ->
     false
@@ -111,6 +118,7 @@ let c_mcs_mcs =
 let hmcs = Hmcs { threshold = Hmcs.default_threshold }
 let cna = Cna { threshold = Cna.default_threshold }
 let all_numa_algos = [ c_mcs_mcs; hmcs; cna ]
+let adaptive = Adaptive { numa = cna }
 
 (* Wrap an acquire with wall-clock accounting (virtual cycles spent from
    call to lock entry). Algorithms without a real abandonment protocol get
@@ -214,7 +222,7 @@ let packed_of_algo machine ~home ~vclass algo : Lock_core.packed =
     Lock_core.pack
       (module Anderson_lock.Core)
       (Anderson_lock.create ~home ~vclass machine)
-  | Spin_then_block _ | Null | Cohort _ | Hmcs _ | Cna _ | Rw _ ->
+  | Spin_then_block _ | Null | Cohort _ | Hmcs _ | Cna _ | Rw _ | Adaptive _ ->
     invalid_arg
       (Printf.sprintf
          "Lock.make: %s cannot be a cohort constituent (base algorithms only)"
@@ -246,7 +254,7 @@ let rw_writer machine ~home ~topo algo ~vclass :
   | Cna { threshold } ->
     let l = Cna.create ~home ~threshold ~vclass ~topo machine in
     (Lock_core.pack (module Cna.Core) l, true, true)
-  | Null | Spin_then_block _ | Rw _ ->
+  | Null | Spin_then_block _ | Rw _ | Adaptive _ ->
     invalid_arg
       (Printf.sprintf "Lock.make: %s cannot be an RW writer constituent"
          (algo_name algo))
@@ -401,6 +409,59 @@ let make machine ?(home = 0) ?vclass ?topo algo =
       ~recover:(fun ctx -> Cna.Core.recover lock ctx)
       ~is_free:(fun () -> Cna.is_free lock)
       ()
+  | Adaptive { numa } ->
+    (* Morphing lock: three pre-created shapes sharing one lockdep class
+       (distinct instance ids), routed through Adaptive's mode word. The
+       NUMA shape reuses the RW-writer constituent builder, which is the
+       one that knows the composites' *dynamic* abortable/recoverable
+       capabilities. *)
+    (match numa with
+    | Cohort _ | Hmcs _ | Cna _ -> ()
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Lock.make: Adaptive's numa shape must be a NUMA composite \
+            (Cohort/Hmcs/Cna), not %s"
+           (algo_name numa)));
+    let vcls = Option.value vclass ~default:"adaptive" in
+    (* The test&set shape caps its backoff far below the standalone
+       Spin default: by construction it only ever serves light traffic
+       (contention promotes the lock away from it), and a tight cap is
+       what lets a saturated spin shape drain quickly after a morph —
+       with the 35us cap, the post-morph drain of a full complement of
+       backed-off waiters is as slow as the spin shape itself. *)
+    let ts =
+      packed_of_algo machine ~home ~vclass:vcls (Spin { max_backoff_us = 5.0 })
+    in
+    let queue = packed_of_algo machine ~home ~vclass:vcls Mcs_h1 in
+    let numa_p, numa_abortable, numa_recoverable =
+      rw_writer machine ~home ~topo numa ~vclass:vcls
+    in
+    let abortable =
+      Lock_core.p_abortable ts && Lock_core.p_abortable queue && numa_abortable
+    in
+    let recoverable =
+      Lock_core.p_recoverable ts
+      && Lock_core.p_recoverable queue
+      && numa_recoverable
+    in
+    let lock =
+      Adaptive.create ~home ~vclass:vcls ~name:(algo_name algo) ~topo
+        ~shapes:[| ts; queue; numa_p |]
+        ~abortable ~recoverable machine
+    in
+    instrumented ~name:(algo_name algo)
+      ~acquire:(fun ctx -> Adaptive.acquire lock ctx)
+      ~release:(fun ctx -> Adaptive.release lock ctx)
+      ~try_acquire:(fun ctx -> Adaptive.try_acquire lock ctx)
+      ~try_acquire_for:(fun ctx ~deadline ->
+        Adaptive.try_acquire_for lock ctx ~deadline)
+      ~abortable
+      ?recover:
+        (if recoverable then Some (fun ctx -> Adaptive.recover lock ctx)
+         else None)
+      ~is_free:(fun () -> Adaptive.is_free lock)
+      ()
   | Rw { writer; policy; centralised } ->
     (* The uniform record is the *writer* face; workloads wanting the
        reader side build the lock with [make_rw] instead. *)
@@ -508,3 +569,16 @@ let rec space_words ?(n_clusters = 1) ~n_procs = function
        centralised baseline. *)
     space_words ~n_clusters ~n_procs writer
     + (if centralised then 1 else n_clusters)
+  | Adaptive { numa } ->
+    (* The mode word plus the max over the three shapes. The accounting
+       convention throughout this function is the paper's per-lock *active*
+       view (MCS nodes are per-processor but shared across locks on real
+       systems); under that convention only one shape's words spin at a
+       time — the morph guard keeps the inactive shapes quiescent — so the
+       max, not the sum, is the footprint comparable with the static
+       rows. *)
+    1
+    + List.fold_left max 0
+        (List.map
+           (space_words ~n_clusters ~n_procs)
+           [ Spin { max_backoff_us = 5.0 }; Mcs_h1; numa ])

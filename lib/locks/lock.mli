@@ -23,8 +23,9 @@ type t = {
 
           Abortability matrix:
           - abortable: Spin, MCS (all variants), CLH, Anderson, HMCS,
-            CNA, Null, and any Cohort whose two constituents are both
-            abortable;
+            CNA, Null, any Cohort whose two constituents are both
+            abortable, and any Adaptive whose NUMA shape is abortable
+            (its test&set and MCS shapes always are);
           - non-abortable (timed face blocks): Ticket (a drawn ticket
             cannot be handed back), Spin_then_block (wakeup is the
             scheduler's promise). *)
@@ -40,9 +41,9 @@ type t = {
           Recoverability matrix: every base and composite algorithm except
           [Spin_then_block] (blocked waiters are the scheduler's, beyond
           the lock's reach) and [Null]; a [Cohort] is recoverable iff both
-          constituents are. Ticket is recoverable despite being
-          non-abortable — its waiters run the dead-holder check inside
-          their own spin. *)
+          constituents are, and an [Adaptive] iff its NUMA shape is.
+          Ticket is recoverable despite being non-abortable — its waiters
+          run the dead-holder check inside their own spin. *)
   recoverable : bool;
   is_free : unit -> bool;
   acquires : int ref;
@@ -79,6 +80,16 @@ type algo =
           and RW-CNA come free; not [Null], STB, or another [Rw]. The
           uniform record carries the {e writer} face; workloads that want
           the reader side build with {!make_rw}. Requires compare&swap. *)
+  | Adaptive of { numa : algo }
+      (** Morphing lock ({!Adaptive}): starts as a 5 µs-capped test&set
+          (capped low so a post-morph drain hands off quickly),
+          promotes to H1-MCS when the contended fraction of a sliding
+          acquisition window crosses a threshold, promotes again to [numa]
+          (a NUMA composite: [Cohort], [Hmcs] or [Cna] — [make] raises
+          [Invalid_argument] otherwise) when the remote-hand-off fraction
+          crosses a second threshold, and demotes as traffic cools. All
+          three shapes share one lockdep class; the morph protocol drains
+          the old shape before the new one carries the lock. *)
 
 val algo_name : algo -> string
 
@@ -101,6 +112,9 @@ val cna : algo
 
 (** The three NUMA-aware composites at default thresholds. *)
 val all_numa_algos : algo list
+
+(** The default morphing lock: test&set → H1-MCS → CNA. *)
+val adaptive : algo
 
 (** [vclass] names the lock-order class reported to an installed
     {!Verify.t} checker; defaults to a per-algorithm class name. [topo] is
@@ -172,7 +186,11 @@ val with_lock : t -> Ctx.t -> (unit -> 'a) -> 'a
     - [Rw]: space(writer) + C reader-indicator words (count and gate bit
       share a word; 1 word when [centralised]) — the read-parallelism
       upgrade costs one word per cluster on top of whatever exclusive
-      lock serialises the writers.
+      lock serialises the writers;
+    - [Adaptive]: 1 + max(space(shape)) over its three shapes (mode word
+      plus the largest constituent) — under the per-lock {e active} view
+      only the current shape's words carry the lock, the morph guard
+      keeping the other two quiescent.
 
     Timed-acquisition state is {e excluded}, by the same convention that
     excludes MCS's per-processor interrupt nodes: the timed twin nodes

@@ -44,6 +44,11 @@ val lock_acquired :
 val lock_try_acquired :
   t -> proc:int -> cls:Verify.lock_class -> id:int -> now:int -> unit
 
+(** An abandoned wait bumps [aborts] and [contended] without an
+    acquisition; the bumps are sequenced (abort first) and hooks are
+    host-atomic, so any sampler — including an adaptive lock's policy
+    reading its own profile mid-run — sees rows satisfying
+    [contended <= acqs + aborts]. *)
 val lock_wait_abandoned : t -> proc:int -> now:int -> unit
 
 (** A hand-off reclaimed a node some timed waiter abandoned; attributed to
@@ -101,6 +106,35 @@ val reserve_wait_done : t -> proc:int -> now:int -> unit
 val rpc_issue : t -> proc:int -> target:int -> now:int -> unit
 val rpc_retry : t -> proc:int -> now:int -> unit
 val rpc_reply : t -> proc:int -> now:int -> unit
+
+(** {2 Morphs (adaptive locks)}
+
+    Promotion/demotion counters per cluster and a current-shape gauge per
+    lock class, fed by [Vhook.morphed]. Kept beside the profile like the
+    crash and rw buckets: {!cells} is schema-stable. *)
+
+(** An adaptive lock of class [cls] switched to [shape] ([up] for a
+    promotion); attributed to the morphing releaser's cluster. *)
+val lock_morphed :
+  t ->
+  proc:int ->
+  cls:Verify.lock_class ->
+  up:bool ->
+  shape:int ->
+  now:int ->
+  unit
+
+type morph_row = { m_cluster : int; m_up : int; m_down : int }
+
+(** One row per cluster with any morph activity for [cls]. *)
+val morph_rows : t -> cls:Verify.lock_class -> morph_row list
+
+val morphs_up : t -> cls:Verify.lock_class -> int
+val morphs_down : t -> cls:Verify.lock_class -> int
+
+(** Latest shape index reported for [cls]; 0 (the base shape) if the class
+    never morphed. *)
+val current_shape : t -> cls:Verify.lock_class -> int
 
 (** {2 Crash and recovery}
 
@@ -186,6 +220,7 @@ type kind =
   | Rpc_retry  (** instant: [Would_deadlock] resend/backoff *)
   | Rpc_reply  (** span: issue to reply *)
   | Proc_crash  (** instant: a processor fail-stopped *)
+  | Lock_morphed  (** instant: an adaptive lock switched shape *)
 
 val kind_name : kind -> string
 

@@ -27,6 +27,9 @@ let recoverable_algos =
     Lock.Anderson;
   ]
   @ Lock.all_numa_algos
+  (* The morphing lock rides along: a corpse may die inside any shape,
+     mid-drain, or between the mode-cell flip and its shape hand-off. *)
+  @ [ Lock.adaptive ]
 
 (* -- the fail-stop machinery ------------------------------------------------- *)
 

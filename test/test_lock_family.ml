@@ -111,7 +111,14 @@ let test_space_accounting () =
   (* CNA's "compact" claim: its footprint does not grow with the cluster
      count. *)
   Alcotest.(check int) "cna is cluster-independent" (w4 Lock.cna)
-    (Lock.space_words ~n_clusters:1 ~n_procs:16 Lock.cna)
+    (Lock.space_words ~n_clusters:1 ~n_procs:16 Lock.cna);
+  (* Adaptive reports the mode word plus the max over its shapes — only
+     one shape's words carry the lock at a time (the morph guard keeps
+     the inactive shapes quiescent), so the sum would overstate the
+     active footprint. At P=16, C=4: 1 + max(spin 1, mcs 33, cna 51). *)
+  Alcotest.(check int) "adaptive = 1 + max over shapes" 52 (w4 Lock.adaptive);
+  Alcotest.(check int) "adaptive(cohort) = 1 + max(1, 33, 173)" 174
+    (w4 (Lock.Adaptive { numa = Lock.c_mcs_mcs }))
 
 let test_lock_family_via_uniform_interface () =
   let eng, machine, ctx = make_numa () in

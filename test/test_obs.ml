@@ -139,6 +139,70 @@ let test_unmatched_events_tolerated () =
   Alcotest.(check bool) "only silent rows" true
     (List.for_all (fun (r : Obs.row) -> r.Obs.total.Obs.wait_cycles = 0) rows)
 
+(* -- snapshot consistency ---------------------------------------------------
+
+   The profile is sampled mid-run by host-side readers (the adaptive
+   lock's policy, gauges, tests): after *every* hook, every row — total
+   and per-cluster — must satisfy [contended <= acqs + aborts]. The
+   ordering inside the abandon/optimistic-abort hooks (abort bumped
+   before contended) is exactly what this property pins: a random
+   interleaving of waits, acquisitions, abandonments, try-acquires and
+   optimistic aborts across processors, clusters and two classes, with
+   the invariant checked between every pair of events. *)
+
+let cls_snap_a = Verify.lock_class "obs.test.snap.a"
+let cls_snap_b = Verify.lock_class "obs.test.snap.b"
+
+let snapshot_consistent rows =
+  let ok (c : Obs.cells) = c.Obs.contended <= c.Obs.acqs + c.Obs.aborts in
+  List.for_all
+    (fun (r : Obs.row) ->
+      ok r.Obs.total && List.for_all (fun (_, c) -> ok c) r.Obs.by_cluster)
+    rows
+
+let prop_snapshot_consistent =
+  QCheck.Test.make
+    ~name:"every mid-run sample satisfies contended <= acqs + aborts"
+    ~count:50
+    QCheck.(pair (int_range 2 6) (int_range 0 100_000))
+    (fun (p, seed) ->
+      let o =
+        Obs.create ~cluster_of:(fun q -> q mod 2) ~n_clusters:2 ~n_procs:p ()
+      in
+      let rng = Rng.create seed in
+      let state = Array.make p `Idle in
+      let now = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        now := !now + 1 + Rng.int rng 50;
+        let proc = Rng.int rng p in
+        let cls = if Rng.int rng 2 = 0 then cls_snap_a else cls_snap_b in
+        (match state.(proc) with
+        | `Idle -> (
+          match Rng.int rng 3 with
+          | 0 ->
+            Obs.lock_wait o ~proc ~cls ~id:proc ~now:!now;
+            state.(proc) <- `Waiting cls
+          | 1 ->
+            Obs.lock_try_acquired o ~proc ~cls ~id:proc ~now:!now;
+            state.(proc) <- `Holding cls
+          | _ -> Obs.lock_optimistic_abort o ~proc ~cls ~now:!now)
+        | `Waiting wcls ->
+          if Rng.int rng 3 = 0 then begin
+            Obs.lock_wait_abandoned o ~proc ~now:!now;
+            state.(proc) <- `Idle
+          end
+          else begin
+            Obs.lock_acquired o ~proc ~cls:wcls ~id:proc ~now:!now;
+            state.(proc) <- `Holding wcls
+          end
+        | `Holding hcls ->
+          Obs.lock_released o ~proc ~cls:hcls ~id:proc ~now:!now;
+          state.(proc) <- `Idle);
+        if not (snapshot_consistent (Obs.profile_rows o)) then ok := false
+      done;
+      !ok)
+
 (* -- trace ring ------------------------------------------------------------ *)
 
 let test_trace_ring_bounded () =
@@ -252,6 +316,8 @@ let test_storm_attribution () =
   (* ... and per cluster (station): the 8 workers span 2 stations. *)
   Alcotest.(check bool) "mcs split across clusters" true
     (List.length mcs.Obs.by_cluster >= 2);
+  Alcotest.(check bool) "storm rows snapshot-consistent" true
+    (snapshot_consistent rows);
   List.iter
     (fun (row : Obs.row) ->
       let sum f = List.fold_left (fun a (_, c) -> a + f c) 0 row.Obs.by_cluster in
@@ -417,6 +483,7 @@ let suite =
     Alcotest.test_case "rpc accounting" `Quick test_rpc_accounting;
     Alcotest.test_case "unmatched events tolerated" `Quick
       test_unmatched_events_tolerated;
+    QCheck_alcotest.to_alcotest prop_snapshot_consistent;
     Alcotest.test_case "trace ring bounded" `Quick test_trace_ring_bounded;
     Alcotest.test_case "trace off records nothing" `Quick
       test_trace_off_records_nothing;
